@@ -1,0 +1,81 @@
+"""Figure 1: the six bitemporal region shapes, rasterized and classified.
+
+Regenerates an ASCII rendering of each case's region at CT = 9/97 (the
+figure's setting), asserts the qualitative shape (growing vs static,
+stair vs rectangle, high first step), and benchmarks region resolution.
+"""
+
+from repro.temporal.chronon import Granularity, parse_chronon
+from repro.temporal.extent import Case, TimeExtent
+from repro.temporal.variables import NOW, UC
+
+
+def month(text):
+    return parse_chronon(text, Granularity.MONTH)
+
+
+def empdep_cases():
+    """The Figure 1 regions come from the Table 1 tuples."""
+    return {
+        1: TimeExtent(month("4/97"), UC, month("3/97"), month("5/97")),   # John
+        2: TimeExtent(month("3/97"), month("7/97"), month("6/97"), month("8/97")),  # Tom
+        3: TimeExtent(month("5/97"), UC, month("5/97"), NOW),             # Jane
+        4: TimeExtent(month("3/97"), month("7/97"), month("3/97"), NOW),  # old Julie
+        5: TimeExtent(month("5/97"), UC, month("3/97"), NOW),             # Michelle
+        6: TimeExtent(month("4/97"), month("7/97"), month("2/97"), NOW),
+    }
+
+
+def rasterize(region, t_range, v_range):
+    lines = []
+    for v in reversed(range(*v_range)):
+        line = "".join(
+            "#" if region.contains_point(t, v) else "."
+            for t in range(*t_range)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def test_figure1_regions(benchmark, write_artifact):
+    extents = empdep_cases()
+    now = month("9/97")
+
+    def resolve_all():
+        return {case: ext.region(now) for case, ext in extents.items()}
+
+    regions = benchmark(resolve_all)
+
+    # Case classification matches Figure 2's annotations.
+    assert extents[1].case is Case.GROWING_RECTANGLE
+    assert extents[2].case is Case.STATIC_RECTANGLE
+    assert extents[3].case is Case.GROWING_STAIR
+    assert extents[4].case is Case.STATIC_STAIR
+    assert extents[5].case is Case.GROWING_STAIR_HIGH_STEP
+    assert extents[6].case is Case.STATIC_STAIR_HIGH_STEP
+
+    # Shape assertions, per the figure.
+    assert not regions[1].stair and regions[1].tt_hi == now   # grows in tt
+    assert not regions[2].stair and regions[2].tt_hi < now    # static
+    assert regions[3].stair and regions[3].tt_hi == now       # grows in both
+    assert regions[4].stair and regions[4].tt_hi < now        # stopped stair
+    assert regions[5].stair
+    # The high first step: valid time already covers [vt1, tt1] at birth.
+    assert regions[5].vt_lo < extents[5].tt_begin
+    assert regions[6].stair and regions[6].tt_hi < now
+
+    # Growth: the growing cases strictly expand with the clock.
+    later = now + 6
+    for case in (1, 3, 5):
+        assert extents[case].region(later).area() > regions[case].area()
+    for case in (2, 4, 6):
+        assert extents[case].region(later) == regions[case]
+
+    t_range = (month("1/97"), month("12/97"))
+    v_range = (month("1/97"), month("12/97"))
+    blocks = []
+    for case in sorted(regions):
+        blocks.append(f"Case {case} ({extents[case].case.name}):")
+        blocks.append(rasterize(regions[case], t_range, v_range))
+        blocks.append("")
+    write_artifact("figure1_regions.txt", "\n".join(blocks))

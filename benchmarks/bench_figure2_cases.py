@@ -1,0 +1,73 @@
+"""Figure 2: the six combinations of time attributes.
+
+Regenerates the figure's table programmatically (which timestamp slots
+are variables, and the tt1-vs-vt1 side conditions), verifies every
+generated extent classifies into exactly one case, and benchmarks the
+classifier over a large generated population.
+"""
+
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import Case, TimeExtent
+from repro.temporal.variables import NOW, UC
+from repro.workloads import BitemporalWorkload, WorkloadConfig
+
+PAPER_FIGURE2 = [
+    (1, "tt1", "UC", "vt1", "vt2", None),
+    (2, "tt1", "tt2", "vt1", "vt2", None),
+    (3, "tt1", "UC", "vt1", "NOW", "tt1=vt1"),
+    (4, "tt1", "tt2", "vt1", "NOW", "tt1=vt1"),
+    (5, "tt1", "UC", "vt1", "NOW", "tt1>vt1"),
+    (6, "tt1", "tt2", "vt1", "NOW", "tt1>vt1"),
+]
+
+
+def describe(extent: TimeExtent):
+    tt_end = "UC" if extent.tt_end is UC else "tt2"
+    vt_end = "NOW" if extent.vt_end is NOW else "vt2"
+    condition = None
+    if vt_end == "NOW":
+        condition = "tt1=vt1" if extent.tt_begin == extent.vt_begin else "tt1>vt1"
+    return (extent.case.value, "tt1", tt_end, "vt1", vt_end, condition)
+
+
+class _Sink:
+    def insert(self, extent, rowid):
+        pass
+
+    def delete(self, extent, rowid):
+        pass
+
+
+def generate_population(steps=2000):
+    clock = Clock(now=100)
+    workload = BitemporalWorkload(
+        clock, WorkloadConfig(seed=2, delete_fraction=0.2, update_fraction=0.1)
+    )
+    workload.run(_Sink(), steps)
+    return list(workload.all_extents().values())
+
+
+def test_figure2_case_taxonomy(benchmark, write_artifact):
+    population = generate_population()
+
+    def classify_all():
+        return [extent.case for extent in population]
+
+    cases = benchmark(classify_all)
+
+    # Every extent falls in exactly one of the six cases, and all six
+    # arise from a realistic history.
+    assert {case.value for case in cases} == {1, 2, 3, 4, 5, 6}
+
+    # The structural descriptions match the paper's table exactly.
+    observed = sorted({describe(extent) for extent in population})
+    assert observed == sorted(tuple(row) for row in PAPER_FIGURE2)
+
+    lines = ["        TTbegin  TTend  VTbegin  VTend   condition"]
+    for case, ttb, tte, vtb, vte, cond in PAPER_FIGURE2:
+        count = sum(1 for c in cases if c.value == case)
+        lines.append(
+            f"Case {case}  {ttb:8s} {tte:6s} {vtb:8s} {vte:7s} "
+            f"{cond or '':8s} (observed {count}x)"
+        )
+    write_artifact("figure2_cases.txt", "\n".join(lines) + "\n")

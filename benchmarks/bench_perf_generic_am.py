@@ -1,0 +1,76 @@
+"""Perf-6: the price of generality (the conclusion's open question).
+
+The paper proposes a generic extendible access method; the natural
+question is what generality costs.  This bench runs the same spatial
+workload through the dedicated R-tree access method (``rtree_am``) and
+through the GiST instantiated as an R-tree (``gist_am`` +
+``gist_rect_ops``), comparing wall-clock per query and result equality.
+Expected shape: same answers; the generic method within a small factor.
+"""
+
+import random
+
+import pytest
+
+from repro.gist import register_gist_blade
+from repro.rblade import register_rtree_blade
+from repro.rblade.blade import box_output
+from repro.rtree.geometry import Rect
+from repro.server import DatabaseServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = DatabaseServer()
+    server.create_sbspace("spc")
+    register_rtree_blade(server)
+    register_gist_blade(server)
+    server.prefer_virtual_index = True
+    server.execute("CREATE TABLE a (label LVARCHAR, geom Box)")
+    server.execute("CREATE TABLE b (label LVARCHAR, geom Box)")
+    server.execute("CREATE INDEX native ON a(geom) USING rtree_am IN spc")
+    server.execute(
+        "CREATE INDEX generic ON b(geom gist_rect_ops) USING gist_am IN spc"
+    )
+    rng = random.Random(2024)
+    for i in range(500):
+        x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+        rect = box_output(Rect((x, y), (x + 4, y + 4)))
+        server.execute(f"INSERT INTO a VALUES ('s{i}', '{rect}')")
+        server.execute(f"INSERT INTO b VALUES ('s{i}', '{rect}')")
+    return server
+
+
+QUERY = "(100, 100, 260, 260)"
+
+
+def test_perf6_answers_identical(server, benchmark, write_artifact):
+    native = benchmark(
+        server.execute,
+        f"SELECT label FROM a WHERE Overlap(geom, '{QUERY}')",
+    )
+    generic = server.execute(
+        f"SELECT label FROM b WHERE GS_Overlap(geom, '{QUERY}')"
+    )
+    assert sorted(r["label"] for r in native) == sorted(
+        r["label"] for r in generic
+    )
+    assert len(native) > 20
+    write_artifact(
+        "perf6_equivalence.txt",
+        f"Perf-6: native rtree_am and generic gist_am agree on "
+        f"{len(native)} results\n",
+    )
+
+
+def test_perf6_generic_query(server, benchmark, write_artifact):
+    rows = benchmark(
+        server.execute,
+        f"SELECT label FROM b WHERE GS_Overlap(geom, '{QUERY}')",
+    )
+    assert len(rows) > 20
+    assert "consistent" in server.execute("CHECK INDEX generic")
+    write_artifact(
+        "perf6_generic.txt",
+        f"Perf-6: generic GiST rect query returned {len(rows)} rows\n",
+    )

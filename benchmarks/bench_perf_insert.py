@@ -1,0 +1,89 @@
+"""Perf-2: insertion and update cost across the now-relative sweep.
+
+Measures page I/O per insertion for the GR-tree and the max-timestamp
+R*-tree over the same histories, plus the effect of the GR-tree's time
+parameter (the time-horizon ablation is Perf-3's sibling in DESIGN.md).
+Expected shape: insertion costs are the same order for both trees --
+the GR-tree buys its query advantage without a write penalty.
+"""
+
+import pytest
+
+from _perf import PAGE_SIZE, build_setup
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.workloads import BitemporalWorkload, MaxTimestampRTree, WorkloadConfig
+
+STEPS = 1200
+FRACTIONS = [0.0, 0.5, 1.0]
+
+
+def grtree_insert_io(fraction, steps=STEPS, horizon=20):
+    clock = Clock(now=100)
+    pool = BufferPool(InMemoryPageStore(page_size=PAGE_SIZE), capacity=96)
+    tree = GRTree.create(GRNodeStore(pool), clock, time_horizon=horizon)
+    workload = BitemporalWorkload(
+        clock, WorkloadConfig(seed=7, now_relative_fraction=fraction)
+    )
+    before = pool.stats.snapshot()
+    workload.populate(tree, steps)
+    tree.check()
+    io = pool.stats - before
+    return (io.logical_reads + io.logical_writes) / steps
+
+
+def rstar_insert_io(fraction, steps=STEPS):
+    clock = Clock(now=100)
+    baseline = MaxTimestampRTree(clock, page_size=PAGE_SIZE, buffer_capacity=96)
+    workload = BitemporalWorkload(
+        clock, WorkloadConfig(seed=7, now_relative_fraction=fraction)
+    )
+    before = baseline.pool.stats.snapshot()
+    workload.populate(baseline, steps)
+    io = baseline.pool.stats - before
+    return (io.logical_reads + io.logical_writes) / steps
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_perf2_insert_io(benchmark, fraction, write_artifact):
+    grtree_io = grtree_insert_io(fraction)
+    rstar_io = rstar_insert_io(fraction)
+
+    def insert_batch():
+        grtree_insert_io(fraction, steps=200)
+
+    benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+    # Same order of magnitude: no write penalty for the GR-tree.
+    assert grtree_io < rstar_io * 3
+    assert rstar_io < grtree_io * 3
+
+    write_artifact(
+        f"perf2_insert_io_{fraction}.txt",
+        f"Perf-2 (now-relative fraction = {fraction}):\n"
+        f"  pages touched per insertion: GR-tree {grtree_io:6.2f}, "
+        f"R*-max {rstar_io:6.2f}\n",
+    )
+
+
+def test_perf2_deletion_heavy_history(benchmark, write_artifact):
+    """Updates and deletions (the EmpDep pattern) keep both trees
+    healthy; the GR-tree's condense strategy does not blow up I/O."""
+    def run():
+        setup = build_setup(
+            600, now_relative_fraction=0.6,
+            delete_fraction=0.25, update_fraction=0.15, seed=31,
+        )
+        setup.grtree.check()
+        return setup
+
+    setup = benchmark.pedantic(run, rounds=2, iterations=1)
+    stats = setup.grtree.stats()
+    assert stats["avg_fill"] > 0.3  # condensation keeps nodes filled
+    write_artifact(
+        "perf2_deletion_heavy.txt",
+        f"Perf-2 deletion-heavy history: {stats}\n",
+    )

@@ -1,0 +1,113 @@
+"""Perf-8: LO-level locking vs developer-built node-level locking (§5.3).
+
+The paper's storage analysis in one number: how many reader/writer
+pairs conflict under (a) the sbspace's automatic large-object lock --
+one lock for the whole index -- versus (b) the node-level lock-coupling
+protocol a developer can build over an OS file.  Expected shape: (a)
+conflicts always; (b) conflicts only when the two operations touch the
+same subtree.
+"""
+
+import pytest
+
+from repro.grtree.locking import (
+    LockCouplingScan,
+    NodeLockingProtocol,
+    locked_insert,
+)
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.locks import LockConflictError, LockManager, LockMode
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import TimeExtent
+
+#: Disjoint static clusters along transaction time.
+CLUSTERS = 8
+PER_CLUSTER = 60
+
+
+def build():
+    clock = Clock(now=100)
+    tree = GRTree.create(
+        GRNodeStore(BufferPool(InMemoryPageStore(page_size=512))), clock
+    )
+    rowid = 0
+    for c in range(CLUSTERS):
+        base = 100 + 200 * c
+        clock.set(base + 60)
+        for i in range(PER_CLUSTER):
+            tree.insert(
+                TimeExtent(base + (i % 20), base + 50,
+                           base + 20 + (i % 20), base + 55),
+                rowid,
+            )
+            rowid += 1
+    return clock, tree
+
+
+def cluster_query(c):
+    base = 100 + 200 * c
+    return TimeExtent(base, base + 50, base + 20, base + 55)
+
+
+def cluster_insert_extent(clock, c):
+    base = 100 + 200 * c
+    return TimeExtent(base + 10, base + 50, base + 25, base + 52)
+
+
+def count_conflicts(node_level: bool) -> int:
+    """For every (reader cluster, writer cluster) pair: reader parks
+    mid-scan, writer inserts; count pairs that conflict."""
+    clock, tree = build()
+    conflicts = 0
+    for rc in range(CLUSTERS):
+        for wc in range(CLUSTERS):
+            locks = LockManager()
+            if node_level:
+                protocol = NodeLockingProtocol(locks, "gi")
+                reader = LockCouplingScan(
+                    tree, protocol, 1, cluster_query(rc)
+                )
+                assert reader.next() is not None
+                try:
+                    locked_insert(
+                        tree, protocol, 2,
+                        cluster_insert_extent(clock, wc), rowid=10_000_000,
+                    )
+                    tree.delete(cluster_insert_extent(clock, wc), 10_000_000)
+                except LockConflictError:
+                    conflicts += 1
+                reader.close()
+                protocol.finish(2)
+            else:
+                # LO-level: one lock for the whole index.
+                locks.acquire(1, ("lo", "index"), LockMode.SHARED)
+                try:
+                    locks.acquire(2, ("lo", "index"), LockMode.EXCLUSIVE)
+                except LockConflictError:
+                    conflicts += 1
+                locks.release_all(1)
+                locks.release_all(2)
+    return conflicts
+
+
+@pytest.mark.parametrize("granularity", ["lo", "node"])
+def test_perf8_conflict_rates(benchmark, granularity, write_artifact):
+    node_level = granularity == "node"
+    conflicts = benchmark.pedantic(
+        count_conflicts, args=(node_level,), rounds=1, iterations=1
+    )
+    pairs = CLUSTERS * CLUSTERS
+    if node_level:
+        # Only same-subtree pairs (at most the diagonal, plus any pairs
+        # whose paths genuinely share nodes) may conflict.
+        assert conflicts < pairs / 2
+    else:
+        assert conflicts == pairs  # total serialization
+    write_artifact(
+        f"perf8_{granularity}.txt",
+        f"Perf-8 ({granularity}-level locking): {conflicts}/{pairs} "
+        f"reader-writer pairs conflicted\n",
+    )

@@ -1,0 +1,78 @@
+"""Perf-1: query I/O -- GR-tree vs max-timestamp R*-tree vs seqscan.
+
+The headline series of the GR-tree evaluation: average page accesses per
+bitemporal window query as the fraction of now-relative data varies.
+Expected shape: the GR-tree wins overall; its advantage over the
+max-timestamp R*-tree grows with the now-relative fraction (growing
+rectangles stretched to the end of time overlap everything), and both
+indices beat the sequential scan.
+"""
+
+import pytest
+
+from _perf import build_setup, measure_query_io, standard_queries
+
+STEPS = 1500
+FRACTIONS = [0.0, 0.3, 0.7, 1.0]
+
+
+@pytest.fixture(scope="module")
+def series():
+    rows = {}
+    for fraction in FRACTIONS:
+        setup = build_setup(STEPS, now_relative_fraction=fraction)
+        queries = standard_queries(setup, count=20)
+        rows[fraction] = (setup, queries, measure_query_io(setup, queries))
+    return rows
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_perf1_query_io(series, benchmark, fraction, write_artifact):
+    setup, queries, io = series[fraction]
+
+    # Benchmark the GR-tree query path itself (wall clock, on top of the
+    # I/O accounting already captured in `io`).
+    def run_queries():
+        for query in queries:
+            setup.grtree.search_all(query)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+
+    # Shape assertions: who wins, and by how much.  On purely ground
+    # data the two trees index identical geometry and should be within a
+    # constant of each other (the GR-tree's closed integer chronon
+    # intervals are slightly "fatter" than the baseline's float rects).
+    assert io["grtree"] < io["seqscan"], io
+    assert io["grtree"] <= io["rstar_max"] * 1.5, io
+    if fraction >= 0.7:
+        # On heavily now-relative data the GR-tree must win clearly.
+        assert io["grtree"] < 0.8 * io["rstar_max"], io
+
+    lines = [
+        f"Perf-1 (now-relative fraction = {fraction}):",
+        f"  dataset           : {len(setup.workload.all_extents())} entries",
+        f"  avg I/O per query : GR-tree {io['grtree']:8.1f}",
+        f"                      R*-max  {io['rstar_max']:8.1f}",
+        f"                      seqscan {io['seqscan']:8.1f}",
+        f"  GR-tree / R*-max  : {io['grtree'] / max(io['rstar_max'], 1e-9):.2f}",
+    ]
+    write_artifact(f"perf1_query_io_{fraction}.txt", "\n".join(lines) + "\n")
+
+
+def test_perf1_advantage_grows_with_now_relative_fraction(series, benchmark,
+                                                          write_artifact):
+    ratios = {}
+    for fraction, (setup, queries, io) in series.items():
+        ratios[fraction] = io["grtree"] / max(io["rstar_max"], 1e-9)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Crossover shape: the ratio at full now-relative data is clearly
+    # better than on purely ground data.
+    assert ratios[1.0] < ratios[0.0] + 0.05
+    assert ratios[1.0] < 0.85
+
+    lines = ["Perf-1 summary: GR-tree I/O as a fraction of R*-max I/O"]
+    for fraction in sorted(ratios):
+        lines.append(f"  now-relative={fraction:.1f}: {ratios[fraction]:.2f}")
+    write_artifact("perf1_summary.txt", "\n".join(lines) + "\n")

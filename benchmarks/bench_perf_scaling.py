@@ -1,0 +1,88 @@
+"""Perf-7: scaling -- query I/O as the dataset grows.
+
+Sweeps the history length at a fixed 70 % now-relative fraction.
+Expected shape: the sequential scan grows linearly with the data, the
+GR-tree's search I/O grows sublinearly (logarithmic descent plus a
+selectivity-proportional leaf count), and the GR-tree's advantage over
+the max-timestamp R*-tree persists at every size.
+"""
+
+import random
+
+import pytest
+
+from _perf import build_setup, measure_query_io
+from repro.temporal.extent import TimeExtent
+
+SIZES = [400, 1200, 3600]
+
+
+def selective_queries(setup, count=15):
+    """Windows *above* the ``vt = tt`` diagonal: facts recorded before
+    they become true.  Only fixed-future-validity rectangles can match,
+    so the result size stays small as the history grows -- the right
+    workload for a scaling claim.  Stair-shaped GR-tree bounds prune
+    these regions outright; max-timestamp rectangles cannot.
+    """
+    rng = random.Random(777)
+    now = setup.clock.now
+    queries = []
+    for _ in range(count):
+        tt0 = rng.randint(100, max(101, now - 10))
+        vt0 = tt0 + rng.randint(25, 70)
+        queries.append(TimeExtent(tt0, tt0 + 5, vt0, vt0 + 5))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def series():
+    rows = {}
+    for steps in SIZES:
+        setup = build_setup(steps, now_relative_fraction=0.7, seed=202)
+        queries = selective_queries(setup)
+        rows[steps] = (setup, measure_query_io(setup, queries))
+    return rows
+
+
+@pytest.mark.parametrize("steps", SIZES)
+def test_perf7_point_in_sweep(series, benchmark, steps, write_artifact):
+    setup, io = series[steps]
+
+    queries = selective_queries(setup, count=5)
+
+    def run_some():
+        for query in queries:
+            setup.grtree.search_all(query)
+
+    benchmark.pedantic(run_some, rounds=3, iterations=1)
+
+    assert io["grtree"] < io["seqscan"]
+    assert io["grtree"] < io["rstar_max"]
+    write_artifact(
+        f"perf7_scaling_{steps}.txt",
+        f"Perf-7 (steps={steps}, entries="
+        f"{len(setup.workload.all_extents())}):\n"
+        f"  GR-tree {io['grtree']:8.1f}  R*-max {io['rstar_max']:8.1f}  "
+        f"seqscan {io['seqscan']:8.1f}\n",
+    )
+
+
+def test_perf7_sublinear_growth(series, benchmark, write_artifact):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    small = series[SIZES[0]][1]
+    large = series[SIZES[-1]][1]
+    data_growth = SIZES[-1] / SIZES[0]
+    # Seqscan grows with the data; the GR-tree grows clearly slower.
+    assert large["seqscan"] / small["seqscan"] > data_growth * 0.6
+    assert (
+        large["grtree"] / max(small["grtree"], 1e-9)
+        < large["seqscan"] / small["seqscan"]
+    )
+    lines = ["Perf-7 summary: avg search I/O per query"]
+    for steps in SIZES:
+        io = series[steps][1]
+        lines.append(
+            f"  steps={steps:5d}: GR-tree {io['grtree']:7.1f}  "
+            f"R*-max {io['rstar_max']:7.1f}  seqscan {io['seqscan']:7.1f}"
+        )
+    write_artifact("perf7_summary.txt", "\n".join(lines) + "\n")

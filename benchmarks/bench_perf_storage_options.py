@@ -1,0 +1,201 @@
+"""Perf-5: index storage options and their concurrency cost (§5.3).
+
+Quantifies the paper's analysis of where a virtual index can live:
+
+* one large object for the whole index (the paper's choice): minimal
+  open/close traffic and handle storage, but the coarsest locking --
+  any writer serializes everyone;
+* one large object per node: finer locking in principle, but bulky
+  handles in every parent entry and an open/close per node touched;
+* an OS file: no services at all (no locking, no logging).
+"""
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.server import DatabaseServer
+from repro.storage.locks import LockConflictError
+from repro.storage.sbspace import LargeObjectHandle, Sbspace
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def day(chronon):
+    return format_chronon(chronon)
+
+
+def make_server():
+    server = DatabaseServer(clock=Clock(now=100))
+    server.create_sbspace("spc")
+    register_grtree_blade(server)
+    server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+    server.execute("CREATE INDEX gi ON t(te) USING grtree_am IN spc")
+    server.prefer_virtual_index = True
+    return server
+
+
+def test_perf5_single_lo_serializes_writers(benchmark, write_artifact):
+    """Writer vs readers on the one-LO design: every reader blocks for
+    the whole writer transaction."""
+    server = make_server()
+    for i in range(50):
+        server.execute(
+            f"INSERT INTO t VALUES ('r{i}', '{day(100)}, UC, {day(95)}, NOW')"
+        )
+    query = (
+        f"SELECT name FROM t WHERE "
+        f"Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')"
+    )
+
+    def writer_blocks_n_readers(n=5):
+        writer = server.create_session()
+        server.execute("BEGIN WORK", writer)
+        server.execute(
+            f"INSERT INTO t VALUES ('w', '{day(100)}, UC, {day(95)}, NOW')",
+            writer,
+        )
+        blocked = 0
+        for _ in range(n):
+            reader = server.create_session()
+            server.execute("BEGIN WORK", reader)
+            try:
+                server.execute(query, reader)
+            except LockConflictError:
+                blocked += 1
+            server.execute("ROLLBACK WORK", reader)
+        server.execute("ROLLBACK WORK", writer)
+        return blocked
+
+    blocked = benchmark.pedantic(writer_blocks_n_readers, rounds=3, iterations=1)
+    assert blocked == 5  # total serialization, as the paper warns
+
+    write_artifact(
+        "perf5_locking.txt",
+        f"Perf-5: single-LO storage blocked {blocked}/5 concurrent "
+        f"readers during one writer transaction\n"
+        f"(lock conflicts observed so far: {server.locks.conflicts})\n",
+    )
+
+
+def test_perf5_lo_per_node_handle_and_open_cost(benchmark, write_artifact):
+    """The LO-per-node drawbacks the paper names: handle bytes stored in
+    parent entries, and an open/close per node access."""
+    space = Sbspace(page_size=1024)
+    node_count = 64
+
+    def simulate_lo_per_node():
+        blobs = [space.create() for _ in range(node_count)]
+        # Opening the root-to-leaf path of every one of 20 searches.
+        opens = 0
+        for i in range(20):
+            for blob in blobs[i % 4 :: 8][:3]:
+                space.open(blob.handle)
+                space.close(blob.handle)
+                opens += 2
+        handle_bytes = sum(b.handle.size_bytes for b in blobs)
+        for blob in blobs:
+            space.drop(blob.handle)
+        return opens, handle_bytes
+
+    opens, handle_bytes = benchmark(simulate_lo_per_node)
+
+    pointer_bytes = node_count * 8  # page-id child pointers
+    assert handle_bytes > 5 * pointer_bytes
+
+    write_artifact(
+        "perf5_lo_per_node.txt",
+        "Perf-5: one-LO-per-node design\n"
+        f"  handle storage for {node_count} nodes: {handle_bytes} bytes "
+        f"(vs {pointer_bytes} bytes of page-id pointers)\n"
+        f"  open/close calls for 20 searches: {opens}\n",
+    )
+
+
+def test_perf5_os_file_vs_sbspace_services(benchmark, tmp_path, write_artifact):
+    """The OS file gives durability-by-filesystem but neither locks nor
+    a WAL; the sbspace gives both automatically."""
+    from repro.grtree.node import GRNodeStore
+    from repro.grtree.tree import GRTree
+    from repro.storage.buffer import BufferPool
+    from repro.storage.osfile import OSFilePageStore
+    from repro.temporal.extent import TimeExtent
+    from repro.temporal.variables import NOW, UC
+
+    clock = Clock(now=100)
+    path = str(tmp_path / "bench.grt")
+
+    def build_on_os_file():
+        import os
+
+        if os.path.exists(path):
+            os.remove(path)
+        with OSFilePageStore(path, page_size=1024) as store:
+            pool = BufferPool(store, capacity=64)
+            tree = GRTree.create(GRNodeStore(pool), clock)
+            for i in range(300):
+                tree.insert(TimeExtent(100, UC, 95, NOW), rowid=i)
+            pool.flush()
+            return tree.meta_page
+
+    meta_page = benchmark.pedantic(build_on_os_file, rounds=3, iterations=1)
+
+    with OSFilePageStore(path, page_size=1024) as store:
+        pool = BufferPool(store, capacity=64)
+        tree = GRTree.open(GRNodeStore(pool), clock, meta_page=meta_page)
+        assert tree.size == 300
+
+    write_artifact(
+        "perf5_os_file.txt",
+        "Perf-5: OS-file storage round-trip succeeded (300 entries), "
+        "with zero locking or logging services -- the developer would "
+        "have to build both (Section 5.3).\n",
+    )
+
+
+def test_perf5_in_between_design(benchmark, write_artifact):
+    """Section 5.3's suggested middle ground: several nodes per large
+    object.  Sweep the group size and report the two costs it trades:
+    handle bytes per node (falls as groups grow) and the fraction of
+    node pairs sharing a lock unit (rises as groups grow)."""
+    from repro.storage.multiblob import MultiBlobPageStore
+    from repro.storage.sbspace import Sbspace
+
+    def sweep():
+        rows = []
+        for pages_per_lo in (1, 4, 16, 64):
+            space = Sbspace(page_size=512)
+            store = MultiBlobPageStore(space, pages_per_lo=pages_per_lo)
+            pages = [store.allocate_page() for _ in range(64)]
+            handles = [store.handle_for_page(p).value for p in pages]
+            shared = sum(
+                1
+                for i in range(len(pages))
+                for j in range(i + 1, len(pages))
+                if handles[i] == handles[j]
+            )
+            total_pairs = len(pages) * (len(pages) - 1) // 2
+            rows.append(
+                (
+                    pages_per_lo,
+                    store.group_count(),
+                    store.handle_bytes_per_child_pointer,
+                    shared / total_pairs,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    # The trade-off is monotone in both directions.
+    overheads = [r[2] for r in rows]
+    collisions = [r[3] for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert collisions == sorted(collisions)
+
+    lines = [
+        "Perf-5 in-between design (64 node pages):",
+        "  pages/LO  LOs  handle-bytes/node  same-lock pair fraction",
+    ]
+    for pages_per_lo, groups, overhead, fraction in rows:
+        lines.append(
+            f"  {pages_per_lo:8d} {groups:4d} {overhead:17.1f}  {fraction:22.3f}"
+        )
+    write_artifact("perf5_in_between.txt", "\n".join(lines) + "\n")

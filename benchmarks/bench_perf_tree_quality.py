@@ -1,0 +1,133 @@
+"""Perf-3: tree "goodness" -- dead space and sibling overlap over time.
+
+The structural claim behind the GR-tree's query advantage (Section 3):
+stair-shaped bounds and variable timestamps keep dead space and overlap
+small *and stable as time passes*, while the max-timestamp substitution
+inflates every growing region to the end of time.  Includes the
+time-horizon ablation called out in DESIGN.md.
+"""
+
+import pytest
+
+from _perf import PAGE_SIZE, build_setup
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.temporal.regions import union_area
+from repro.workloads import BitemporalWorkload, WorkloadConfig
+
+
+def rstar_max_quality(setup):
+    """Dead space / overlap of the baseline, *clipped to the data space*
+    (its rectangles nominally extend to MAX_TIME; what matters is the
+    portion that can collide with queries, i.e. up to 'now')."""
+    from repro.workloads.baselines import MAX_TIME
+
+    now = setup.clock.now
+    dead = 0.0
+    overlap = 0.0
+    for node in setup.rstar_max.tree.iter_nodes():
+        if node.leaf or not node.entries:
+            continue
+        clipped = []
+        for entry in node.entries:
+            hi_t = min(entry.rect.hi[0], now)
+            hi_v = min(entry.rect.hi[1], now + 100)
+            clipped.append((entry.rect.lo[0], hi_t, entry.rect.lo[1], hi_v))
+        lo_t = min(c[0] for c in clipped)
+        hi_t = max(c[1] for c in clipped)
+        lo_v = min(c[2] for c in clipped)
+        hi_v = max(c[3] for c in clipped)
+        bound_area = max(0.0, hi_t - lo_t) * max(0.0, hi_v - lo_v)
+        covered = sum(
+            max(0.0, c[1] - c[0]) * max(0.0, c[3] - c[2]) for c in clipped
+        )
+        dead += max(0.0, bound_area - covered)
+        for i, a in enumerate(clipped):
+            for b in clipped[i + 1:]:
+                w = min(a[1], b[1]) - max(a[0], b[0])
+                h = min(a[3], b[3]) - max(a[2], b[2])
+                if w > 0 and h > 0:
+                    overlap += w * h
+    return dead, overlap
+
+
+def test_perf3_goodness(benchmark, write_artifact):
+    setup = build_setup(1200, now_relative_fraction=0.7, seed=51)
+
+    quality = benchmark.pedantic(
+        setup.grtree.quality, rounds=3, iterations=1
+    )
+    base_dead, base_overlap = rstar_max_quality(setup)
+
+    # The GR-tree's internal-node overlap is far below the baseline's
+    # (whose growing rectangles all collide out to the end of time).
+    assert quality["sibling_overlap"] < base_overlap
+
+    write_artifact(
+        "perf3_goodness.txt",
+        "Perf-3 tree goodness (clipped to the reachable data space):\n"
+        f"  GR-tree : dead space {quality['dead_space']:12.0f}  "
+        f"overlap {quality['sibling_overlap']:12.0f}\n"
+        f"  R*-max  : dead space {base_dead:12.0f}  "
+        f"overlap {base_overlap:12.0f}\n",
+    )
+
+
+def test_perf3_goodness_stays_bounded_over_time(benchmark, write_artifact):
+    """Bounds grow with their data: advancing the clock does not degrade
+    the GR-tree's structure (no pages are rewritten, Section 3)."""
+    setup = build_setup(800, now_relative_fraction=0.8, seed=53)
+    q0 = setup.grtree.quality()
+    writes_before = setup.grtree_pool.stats.logical_writes
+    setup.clock.advance(500)
+    q1 = benchmark.pedantic(setup.grtree.quality, rounds=2, iterations=1)
+    assert setup.grtree_pool.stats.logical_writes == writes_before
+    # Overlap does not explode with time: growing bounds track growing
+    # data instead of pre-claiming the whole future.
+    data_area_growth = 2 + 500 / max(1, setup.clock.now - 500)
+    assert q1["sibling_overlap"] <= (q0["sibling_overlap"] + 1) * 50
+
+    write_artifact(
+        "perf3_growth.txt",
+        "Perf-3 goodness over time (clock advanced by 500, zero writes):\n"
+        f"  at t0   : {q0}\n"
+        f"  at t+500: {q1}\n",
+    )
+
+
+@pytest.mark.parametrize("horizon", [0, 20, 100])
+def test_perf3_time_horizon_ablation(benchmark, horizon, write_artifact):
+    """DESIGN.md ablation: the insertion-time parameter p.
+
+    p = 0 makes placement decisions on today's geometry only; larger p
+    charges growing regions for their future, which should not *hurt*
+    future-query I/O."""
+    clock = Clock(now=100)
+    pool = BufferPool(InMemoryPageStore(page_size=PAGE_SIZE), capacity=96)
+    tree = GRTree.create(GRNodeStore(pool), clock, time_horizon=horizon)
+    workload = BitemporalWorkload(
+        clock, WorkloadConfig(seed=55, now_relative_fraction=0.8)
+    )
+    workload.populate(tree, 800)
+    clock.advance(200)
+    tree.check()
+
+    queries = [workload.window_query(10, 10) for _ in range(15)]
+
+    def run_queries():
+        total = 0
+        for query in queries:
+            got = sorted(r for r, _ in tree.search_all(query))
+            assert got == workload.oracle_overlapping(query)
+            total += tree.last_node_accesses
+        return total
+
+    accesses = benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    write_artifact(
+        f"perf3_horizon_{horizon}.txt",
+        f"Perf-3 ablation: time horizon p={horizon}: "
+        f"{accesses} node accesses over {len(queries)} future queries\n",
+    )

@@ -1,0 +1,95 @@
+"""Table 4: implementation tasks, their complexity, and lines of code.
+
+The paper reports the effort of each implementation task.  The
+reproduction maps every task to the module(s) that implement it and
+counts the non-blank, non-comment source lines, printing paper-vs-
+measured side by side.  Absolute numbers differ (C vs Python, and the
+reproduction implements the substrate too); the *shape* assertion is the
+paper's: writing the purpose functions dwarfs the opaque-type work, and
+BLOB manipulation exceeds qualification-descriptor handling.
+"""
+
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Task -> (paper complexity, paper LOC or None, our source files).
+TASKS = [
+    ("Adapting the existing code to the DataBlade coding guidelines.",
+     "low", None, ["datablade/blade.py::adapting"]),
+    ("Defining the structure of the opaque type.",
+     "average", None, ["datablade/time_extent.py::structure"]),
+    ("Including UC and NOW handling in opaque-type support functions.",
+     "low", 30, ["datablade/time_extent.py"]),
+    ("Writing operations on the opaque type.",
+     "low", 30, ["datablade/strategies.py", "datablade/supports.py"]),
+    ("Designing the operator class framework.",
+     "high", None, ["server/opclass.py"]),
+    ("Writing access method purpose functions.",
+     "high", 1020, ["datablade/blade.py"]),
+    ("Writing BLOB manipulation functions.",
+     "average", 280, ["datablade/blob.py"]),
+    ("Writing functions manipulating the qualification descriptor.",
+     "average", 120, ["datablade/qualification.py"]),
+]
+
+
+def count_loc(relative: str) -> int:
+    """Non-blank, non-comment, non-docstring-only source lines."""
+    path = SRC / relative.split("::")[0]
+    in_docstring = False
+    count = 0
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if in_docstring:
+            if line.endswith('"""') or line.endswith("'''"):
+                in_docstring = False
+            continue
+        if line.startswith(('"""', "'''")):
+            if not (len(line) > 3 and line.endswith(('"""', "'''"))):
+                in_docstring = True
+            continue
+        count += 1
+    return count
+
+
+def measure():
+    rows = []
+    for task, complexity, paper_loc, files in TASKS:
+        measured = sum(count_loc(f) for f in {f.split("::")[0] for f in files})
+        rows.append((task, complexity, paper_loc, measured))
+    return rows
+
+
+def test_table4_loc(benchmark, write_artifact):
+    rows = benchmark(measure)
+
+    by_task = {task: measured for task, _, _, measured in rows}
+    purpose = by_task["Writing access method purpose functions."]
+    blob = by_task["Writing BLOB manipulation functions."]
+    qual = by_task["Writing functions manipulating the qualification descriptor."]
+    uc_now = by_task["Including UC and NOW handling in opaque-type support functions."]
+    # The paper's shape: purpose functions >> BLOB layer > qualification
+    # handling > UC/NOW handling.
+    assert purpose > blob
+    assert blob > qual
+    assert purpose > 5 * qual
+
+    lines = [
+        "Table 4 reproduction: tasks, complexity, and lines of code",
+        "",
+        f"{'Task':62s} {'cplx':8s} {'paper':>6s} {'ours':>6s}",
+        "-" * 86,
+    ]
+    for task, complexity, paper_loc, measured in rows:
+        paper = "-" if paper_loc is None else str(paper_loc)
+        lines.append(f"{task:62s} {complexity:8s} {paper:>6s} {measured:>6d}")
+    lines += [
+        "",
+        "Note: paper LOC is C against the real DataBlade API; ours is",
+        "Python and includes docstring-free logic only.  The ordering of",
+        "task sizes (purpose functions dominating) is the reproduced claim.",
+    ]
+    write_artifact("table4_loc.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,29 @@
+"""Shared fixtures and artifact plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one
+series of the performance leg), asserts the *shape* the paper reports,
+and writes the regenerated artifact under ``benchmarks/out/`` so it can
+be diffed against the paper by eye.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / name
+        path.write_text(text)
+        return path
+
+    return _write

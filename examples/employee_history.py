@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's running example: the EmpDep relation (Tables 1 and 3).
+
+Run:  python examples/employee_history.py
+
+Replays the exact history behind Table 1 through the SQL layer (month
+granularity, current time 9/97), prints the relation in the paper's
+layout, and then demonstrates the Section 5.1 anomaly: the query
+"Who worked in Sales during 7/97 according to the knowledge we had
+during 5/97?" answered once *incorrectly* (valid- and transaction-time
+intervals treated separately) and once correctly through the GR-tree.
+"""
+
+from repro.core import BitemporalDatabase
+from repro.temporal.chronon import Granularity, parse_chronon
+from repro.temporal.relation import build_empdep
+
+
+def month(text: str) -> int:
+    return parse_chronon(text, Granularity.MONTH)
+
+
+def replay_history(db: BitemporalDatabase) -> None:
+    db.clock.set(month("3/97"))
+    db.insert({"employee": "Tom", "department": "Management"},
+              vt_begin=month("6/97"), vt_end=month("8/97"))
+    db.insert({"employee": "Julie", "department": "Sales"},
+              vt_begin=month("3/97"))
+    db.clock.set(month("4/97"))
+    db.insert({"employee": "John", "department": "Advertising"},
+              vt_begin=month("3/97"), vt_end=month("5/97"))
+    db.clock.set(month("5/97"))
+    db.insert({"employee": "Jane", "department": "Sales"},
+              vt_begin=month("5/97"))
+    db.insert({"employee": "Michelle", "department": "Management"},
+              vt_begin=month("3/97"))
+    db.clock.set(month("8/97"))
+    db.delete_where("employee", "Tom")
+    db.modify("employee", "Julie",
+              {"employee": "Julie", "department": "Sales"},
+              vt_begin=month("3/97"), vt_end=month("7/97"))
+    db.clock.set(month("9/97"))
+
+
+def main() -> None:
+    db = BitemporalDatabase(["employee", "department"],
+                            granularity=Granularity.MONTH)
+    replay_history(db)
+
+    print("Table 1: The EmpDep Relation (current time = 9/97)\n")
+    rows = db.sql(f"SELECT * FROM {db.TABLE}")
+    header = f"{'Employee':9s} {'Department':12s} {'Time extent (TTb, TTe, VTb, VTe)'}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        extent = row["time_extent"].to_text(Granularity.MONTH)
+        print(f"{row['employee']:9s} {row['department']:12s} {extent}")
+
+    # The Julie anomaly (Table 3 / Figure 8).
+    print("\nQuery: who worked in Sales during 7/97, per 5/97 knowledge?")
+    reference = build_empdep()
+    naive = sorted(
+        r.values["Employee"]
+        for r in reference.timeslice_naive(month("7/97"), month("5/97"))
+        if r.values["Department"] == "Sales"
+    )
+    print(f"  separate-interval (incorrect) answer: {naive}")
+    correct = sorted(
+        r["employee"]
+        for r in db.timeslice(month("7/97"), month("5/97"))
+        if r["department"] == "Sales"
+    )
+    print(f"  bitemporal GR-tree (correct) answer:  {correct}")
+    print("  -> Julie's stair shape never covers (tt=5/97, vt=7/97):")
+    print("     treating the two intervals separately invents a fact.")
+
+    print("\nCurrent staff (9/97):",
+          sorted(r["employee"] for r in db.current()))
+    print(db.check_index())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro -- a reproduction of "Developing a DataBlade for a New Index".
+
+The package rebuilds, in pure Python, the complete system of the ICDE 1999
+experience paper by Bliujute, Saltenis, Slivinskas, and Jensen: the GR-tree
+index for now-relative bitemporal data, implemented as a *DataBlade* --
+a user-defined secondary access method plugged into an extensible DBMS.
+
+Layers (bottom-up):
+
+* :mod:`repro.temporal` -- bitemporal data model (4TS, UC/NOW, regions).
+* :mod:`repro.storage` -- pages, buffer pool, sbspace smart blobs, locks,
+  write-ahead logging.
+* :mod:`repro.rtree` -- the R-tree / R*-tree family (baselines).
+* :mod:`repro.grtree` -- the GR-tree itself.
+* :mod:`repro.server` -- the extensible DBMS ("mini-Informix"): catalogs,
+  opaque types, UDRs, secondary access methods, operator classes, SQL.
+* :mod:`repro.btree` -- a B+-tree substrate with a pluggable comparator.
+* :mod:`repro.gist` -- a Generalized Search Tree (the paper's conclusion).
+* :mod:`repro.datablade` -- the GR-tree DataBlade module.
+* :mod:`repro.rblade` -- a small R-tree DataBlade (the built-in analogue).
+* :mod:`repro.bblade` -- the B+-tree DataBlade (the Step 4 example).
+* :mod:`repro.core` -- the convenience facade for downstream users.
+
+An interactive SQL shell is available as ``python -m repro.cli``.
+"""
+
+__version__ = "1.0.0"

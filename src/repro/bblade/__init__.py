@@ -1,0 +1,15 @@
+"""The B+-tree DataBlade: the paper's operator-class running example.
+
+Step 4 of the paper explains operator classes with the B+-tree:
+``GreaterThan()`` / ``LessThanOrEqual()`` are strategy functions, and
+``compare()`` is the canonical *support* function -- registering a new
+operator class with a substitute ``compare()`` re-orders the entire
+index ("the natural order for integers is -2, -1, 0, 1, 2, but the
+programmer may want to change this order to 0, -1, 1, -2, 2").  This
+blade makes that paragraph executable: ``btree_am`` resolves its
+comparator dynamically from the opclass the index was created with.
+"""
+
+from repro.bblade.blade import BTreeDataBlade, register_btree_blade
+
+__all__ = ["BTreeDataBlade", "register_btree_blade"]

@@ -1,0 +1,16 @@
+"""A disk-based B+-tree with a pluggable comparator.
+
+The paper's Step 4 uses the B+-tree access method as its running example
+of operator-class machinery: ``GreaterThan()`` and ``LessThanOrEqual()``
+are strategy functions, and ``compare()`` is *the* support function -- a
+programmer can change the sort order of an entire index by registering a
+new operator class with a substitute ``compare()`` ("the natural order
+for integers is -2, -1, 0, 1, 2, but the programmer may want to change
+this order to 0, -1, 1, -2, 2").  This subpackage provides the index
+structure that makes that example executable.
+"""
+
+from repro.btree.tree import BPlusTree
+from repro.btree.node import BTreeNodeStore
+
+__all__ = ["BPlusTree", "BTreeNodeStore"]

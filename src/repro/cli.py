@@ -1,0 +1,230 @@
+"""An interactive SQL shell for the reproduction server.
+
+Usage::
+
+    python -m repro.cli                 # interactive
+    python -m repro.cli -f script.sql   # run a script and exit
+
+Besides SQL, the shell accepts backslash commands:
+
+``\\install grtree|rtree|btree|gist``  register a DataBlade
+``\\sbspace NAME``                     create a smart-blob space (Step 5)
+``\\clock``                            show the simulated current time
+``\\clock +N`` / ``\\clock set TEXT``  advance / set the clock
+``\\trace CLASS LEVEL``                set a trace level (e.g. ``am 1``)
+``\\messages [CLASS]``                 dump collected trace messages
+``\\catalog``                          list tables, indices, AMs, opclasses
+``\\prefer on|off``                    toggle the virtual-index directive
+``\\quit``                             leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Optional
+
+from repro.server import DatabaseServer, ServerError
+from repro.temporal.chronon import Granularity
+
+
+class Shell:
+    PROMPT = "repro> "
+
+    def __init__(self, granularity: Granularity = Granularity.DAY) -> None:
+        self.server = DatabaseServer(granularity=granularity)
+        self.session = self.server.create_session()
+        self._installed: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def run_line(self, line: str, out=sys.stdout) -> None:
+        line = line.strip()
+        if not line:
+            return
+        if line.startswith("\\"):
+            self._meta(line, out)
+            return
+        try:
+            result = self.server.execute(line, self.session)
+        except ServerError as exc:
+            print(f"error: {exc}", file=out)
+            return
+        self._render(result, out)
+
+    def _render(self, result: Any, out) -> None:
+        if isinstance(result, list):
+            if not result:
+                print("(no rows)", file=out)
+                return
+            columns = list(result[0].keys())
+            rendered = [
+                {c: self._cell(row[c]) for c in columns} for row in result
+            ]
+            widths = {
+                c: max(len(c), *(len(r[c]) for r in rendered)) for c in columns
+            }
+            print(" | ".join(c.ljust(widths[c]) for c in columns), file=out)
+            print("-+-".join("-" * widths[c] for c in columns), file=out)
+            for row in rendered:
+                print(
+                    " | ".join(row[c].ljust(widths[c]) for c in columns),
+                    file=out,
+                )
+            print(f"({len(result)} row(s))", file=out)
+        else:
+            print(result, file=out)
+
+    def _cell(self, value: Any) -> str:
+        from repro.temporal.extent import TimeExtent
+
+        if isinstance(value, TimeExtent):
+            return value.to_text(self.server.clock.granularity)
+        return str(value)
+
+    # ------------------------------------------------------------------
+
+    def _meta(self, line: str, out) -> None:
+        parts = line[1:].split()
+        command, args = parts[0].lower(), parts[1:]
+        if command in ("q", "quit", "exit"):
+            raise EOFError
+        if command == "install":
+            self._install(args[0].lower() if args else "", out)
+        elif command == "sbspace":
+            name = args[0] if args else "sbspace1"
+            self.server.create_sbspace(name)
+            print(f"sbspace {name} created", file=out)
+        elif command == "clock":
+            self._clock(args, out)
+        elif command == "trace":
+            if len(args) != 2:
+                print("usage: \\trace CLASS LEVEL", file=out)
+                return
+            self.server.trace.set_level(args[0], int(args[1]))
+            print(f"trace {args[0]} at level {args[1]}", file=out)
+        elif command == "messages":
+            for message in self.server.trace.messages(args[0] if args else None):
+                print(str(message), file=out)
+        elif command == "catalog":
+            self._catalog(out)
+        elif command == "prefer":
+            self.server.prefer_virtual_index = bool(args) and args[0] == "on"
+            print(
+                f"prefer_virtual_index = {self.server.prefer_virtual_index}",
+                file=out,
+            )
+        elif command == "help":
+            print(__doc__, file=out)
+        else:
+            print(f"unknown command \\{command} (try \\help)", file=out)
+
+    def _install(self, blade: str, out) -> None:
+        if blade in self._installed:
+            print(f"{blade} already installed", file=out)
+            return
+        if blade == "grtree":
+            from repro.datablade import register_grtree_blade
+
+            register_grtree_blade(self.server)
+        elif blade == "rtree":
+            from repro.rblade import register_rtree_blade
+
+            register_rtree_blade(self.server)
+        elif blade == "btree":
+            from repro.bblade import register_btree_blade
+
+            register_btree_blade(self.server)
+        elif blade == "gist":
+            from repro.gist import register_gist_blade
+
+            register_gist_blade(self.server)
+        else:
+            print("blades: grtree, rtree, btree, gist", file=out)
+            return
+        self._installed.add(blade)
+        print(f"DataBlade {blade} registered", file=out)
+
+    def _clock(self, args: List[str], out) -> None:
+        clock = self.server.clock
+        if not args:
+            print(f"now = {clock.now} ({clock.format()})", file=out)
+        elif args[0].startswith("+"):
+            clock.advance(int(args[0][1:]))
+            print(f"now = {clock.now} ({clock.format()})", file=out)
+        elif args[0] == "set" and len(args) > 1:
+            clock.set_text(args[1])
+            print(f"now = {clock.now} ({clock.format()})", file=out)
+        else:
+            print("usage: \\clock | \\clock +N | \\clock set DATE", file=out)
+
+    def _catalog(self, out) -> None:
+        catalog = self.server.catalog
+        print("tables     :", ", ".join(catalog.table_names()) or "-", file=out)
+        print("indices    :", ", ".join(catalog.index_names()) or "-", file=out)
+        print(
+            "access methods:",
+            ", ".join(catalog.access_methods.names()) or "-",
+            file=out,
+        )
+        print(
+            "opclasses  :", ", ".join(catalog.opclasses.names()) or "-",
+            file=out,
+        )
+        print("types      :", ", ".join(catalog.types.names()), file=out)
+
+    # ------------------------------------------------------------------
+
+    def interact(self) -> None:
+        print("repro SQL shell -- \\help for commands, \\quit to leave")
+        while True:
+            try:
+                line = input(self.PROMPT)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return
+            try:
+                self.run_line(line)
+            except EOFError:
+                return
+
+    def run_script(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            buffer: List[str] = []
+            for raw in handle:
+                line = raw.rstrip("\n")
+                if line.strip().startswith("--"):
+                    continue
+                if line.strip().startswith("\\"):
+                    self.run_line(line)
+                    continue
+                buffer.append(line)
+                if line.rstrip().endswith(";"):
+                    self.run_line(" ".join(buffer))
+                    buffer = []
+            if any(part.strip() for part in buffer):
+                self.run_line(" ".join(buffer))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="repro SQL shell")
+    parser.add_argument("-f", "--file", help="run a SQL script and exit")
+    parser.add_argument(
+        "--granularity",
+        choices=["day", "month"],
+        default="day",
+        help="chronon granularity of the server clock",
+    )
+    options = parser.parse_args(argv)
+    shell = Shell(
+        Granularity.DAY if options.granularity == "day" else Granularity.MONTH
+    )
+    if options.file:
+        shell.run_script(options.file)
+        return 0
+    shell.interact()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""High-level facade: a bitemporal database in a few lines.
+
+:class:`BitemporalDatabase` assembles the full stack the paper describes
+-- server, sbspace, GR-tree DataBlade, a table with a
+``GRT_TimeExtent_t`` column, and a virtual index on it -- behind a small
+API for applications that just want now-relative bitemporal tables.
+Everything underneath remains reachable (``db.server``, ``db.blade``)
+for users who need the extensibility machinery itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.datablade import register_grtree_blade
+from repro.server import DatabaseServer
+from repro.server.errors import ServerError
+from repro.temporal.chronon import Chronon, Clock, Granularity, format_chronon
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+__all__ = ["BitemporalDatabase", "TimeExtent", "NOW", "UC"]
+
+
+class BitemporalDatabase:
+    """A bitemporal table with a GR-tree index, ready to use.
+
+    >>> db = BitemporalDatabase(["employee", "department"])
+    >>> db.clock.set(100)
+    100
+    >>> _ = db.insert({"employee": "Jane", "department": "Sales"}, vt_begin=100)
+    >>> [r["employee"] for r in db.current()]
+    ['Jane']
+    """
+
+    TABLE = "bitemporal_data"
+    EXTENT_COLUMN = "time_extent"
+    INDEX = "bitemporal_grt_index"
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        granularity: Granularity = Granularity.DAY,
+        clock: Optional[Clock] = None,
+        time_horizon: int = 20,
+    ) -> None:
+        if self.EXTENT_COLUMN in columns:
+            raise ValueError(f"{self.EXTENT_COLUMN} is reserved")
+        self.columns = list(columns)
+        self.server = DatabaseServer(clock=clock, granularity=granularity)
+        self.server.create_sbspace("spc")
+        self.blade = register_grtree_blade(self.server, time_horizon=time_horizon)
+        column_ddl = ", ".join(f"{c} LVARCHAR" for c in self.columns)
+        self.server.execute(
+            f"CREATE TABLE {self.TABLE} ({column_ddl}, "
+            f"{self.EXTENT_COLUMN} GRT_TimeExtent_t)"
+        )
+        self.server.execute(
+            f"CREATE INDEX {self.INDEX} ON {self.TABLE}"
+            f"({self.EXTENT_COLUMN} grt_opclass) USING grtree_am IN spc"
+        )
+        self.server.prefer_virtual_index = True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self.server.clock
+
+    @property
+    def now(self) -> Chronon:
+        return self.server.clock.now
+
+    def _fmt(self, value) -> str:
+        from repro.temporal.variables import is_ground
+
+        if not is_ground(value):
+            return value.name
+        return format_chronon(value, self.clock.granularity)
+
+    # ------------------------------------------------------------------
+    # Updates (the Section 2 semantics)
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        values: Dict[str, str],
+        vt_begin: Chronon,
+        vt_end=NOW,
+    ) -> None:
+        """Insert a fact valid over ``[vt_begin, vt_end]``; transaction
+        time starts now and remains UC."""
+        extent = TimeExtent(self.now, UC, vt_begin, vt_end)
+        extent.validate_insertion(self.now)
+        names = ", ".join(self.columns + [self.EXTENT_COLUMN])
+        rendered = ", ".join(
+            ["'%s'" % str(values[c]).replace("'", "''") for c in self.columns]
+            + ["'%s'" % extent.to_text(self.clock.granularity)]
+        )
+        self.server.execute(
+            f"INSERT INTO {self.TABLE} ({names}) VALUES ({rendered})"
+        )
+
+    def delete_where(self, column: str, value: str) -> int:
+        """Logically delete current tuples with ``column = value``."""
+        current = [
+            row for row in self.current() if str(row[column]) == value
+        ]
+        count = 0
+        for row in current:
+            extent: TimeExtent = row[self.EXTENT_COLUMN]
+            frozen = extent.logically_deleted(self.now)
+            old_text = extent.to_text(self.clock.granularity)
+            self.server.execute(
+                f"UPDATE {self.TABLE} SET {self.EXTENT_COLUMN} = "
+                f"'{frozen.to_text(self.clock.granularity)}' "
+                f"WHERE {column} = '{value}' AND "
+                f"Equal({self.EXTENT_COLUMN}, '{old_text}')"
+            )
+            count += 1
+        return count
+
+    def modify(
+        self,
+        column: str,
+        value: str,
+        new_values: Dict[str, str],
+        vt_begin: Chronon,
+        vt_end=NOW,
+    ) -> int:
+        """A modification: logical deletion plus insertion (Section 2)."""
+        count = self.delete_where(column, value)
+        for _ in range(count):
+            self.insert(new_values, vt_begin, vt_end)
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def overlapping(self, query: TimeExtent) -> List[Dict[str, Any]]:
+        """All tuples whose region overlaps the query extent's region."""
+        text = query.to_text(self.clock.granularity)
+        return self.server.execute(
+            f"SELECT * FROM {self.TABLE} "
+            f"WHERE Overlaps({self.EXTENT_COLUMN}, '{text}')"
+        )
+
+    def current(self) -> List[Dict[str, Any]]:
+        """The current database state, valid now."""
+        return self.timeslice(self.now, self.now)
+
+    def timeslice(self, valid_time: Chronon, transaction_time: Chronon) -> List[
+        Dict[str, Any]
+    ]:
+        """Who was true at *valid_time* per our *transaction_time*
+        knowledge (the paper's Julie query, answered correctly)."""
+        point = TimeExtent(
+            transaction_time, transaction_time, valid_time, valid_time
+        )
+        return self.overlapping(point)
+
+    def current_rows_sql(self, column: str, value: str) -> List[Dict[str, Any]]:
+        query = TimeExtent(self.now, self.now, self.now, self.now)
+        text = query.to_text(self.clock.granularity)
+        return self.server.execute(
+            f"SELECT * FROM {self.TABLE} "
+            f"WHERE Overlaps({self.EXTENT_COLUMN}, '{text}') "
+            f"AND {column} = '{value}'"
+        )
+
+    def sql(self, statement: str) -> Any:
+        """Escape hatch: run raw SQL against the underlying server."""
+        return self.server.execute(statement)
+
+    def check_index(self) -> str:
+        return self.server.execute(f"CHECK INDEX {self.INDEX}")
+
+    def statistics(self) -> Dict[str, float]:
+        return self.server.execute(f"UPDATE STATISTICS FOR INDEX {self.INDEX}")

@@ -1,0 +1,449 @@
+"""The GR-tree DataBlade: purpose functions and blade state (Appendix A).
+
+The fourteen ``grt_*`` purpose functions follow the steps of the paper's
+Table 5, traced step by step under the ``grt`` trace class so that the
+Table 5 benchmark can verify them.  Blade state lives where the paper
+puts it:
+
+* the ``Tree`` object and the open BLOB in the *index descriptor*'s user
+  data (created by ``grt_create``/``grt_open``, deleted by ``grt_close``);
+* the ``Cursor`` in the *scan descriptor*'s user data (created by
+  ``grt_beginscan`` from the qualification descriptor);
+* the transaction's constant current-time value in *named memory* keyed
+  by session id, freed by a transaction-end callback (Section 5.4);
+* the (index name, fragment id, BLOB handle) record in the table
+  associated with the access method, ``grtree_indexdata``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.datablade.blob import BladeBlob
+from repro.datablade.qualification import QualificationPlan, build_plan
+from repro.datablade.time_extent import TYPE_NAME
+from repro.grtree.cursor import Cursor
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.server.access_method import (
+    IndexDescriptor,
+    RowReference,
+    ScanDescriptor,
+)
+from repro.server.errors import AccessMethodError
+from repro.server.memory import Duration
+from repro.storage.buffer import BufferPool
+from repro.storage.sbspace import LargeObjectHandle, OpenMode
+from repro.temporal.chronon import Chronon
+from repro.temporal.extent import TimeExtent
+
+#: Trace class for purpose-function steps (the Table 5 reproduction).
+TRACE_GRT = "grt"
+
+
+class GRTreeDataBlade:
+    """Configuration and implementation of the GR-tree access method."""
+
+    LIBRARY_PATH = "usr/functions/grtree.bld"
+    AM_NAME = "grtree_am"
+    OPCLASS_NAME = "grt_opclass"
+    METADATA_TABLE = "grtree_indexdata"
+
+    def __init__(
+        self,
+        server,
+        buffer_capacity: int = 64,
+        time_horizon: int = 20,
+    ) -> None:
+        self.server = server
+        self.buffer_capacity = buffer_capacity
+        self.time_horizon = time_horizon
+
+    # ------------------------------------------------------------------
+    # Current time and transactions (Section 5.4)
+    # ------------------------------------------------------------------
+
+    def _named_now_key(self, session) -> str:
+        return f"grt_now.session{session.session_id}"
+
+    def current_time(self, session=None) -> Chronon:
+        """The transaction's constant current time, if sampled; else the
+        clock (seqscan UDR invocations run outside any index open)."""
+        if session is not None and session.in_transaction:
+            key = self._named_now_key(session)
+            if self.server.memory.named_exists(key):
+                return self.server.memory.named_get(key)
+        return self.server.clock.now
+
+    def _sample_current_time(self, session) -> Chronon:
+        """First index use in the transaction samples the clock into
+        named memory and registers the freeing callback."""
+        if session is None or not session.in_transaction:
+            return self.server.clock.now
+        key = self._named_now_key(session)
+        if self.server.memory.named_exists(key):
+            return self.server.memory.named_get(key)
+        value = self.server.clock.now
+        self.server.memory.named_allocate(key, value)
+
+        def free_named_now(ended_session, committed: bool) -> None:
+            if self.server.memory.named_exists(key):
+                self.server.memory.named_free(key)
+
+        session.register_end_callback(free_named_now)
+        return value
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _trace(self, function: str, step: int, text: str) -> None:
+        self.server.trace.emit(TRACE_GRT, 2, f"{function}({step}) {text}")
+
+    def _metadata_table(self):
+        return self.server.catalog.get_table(self.METADATA_TABLE)
+
+    def _metadata_row(self, index_name: str) -> Tuple[int, Dict[str, Any]]:
+        for rowid, row in self._metadata_table().scan():
+            if row["indexname"] == index_name:
+                return rowid, row
+        raise AccessMethodError(
+            f"no {self.METADATA_TABLE} record for index {index_name}"
+        )
+
+    def _tree(self, td: IndexDescriptor) -> GRTree:
+        tree = td.user_data.get("tree")
+        if tree is None:
+            raise AccessMethodError(
+                f"index {td.index_name} is not open (grt_open was not called)"
+            )
+        return tree
+
+    def _blob(self, td: IndexDescriptor) -> BladeBlob:
+        blob = td.user_data.get("blob")
+        if blob is None:
+            raise AccessMethodError(f"index {td.index_name} has no open BLOB")
+        return blob
+
+    def _attach_tree(self, td: IndexDescriptor, blob: BladeBlob, meta_page, create):
+        pool = BufferPool(blob.page_store(), capacity=self.buffer_capacity)
+        store = GRNodeStore(pool)
+        if create:
+            tree = GRTree.create(
+                store, self.server.clock, time_horizon=self.time_horizon
+            )
+        else:
+            tree = GRTree.open(store, self.server.clock, meta_page=meta_page)
+        td.user_data["tree"] = tree
+        td.user_data["blob"] = blob
+        td.user_data["pool"] = pool
+        return tree
+
+    # ------------------------------------------------------------------
+    # Purpose functions (Table 5)
+    # ------------------------------------------------------------------
+
+    def grt_create(self, td: IndexDescriptor) -> int:
+        self._trace("grt_create", 1, "create Tree object")
+        if tuple(t.upper() for t in td.column_types) != (TYPE_NAME.upper(),):
+            self._trace("grt_create", 2, "column type check failed")
+            raise AccessMethodError(
+                f"{self.AM_NAME} indexes exactly one {TYPE_NAME} column, "
+                f"got {td.column_types}"
+            )
+        self._trace("grt_create", 2, "column types accepted")
+        from repro.datablade.strategies import HARD_CODED_PREDICATES
+
+        for opclass_name in td.opclass_names:
+            opclass = self.server.catalog.opclasses.get(opclass_name)
+            unknown = [
+                s for s in opclass.strategies
+                if s.lower() not in HARD_CODED_PREDICATES
+            ]
+            if unknown:
+                self._trace("grt_create", 3, "operator class check failed")
+                raise AccessMethodError(
+                    f"operator class {opclass.name} declares strategies the "
+                    f"hard-coded GR-tree cannot serve: {unknown} (Section 5.2)"
+                )
+        self._trace("grt_create", 3, "operator class accepted")
+        duplicate = [
+            info
+            for info in self.server.catalog.indices_on(td.table_name)
+            if info.name.lower() != td.index_name.lower()
+            and tuple(c.lower() for c in info.columns)
+            == tuple(c.lower() for c in td.columns)
+            and info.am_name.lower() == td.am_name.lower()
+            and info.parameters == td.parameters
+        ]
+        if duplicate:
+            self._trace("grt_create", 4, "duplicate index check failed")
+            raise AccessMethodError(
+                f"an equivalent {self.AM_NAME} index already exists: "
+                f"{duplicate[0].name}"
+            )
+        self._trace("grt_create", 4, "no equivalent index exists")
+        space = self.server.get_sbspace(td.space_name)
+        blob = BladeBlob.create(space)
+        self._trace("grt_create", 5, f"created BLOB {blob.handle}")
+        self._metadata_table().insert_row(
+            {
+                "indexname": td.index_name,
+                "fragid": 0,
+                "blobhandle": blob.handle.value,
+                "metapage": 0,
+            }
+        )
+        self._trace("grt_create", 6, "inserted record into grtree_indexdata")
+        blob.open(td.session, OpenMode.WRITE)
+        self._trace("grt_create", 7, "opened the BLOB")
+        tree = self._attach_tree(td, blob, meta_page=None, create=True)
+        # Record where the meta page landed so grt_open can find it.
+        rowid, row = self._metadata_row(td.index_name)
+        self._metadata_table().update_row(rowid, {"metapage": tree.meta_page})
+        self._sample_current_time(td.session)
+        return 0
+
+    def grt_drop(self, td: IndexDescriptor) -> int:
+        self._trace("grt_drop", 1, "get Tree object pointer")
+        if "tree" not in td.user_data:
+            # Dropping a closed index: open the BLOB to drop it.
+            self.grt_open(td)
+        blob = self._blob(td)
+        self._trace("grt_drop", 2, f"drop BLOB {blob.handle}")
+        blob.drop()
+        self._trace("grt_drop", 3, "delete Tree object")
+        td.user_data.clear()
+        rowid, _ = self._metadata_row(td.index_name)
+        self._metadata_table().delete_row(rowid)
+        self._trace("grt_drop", 4, "deleted record from grtree_indexdata")
+        return 0
+
+    def grt_open(self, td: IndexDescriptor) -> int:
+        if "tree" in td.user_data:
+            self._trace("grt_open", 1, "invoked right after grt_create; exit")
+            self._sample_current_time(td.session)
+            return 0
+        self._trace("grt_open", 2, "create Tree object")
+        rowid, row = self._metadata_row(td.index_name)
+        self._trace("grt_open", 3, f"got BLOB handle {row['blobhandle'][:20]}...")
+        space = self.server.get_sbspace(td.space_name)
+        blob = BladeBlob(space, LargeObjectHandle(row["blobhandle"]))
+        blob.open(td.session, OpenMode.READ)
+        self._trace("grt_open", 4, "opened the BLOB")
+        self._attach_tree(td, blob, meta_page=row["metapage"], create=False)
+        self._sample_current_time(td.session)
+        return 0
+
+    def grt_close(self, td: IndexDescriptor) -> int:
+        self._trace("grt_close", 1, "get Tree object pointer")
+        blob = self._blob(td)
+        pool = td.user_data.get("pool")
+        if pool is not None:
+            pool.flush()  # write dirty index pages into the BLOB
+        blob.close()
+        self._trace("grt_close", 2, "closed the BLOB")
+        td.user_data.pop("tree", None)
+        td.user_data.pop("blob", None)
+        td.user_data.pop("pool", None)
+        self._trace("grt_close", 3, "deleted Tree object")
+        return 0
+
+    # -- scanning ---------------------------------------------------------
+
+    def grt_beginscan(self, sd: ScanDescriptor) -> int:
+        self._trace("grt_beginscan", 1, "get qualification descriptor qd")
+        if sd.qualification is None:
+            raise AccessMethodError("grt_beginscan needs a qualification")
+        plan = build_plan(sd.qualification)
+        self._trace("grt_beginscan", 2, "get index descriptor td")
+        tree = self._tree(sd.index)
+        now = self._sample_current_time(sd.index.session)
+        self._trace(
+            "grt_beginscan",
+            3,
+            f"create Cursor ({len(plan.branches)} DNF branch(es))",
+        )
+        sd.user_data["scan"] = _BladeScan(tree, plan, now)
+        self._trace("grt_beginscan", 4, "saved Cursor pointer in td")
+        return 0
+
+    def grt_rescan(self, sd: ScanDescriptor) -> int:
+        self._trace("grt_rescan", 1, "get index descriptor td")
+        scan = self._scan(sd)
+        self._trace("grt_rescan", 2, "get Cursor pointer")
+        scan.reset()
+        self._trace("grt_rescan", 3, "reset Cursor")
+        return 0
+
+    def grt_getnext(self, sd: ScanDescriptor) -> Optional[RowReference]:
+        scan = self._scan(sd)
+        entry = scan.next()
+        if entry is None:
+            return None
+        self._trace(
+            "grt_getnext", 4, f"formed retrowid from rowid={entry.rowid}"
+        )
+        return RowReference(
+            rowid=entry.rowid, fragid=entry.fragid, row=(entry.extent(),)
+        )
+
+    def grt_endscan(self, sd: ScanDescriptor) -> int:
+        self._trace("grt_endscan", 1, "get index descriptor td")
+        self._trace("grt_endscan", 2, "get Cursor pointer")
+        sd.user_data.pop("scan", None)
+        self._trace("grt_endscan", 3, "deleted Cursor")
+        return 0
+
+    def _scan(self, sd: ScanDescriptor) -> "_BladeScan":
+        scan = sd.user_data.get("scan")
+        if scan is None:
+            raise AccessMethodError("no scan in progress (grt_beginscan missing)")
+        return scan
+
+    # -- updates ------------------------------------------------------------
+
+    def grt_insert(self, td: IndexDescriptor, newrow, newrowid: int) -> int:
+        self._trace("grt_insert", 1, "get Tree object pointer")
+        tree = self._tree(td)
+        extent = self._extent_of(newrow)
+        self._trace("grt_insert", 2, f"formed entry for rowid={newrowid}")
+        self._blob(td).ensure_writable()
+        tree.insert(extent, newrowid)
+        self._trace("grt_insert", 3, "inserted entry via Tree.insert()")
+        return 0
+
+    def grt_delete(self, td: IndexDescriptor, oldrow, oldrowid: int) -> int:
+        self._trace("grt_delete", 1, "get Tree object pointer")
+        tree = self._tree(td)
+        extent = self._extent_of(oldrow)
+        self._blob(td).ensure_writable()
+        if not tree.delete(extent, oldrowid):
+            raise AccessMethodError(
+                f"index {td.index_name} has no entry for rowid {oldrowid}"
+            )
+        self._trace("grt_delete", 4, "deleted entry via Tree.delete()")
+        if tree.condensed:
+            self._trace("grt_delete", 5, "tree condensed: open cursors reset")
+        return 0
+
+    def grt_update(
+        self, td: IndexDescriptor, oldrow, oldrowid: int, newrow, newrowid: int
+    ) -> int:
+        self._trace("grt_update", 1, "invoke grt_delete")
+        self.grt_delete(td, oldrow, oldrowid)
+        self._trace("grt_update", 2, "invoke grt_insert")
+        self.grt_insert(td, newrow, newrowid)
+        return 0
+
+    def _extent_of(self, row) -> TimeExtent:
+        value = row[0]
+        if not isinstance(value, TimeExtent):
+            raise AccessMethodError(
+                f"GR-tree rows carry one {TYPE_NAME}, got {value!r}"
+            )
+        return value
+
+    # -- costing, statistics, checking ---------------------------------------
+
+    def grt_scancost(self, sd: ScanDescriptor) -> float:
+        if sd.qualification is None:
+            return float("inf")
+        plan = build_plan(sd.qualification)
+        tree, transient = self._tree_for_estimation(sd.index)
+        now = self.current_time(sd.index.session)
+        cost = 0.0
+        for branch in plan.branches:
+            cost += tree.scan_cost(branch[0].query, now=now)
+        return cost
+
+    def grt_stats(self, td: IndexDescriptor) -> Dict[str, float]:
+        tree = self._tree(td)
+        stats = tree.stats()
+        stats.update(tree.quality())
+        self._trace("grt_stats", 1, f"collected statistics: {sorted(stats)}")
+        return stats
+
+    def grt_check(self, td: IndexDescriptor) -> int:
+        tree = self._tree(td)
+        try:
+            tree.check()
+        except AssertionError as exc:
+            raise AccessMethodError(f"index {td.index_name} corrupt: {exc}") from exc
+        self._trace("grt_check", 1, "index is consistent")
+        return 0
+
+    def _tree_for_estimation(self, td: IndexDescriptor):
+        """A tree view for costing without taking locks (planning time)."""
+        if "tree" in td.user_data:
+            return td.user_data["tree"], False
+        rowid, row = self._metadata_row(td.index_name)
+        space = self.server.get_sbspace(td.space_name)
+        blob = space.get(LargeObjectHandle(row["blobhandle"]))
+        pool = BufferPool(blob, capacity=8)
+        tree = GRTree.open(GRNodeStore(pool), self.server.clock, row["metapage"])
+        return tree, True
+
+    # ------------------------------------------------------------------
+
+    def purpose_function_exports(self) -> Dict[str, Any]:
+        """The symbols the shared library ``grtree.bld`` exports."""
+        return {
+            "grt_create": self.grt_create,
+            "grt_drop": self.grt_drop,
+            "grt_open": self.grt_open,
+            "grt_close": self.grt_close,
+            "grt_beginscan": self.grt_beginscan,
+            "grt_endscan": self.grt_endscan,
+            "grt_rescan": self.grt_rescan,
+            "grt_getnext": self.grt_getnext,
+            "grt_insert": self.grt_insert,
+            "grt_delete": self.grt_delete,
+            "grt_update": self.grt_update,
+            "grt_scancost": self.grt_scancost,
+            "grt_stats": self.grt_stats,
+            "grt_check": self.grt_check,
+        }
+
+
+class _BladeScan:
+    """Cursor state over the DNF plan: one GR-tree cursor per branch,
+    branch-local residual predicates, cross-branch de-duplication."""
+
+    def __init__(self, tree: GRTree, plan: QualificationPlan, now: Chronon) -> None:
+        self.tree = tree
+        self.plan = plan
+        self.now = now
+        self._branch = 0
+        self._cursor: Optional[Cursor] = None
+        self._seen: set = set()
+
+    def reset(self) -> None:
+        self._branch = 0
+        self._cursor = None
+        self._seen.clear()
+
+    def next(self):
+        while self._branch < len(self.plan.branches):
+            branch = self.plan.branches[self._branch]
+            if self._cursor is None:
+                primary = branch[0]
+                self._cursor = self.tree.search(
+                    primary.query, primary.predicate, now=self.now
+                )
+            entry = self._cursor.next()
+            if entry is None:
+                self._branch += 1
+                self._cursor = None
+                continue
+            key = (entry.rowid, entry.fragid)
+            if key in self._seen:
+                continue
+            region = entry.region(self.now)
+            if all(
+                pred.predicate.leaf_test(region, pred.query.region(self.now))
+                for pred in branch[1:]
+            ):
+                self._seen.add(key)
+                return entry
+        return None

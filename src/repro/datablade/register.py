@@ -1,0 +1,77 @@
+"""BladeManager stand-in: registering the GR-tree DataBlade (Section 6.1).
+
+Registration mirrors what happens when BladeManager runs the generated
+SQL scripts against a database: the shared library's symbols become
+CREATE FUNCTION targets, the opaque type is registered (the type support
+functions are native code, so they are installed through the type
+registry directly), and the access method, operator class, and the
+blade's metadata table are created.  Unregistration reverses all of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datablade import bladesmith
+from repro.datablade.blade import GRTreeDataBlade
+from repro.datablade.strategies import make_strategy_functions
+from repro.datablade.supports import make_support_functions
+from repro.datablade.time_extent import TYPE_NAME, make_time_extent_type
+
+
+def register_grtree_blade(
+    server,
+    buffer_capacity: int = 64,
+    time_horizon: int = 20,
+) -> GRTreeDataBlade:
+    """Install the GR-tree DataBlade into *server*; returns the blade."""
+    blade = GRTreeDataBlade(
+        server, buffer_capacity=buffer_capacity, time_horizon=time_horizon
+    )
+
+    # Step 1 (Section 4): the new data type and its support functions.
+    server.types.register(make_time_extent_type(server.clock.granularity))
+
+    # The shared library: purpose functions plus strategy/support UDRs.
+    exports = dict(blade.purpose_function_exports())
+    strategies = make_strategy_functions(lambda: blade.current_time())
+    supports = make_support_functions(lambda: blade.current_time())
+    symbol_map = {
+        "grt_overlaps_udr": strategies["Overlaps"],
+        "grt_equal_udr": strategies["Equal"],
+        "grt_contains_udr": strategies["Contains"],
+        "grt_containedin_udr": strategies["ContainedIn"],
+        "grt_union_udr": supports["GRT_Union"],
+        "grt_size_udr": supports["GRT_Size"],
+        "grt_intersection_udr": supports["GRT_Intersection"],
+    }
+    exports.update(symbol_map)
+    server.library.register_module(GRTreeDataBlade.LIBRARY_PATH, exports)
+
+    # Steps 2-4 plus the blade's metadata table, via the generated script.
+    script = bladesmith.generate_register_script(GRTreeDataBlade.LIBRARY_PATH)
+    server.run_script(script)
+
+    # Informix's association hints (Section 5.2): commutators only --
+    # there is no way to declare "not overlaps implies not equal".
+    routines = server.catalog.routines
+    routines.set_commutator("Overlaps", "Overlaps")
+    routines.set_commutator("Equal", "Equal")
+    routines.set_commutator("Contains", "ContainedIn")
+    routines.set_commutator("ContainedIn", "Contains")
+
+    return blade
+
+
+def unregister_grtree_blade(server) -> None:
+    """Remove every object the registration script created."""
+    for info in list(server.catalog.index_names()):
+        index = server.catalog.get_index(info)
+        if index.am_name.lower() == GRTreeDataBlade.AM_NAME:
+            raise RuntimeError(
+                f"index {index.name} still uses {GRTreeDataBlade.AM_NAME}; "
+                "drop it before unregistering the DataBlade"
+            )
+    script = bladesmith.generate_unregister_script()
+    server.run_script(script)
+    server.types.unregister(TYPE_NAME)

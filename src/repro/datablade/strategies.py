@@ -1,0 +1,74 @@
+"""Strategy functions of the GR-tree operator class (Section 5.2).
+
+``Overlaps``, ``Equal``, ``Contains``, and ``ContainedIn`` operate on two
+``GRT_TimeExtent_t`` values.  Registered as UDRs, they serve two roles:
+
+* in a WHERE clause processed *without* the index, the server invokes
+  them once per table record;
+* when a virtual index is used, ``grt_getnext`` dynamically resolves
+  which strategy function appeared in the qualification and runs the
+  corresponding *hard-coded internal* version on index entries
+  (:class:`repro.grtree.entries.Predicate`) -- the design alternative the
+  paper's implementation chose (Section 5.2: hard coding disables
+  operator-class extension but avoids per-entry UDR dispatch overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.grtree.entries import Predicate
+from repro.temporal.chronon import Chronon
+from repro.temporal.extent import TimeExtent
+
+#: Maps SQL-level strategy-function names to the hard-coded internal
+#: predicate grt_getnext applies to index entries.
+HARD_CODED_PREDICATES: Dict[str, Predicate] = {
+    "overlaps": Predicate.OVERLAPS,
+    "equal": Predicate.EQUAL,
+    "contains": Predicate.CONTAINS,
+    "containedin": Predicate.CONTAINED_IN,
+}
+
+#: Predicate to evaluate when the *column* is the second argument:
+#: Contains(constant, column) means the column value is contained in the
+#: constant, and vice versa; Overlaps and Equal are commutative.
+COMMUTED_PREDICATES: Dict[Predicate, Predicate] = {
+    Predicate.OVERLAPS: Predicate.OVERLAPS,
+    Predicate.EQUAL: Predicate.EQUAL,
+    Predicate.CONTAINS: Predicate.CONTAINED_IN,
+    Predicate.CONTAINED_IN: Predicate.CONTAINS,
+}
+
+
+def make_strategy_functions(
+    current_time: Callable[[], Chronon]
+) -> Dict[str, Callable[[TimeExtent, TimeExtent], bool]]:
+    """Build the four UDR callables, closed over a current-time source.
+
+    Every bitemporal predicate must resolve ``UC``/``NOW`` against the
+    same current time for both arguments (Section 5.1).
+    """
+
+    def overlaps(ext1: TimeExtent, ext2: TimeExtent) -> bool:
+        now = current_time()
+        return ext1.region(now).overlaps(ext2.region(now))
+
+    def equal(ext1: TimeExtent, ext2: TimeExtent) -> bool:
+        now = current_time()
+        return ext1.region(now).equal(ext2.region(now))
+
+    def contains(ext1: TimeExtent, ext2: TimeExtent) -> bool:
+        now = current_time()
+        return ext1.region(now).contains(ext2.region(now))
+
+    def containedin(ext1: TimeExtent, ext2: TimeExtent) -> bool:
+        now = current_time()
+        return ext1.region(now).contained_in(ext2.region(now))
+
+    return {
+        "Overlaps": overlaps,
+        "Equal": equal,
+        "Contains": contains,
+        "ContainedIn": containedin,
+    }

@@ -1,0 +1,51 @@
+"""Support functions of the GR-tree operator class (Section 5.2).
+
+Analogues of the R-tree's ``Union()``, ``Size()``, and ``Inter()``:
+used internally by the access method to maintain the index structure, yet
+registered as UDRs and declared in the operator class (so a programmer
+can see them and, in the non-hard-coded design, replace them).
+
+``GRT_Union`` is *symbolic*: it bounds two extents preserving the
+``UC``/``NOW`` variables (via the same bounding logic the tree uses), so
+the result keeps growing with its inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.grtree.entries import GREntry, bound_entries
+from repro.temporal.chronon import Chronon
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region
+
+
+def make_support_functions(
+    current_time: Callable[[], Chronon]
+) -> Dict[str, Callable]:
+    """Build the support-function UDRs, closed over a current-time source."""
+
+    def grt_union(ext1: TimeExtent, ext2: TimeExtent) -> GREntry:
+        """Minimum bounding region of two extents, variables preserved."""
+        entries = [
+            GREntry.from_extent(ext1, rowid=0),
+            GREntry.from_extent(ext2, rowid=1),
+        ]
+        return bound_entries(entries, current_time())
+
+    def grt_size(ext: TimeExtent) -> int:
+        """Area of the extent's region at the current time."""
+        return ext.region(current_time()).area()
+
+    def grt_intersection(
+        ext1: TimeExtent, ext2: TimeExtent
+    ) -> Optional[Region]:
+        """Intersection of the two regions at the current time."""
+        now = current_time()
+        return ext1.region(now).intersection(ext2.region(now))
+
+    return {
+        "GRT_Union": grt_union,
+        "GRT_Size": grt_size,
+        "GRT_Intersection": grt_intersection,
+    }

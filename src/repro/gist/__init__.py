@@ -1,0 +1,30 @@
+"""A Generalized Search Tree (GiST) -- the paper's closing proposal.
+
+The conclusions of the paper point past single-purpose access methods:
+"Following the ideas of Hellerstein et al. [HNP95] and Aoki [AOK98], a
+generic extendible tree-based access method ... could be integrated into
+the kernel of the DBMS ... It is also possible to implement such a
+generic access method as a DataBlade and use specially designed operator
+classes to extend it."
+
+This subpackage builds exactly that: a GiST parameterized by the four
+key methods of [HNP95] -- ``consistent``, ``union``, ``penalty``,
+``pick_split`` (plus compress/decompress for the page layout) -- with
+two classic instantiations (R-tree-style rectangles and B+-tree-style
+ordered keys), and a DataBlade (``gist_am``) whose *operator class*
+selects the extension.
+"""
+
+from repro.gist.blade import GistDataBlade, register_gist_blade
+from repro.gist.extension import GistExtension
+from repro.gist.extensions import IntervalExtension, RectExtension
+from repro.gist.tree import GiST
+
+__all__ = [
+    "GistDataBlade",
+    "register_gist_blade",
+    "GistExtension",
+    "IntervalExtension",
+    "RectExtension",
+    "GiST",
+]

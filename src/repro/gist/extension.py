@@ -1,0 +1,70 @@
+"""The GiST extension interface: the key methods of [HNP95].
+
+An extension ("key class") tells the generic tree everything domain-
+specific it needs:
+
+* ``consistent(key, query)`` -- may the subtree under *key* contain
+  entries satisfying *query*?  (Must never return a false negative.)
+* ``union(keys)`` -- a key covering all of *keys* (the bounding
+  predicate for the parent entry).
+* ``penalty(key, new)`` -- how much worse *key* gets if *new* is
+  inserted beneath it (drives ChooseSubtree).
+* ``pick_split(keys)`` -- partition an overflowing node's keys into two
+  groups, each at least ``min_fill_count`` large.
+
+plus ``compress``/``decompress`` for the on-page representation and
+``query_for(strategy, constant)`` translating a strategy-function name
+into a query object (how the DataBlade's operator class plugs in).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Sequence, Tuple
+
+
+class GistExtension(abc.ABC):
+    """Domain-specific behaviour for a :class:`~repro.gist.tree.GiST`."""
+
+    #: Human-readable name (used in error messages and catalogs).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def consistent(self, key: Any, query: Any) -> bool:
+        """May entries under *key* satisfy *query*?  No false negatives."""
+
+    @abc.abstractmethod
+    def union(self, keys: Sequence[Any]) -> Any:
+        """A key covering every key in *keys*."""
+
+    @abc.abstractmethod
+    def penalty(self, key: Any, new: Any) -> float:
+        """Cost of absorbing *new* under *key* (lower is better)."""
+
+    @abc.abstractmethod
+    def pick_split(
+        self, keys: Sequence[Any], min_fill: int
+    ) -> Tuple[List[int], List[int]]:
+        """Index partition of *keys* into two groups of >= *min_fill*."""
+
+    @abc.abstractmethod
+    def compress(self, key: Any) -> bytes:
+        """Serialize a key for the page layout."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> Any:
+        """Inverse of :meth:`compress`."""
+
+    @abc.abstractmethod
+    def query_for(self, strategy: str, constant: Any) -> Any:
+        """Build a query object from a strategy-function name and its
+        constant argument (raises for strategies the extension lacks)."""
+
+    @abc.abstractmethod
+    def matches(self, key: Any, query: Any) -> bool:
+        """Exact leaf-level test for *query* (consistent() may be a
+        lossy upper bound; this one is precise)."""
+
+    def key_for_value(self, value: Any) -> Any:
+        """Leaf key for a column value (identity unless overridden)."""
+        return value

@@ -1,0 +1,206 @@
+"""Classic GiST instantiations: R-tree rectangles and B+-tree intervals.
+
+[HNP95]'s two flagship examples: instantiating the GiST over bounding
+rectangles recovers the R-tree, and over ranges of an ordered domain
+recovers the B+-tree.  Both are provided so the generic access method of
+the paper's conclusion can be demonstrated serving two different data
+types through two operator classes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.gist.extension import GistExtension
+from repro.rtree.geometry import Rect, union_all
+
+
+@dataclass(frozen=True)
+class RectQuery:
+    strategy: str  # 'overlap' | 'contains' | 'within' | 'equal'
+    rect: Rect
+
+
+class RectExtension(GistExtension):
+    """GiST over 2-D rectangles: the R-tree as a GiST instance."""
+
+    name = "rect"
+    _CODEC = struct.Struct("<4d")
+
+    def consistent(self, key: Rect, query: RectQuery) -> bool:
+        if query.strategy in ("overlap", "within"):
+            return key.intersects(query.rect)
+        # contains/equal: the query rect must lie inside the subtree key.
+        return key.contains(query.rect)
+
+    def matches(self, key: Rect, query: RectQuery) -> bool:
+        if query.strategy == "overlap":
+            return key.intersects(query.rect)
+        if query.strategy == "contains":
+            return key.contains(query.rect)
+        if query.strategy == "within":
+            return query.rect.contains(key)
+        return key == query.rect
+
+    def union(self, keys: Sequence[Rect]) -> Rect:
+        return union_all(keys)
+
+    def penalty(self, key: Rect, new: Rect) -> float:
+        return key.enlargement(new)
+
+    def pick_split(
+        self, keys: Sequence[Rect], min_fill: int
+    ) -> Tuple[List[int], List[int]]:
+        """Guttman's quadratic split, expressed over indices."""
+        worst, worst_waste = (0, 1), None
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                waste = (
+                    keys[i].union(keys[j]).area()
+                    - keys[i].area()
+                    - keys[j].area()
+                )
+                if worst_waste is None or waste > worst_waste:
+                    worst, worst_waste = (i, j), waste
+        seed_a, seed_b = worst
+        group_a, group_b = [seed_a], [seed_b]
+        mbr_a, mbr_b = keys[seed_a], keys[seed_b]
+        remaining = [k for k in range(len(keys)) if k not in (seed_a, seed_b)]
+        while remaining:
+            if len(group_a) + len(remaining) == min_fill:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                group_b.extend(remaining)
+                break
+            index = remaining.pop(0)
+            d_a = mbr_a.enlargement(keys[index])
+            d_b = mbr_b.enlargement(keys[index])
+            if (d_a, mbr_a.area()) <= (d_b, mbr_b.area()):
+                group_a.append(index)
+                mbr_a = mbr_a.union(keys[index])
+            else:
+                group_b.append(index)
+                mbr_b = mbr_b.union(keys[index])
+        return group_a, group_b
+
+    def compress(self, key: Rect) -> bytes:
+        return self._CODEC.pack(key.lo[0], key.lo[1], key.hi[0], key.hi[1])
+
+    def decompress(self, data: bytes) -> Rect:
+        x1, y1, x2, y2 = self._CODEC.unpack(data)
+        return Rect((x1, y1), (x2, y2))
+
+    def query_for(self, strategy: str, constant: Any) -> RectQuery:
+        lowered = strategy.lower()
+        if lowered.startswith("gs_"):
+            lowered = lowered[3:]
+        if lowered not in ("overlap", "contains", "within", "equal"):
+            raise ValueError(f"{strategy} is not a rect-GiST strategy")
+        if not isinstance(constant, Rect):
+            raise TypeError("rect-GiST queries take a Box constant")
+        return RectQuery(lowered, constant)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval over an ordered numeric domain.
+
+    Leaf keys are degenerate intervals (lo == hi); internal keys cover
+    their subtree's range -- exactly how [HNP95] models the B+-tree.
+    """
+
+    lo: float
+    hi: float
+
+    def contains_value(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+
+@dataclass(frozen=True)
+class IntervalQuery:
+    strategy: str  # 'equal' | 'lessthan' | 'greaterthan' | 'between' ...
+    low: float
+    high: float
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def accepts(self, value: float) -> bool:
+        if self.low is not None:
+            if value < self.low or (value == self.low and not self.low_inclusive):
+                return False
+        if self.high is not None:
+            if value > self.high or (
+                value == self.high and not self.high_inclusive
+            ):
+                return False
+        return True
+
+
+_INF = float("inf")
+
+
+class IntervalExtension(GistExtension):
+    """GiST over an ordered domain: the B+-tree as a GiST instance."""
+
+    name = "interval"
+    _CODEC = struct.Struct("<2d")
+
+    def consistent(self, key: Interval, query: IntervalQuery) -> bool:
+        low = -_INF if query.low is None else query.low
+        high = _INF if query.high is None else query.high
+        return key.lo <= high and low <= key.hi
+
+    def matches(self, key: Interval, query: IntervalQuery) -> bool:
+        return query.accepts(key.lo)
+
+    def union(self, keys: Sequence[Interval]) -> Interval:
+        return Interval(min(k.lo for k in keys), max(k.hi for k in keys))
+
+    def penalty(self, key: Interval, new: Interval) -> float:
+        merged = self.union([key, new])
+        return (merged.hi - merged.lo) - (key.hi - key.lo)
+
+    def pick_split(
+        self, keys: Sequence[Interval], min_fill: int
+    ) -> Tuple[List[int], List[int]]:
+        ordered = sorted(range(len(keys)), key=lambda i: (keys[i].lo, keys[i].hi))
+        middle = max(min_fill, len(ordered) // 2)
+        middle = min(middle, len(ordered) - min_fill)
+        return ordered[:middle], ordered[middle:]
+
+    def compress(self, key: Interval) -> bytes:
+        return self._CODEC.pack(key.lo, key.hi)
+
+    def decompress(self, data: bytes) -> Interval:
+        lo, hi = self._CODEC.unpack(data)
+        return Interval(lo, hi)
+
+    def query_for(self, strategy: str, constant: Any) -> IntervalQuery:
+        value = float(constant)
+        lowered = strategy.lower()
+        for prefix in ("gs_", "bt_"):
+            if lowered.startswith(prefix):
+                lowered = lowered[len(prefix):]
+        if lowered == "numequal":
+            lowered = "equal"
+        if lowered == "equal":
+            return IntervalQuery("equal", value, value)
+        if lowered == "greaterthan":
+            return IntervalQuery(lowered, value, None, low_inclusive=False)
+        if lowered == "greaterthanorequal":
+            return IntervalQuery(lowered, value, None)
+        if lowered == "lessthan":
+            return IntervalQuery(lowered, None, value, high_inclusive=False)
+        if lowered == "lessthanorequal":
+            return IntervalQuery(lowered, None, value)
+        raise ValueError(f"{strategy} is not an interval-GiST strategy")
+
+    def key_for_value(self, value: Any) -> Interval:
+        v = float(value)
+        return Interval(v, v)

@@ -1,0 +1,322 @@
+"""The generalized search tree over paged storage.
+
+The tree knows nothing about keys: descent minimizes the extension's
+``penalty``, overflow splits via ``pick_split``, parent keys are
+``union``s, and search prunes with ``consistent`` -- [HNP95]'s recipe,
+on the same page/buffer substrate as every other index here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gist.extension import GistExtension
+from repro.storage.buffer import BufferPool
+
+_NODE_HEADER = struct.Struct("<BHB")
+_KEY_LEN = struct.Struct("<H")
+_POINTER = struct.Struct("<qi")
+
+
+@dataclass
+class GistEntry:
+    key: Any
+    rowid: Optional[int] = None
+    fragid: int = 0
+    child: Optional[int] = None
+
+
+@dataclass
+class GistNode:
+    page_id: int
+    leaf: bool
+    level: int = 0
+    entries: List[GistEntry] = field(default_factory=list)
+
+
+class GistNodeStore:
+    """Serializes GiST nodes, one per page, via the extension's codec."""
+
+    def __init__(self, buffer: BufferPool, extension: GistExtension) -> None:
+        self.buffer = buffer
+        self.extension = extension
+        self.page_size = buffer.store.page_size
+
+    def byte_size(self, node: GistNode) -> int:
+        size = _NODE_HEADER.size
+        for entry in node.entries:
+            size += _KEY_LEN.size + len(self.extension.compress(entry.key))
+            size += _POINTER.size
+        return size
+
+    def fits(self, node: GistNode) -> bool:
+        return self.byte_size(node) <= self.page_size
+
+    def allocate(self, leaf: bool, level: int = 0) -> GistNode:
+        return GistNode(self.buffer.allocate(), leaf, level)
+
+    def read(self, page_id: int) -> GistNode:
+        data = self.buffer.read(page_id)
+        leaf, count, level = _NODE_HEADER.unpack_from(data, 0)
+        offset = _NODE_HEADER.size
+        node = GistNode(page_id, bool(leaf), level)
+        for _ in range(count):
+            (key_len,) = _KEY_LEN.unpack_from(data, offset)
+            offset += _KEY_LEN.size
+            key = self.extension.decompress(data[offset : offset + key_len])
+            offset += key_len
+            a, b = _POINTER.unpack_from(data, offset)
+            offset += _POINTER.size
+            if leaf:
+                node.entries.append(GistEntry(key, rowid=a, fragid=b))
+            else:
+                node.entries.append(GistEntry(key, child=a))
+        return node
+
+    def write(self, node: GistNode) -> None:
+        if not self.fits(node):
+            raise ValueError("GiST node overflow")
+        parts = [_NODE_HEADER.pack(node.leaf, len(node.entries), node.level)]
+        for entry in node.entries:
+            compressed = self.extension.compress(entry.key)
+            parts.append(_KEY_LEN.pack(len(compressed)))
+            parts.append(compressed)
+            if node.leaf:
+                parts.append(_POINTER.pack(entry.rowid, entry.fragid))
+            else:
+                parts.append(_POINTER.pack(entry.child, 0))
+        self.buffer.write(node.page_id, b"".join(parts))
+
+    def free(self, page_id: int) -> None:
+        self.buffer.free(page_id)
+
+
+class GiST:
+    """A generalized search tree driven by a :class:`GistExtension`."""
+
+    MIN_ENTRIES = 2
+
+    def __init__(
+        self,
+        store: GistNodeStore,
+        root_id: Optional[int] = None,
+        height: int = 1,
+        size: int = 0,
+    ) -> None:
+        self.store = store
+        self.extension = store.extension
+        if root_id is None:
+            root = store.allocate(leaf=True, level=0)
+            store.write(root)
+            root_id = root.page_id
+        self.root_id = root_id
+        self.height = height
+        self.size = size
+        self.last_node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, rowid: int, fragid: int = 0) -> None:
+        self._insert_entry(GistEntry(key, rowid=rowid, fragid=fragid), level=0)
+        self.size += 1
+
+    def _insert_entry(self, entry: GistEntry, level: int) -> None:
+        path = [self.store.read(self.root_id)]
+        while path[-1].level > level:
+            node = path[-1]
+            best, best_penalty = 0, None
+            for i, candidate in enumerate(node.entries):
+                p = self.extension.penalty(candidate.key, entry.key)
+                if best_penalty is None or p < best_penalty:
+                    best, best_penalty = i, p
+            path.append(self.store.read(node.entries[best].child))
+        path[-1].entries.append(entry)
+        self._propagate(path)
+
+    def _propagate(self, path: List[GistNode]) -> None:
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if not self.store.fits(node):
+                self._split(path, depth)
+                if depth == 0:
+                    return
+                continue
+            self.store.write(node)
+            if depth > 0:
+                self._refresh_parent_key(path[depth - 1], node)
+
+    def _refresh_parent_key(self, parent: GistNode, child: GistNode) -> None:
+        for entry in parent.entries:
+            if entry.child == child.page_id:
+                entry.key = self.extension.union(
+                    [e.key for e in child.entries]
+                )
+                return
+        raise RuntimeError("child not found in parent")
+
+    def _split(self, path: List[GistNode], depth: int) -> None:
+        node = path[depth]
+        keys = [e.key for e in node.entries]
+        group_a, group_b = self.extension.pick_split(keys, self.MIN_ENTRIES)
+        entries = node.entries
+        node.entries = [entries[i] for i in group_a]
+        sibling = self.store.allocate(leaf=node.leaf, level=node.level)
+        sibling.entries = [entries[i] for i in group_b]
+        self.store.write(node)
+        self.store.write(sibling)
+        key_a = self.extension.union([e.key for e in node.entries])
+        key_b = self.extension.union([e.key for e in sibling.entries])
+        if depth == 0:
+            new_root = self.store.allocate(leaf=False, level=node.level + 1)
+            new_root.entries = [
+                GistEntry(key_a, child=node.page_id),
+                GistEntry(key_b, child=sibling.page_id),
+            ]
+            self.store.write(new_root)
+            self.root_id = new_root.page_id
+            self.height += 1
+            return
+        parent = path[depth - 1]
+        for entry in parent.entries:
+            if entry.child == node.page_id:
+                entry.key = key_a
+                break
+        parent.entries.append(GistEntry(key_b, child=sibling.page_id))
+
+    # ------------------------------------------------------------------
+    # Deletion (with condensation)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any, rowid: int, fragid: int = 0) -> bool:
+        found = self._find_leaf(self.store.read(self.root_id), key, rowid,
+                                fragid, [])
+        if found is None:
+            return False
+        path, index = found
+        del path[-1].entries[index]
+        self.size -= 1
+        self._condense(path)
+        self._shrink_root()
+        return True
+
+    def _covers(self, outer: Any, inner: Any) -> bool:
+        merged = self.extension.union([outer, inner])
+        return self.extension.compress(merged) == self.extension.compress(outer)
+
+    def _find_leaf(self, node, key, rowid, fragid, path):
+        path = path + [node]
+        if node.leaf:
+            target = self.extension.compress(key)
+            for i, entry in enumerate(node.entries):
+                if (
+                    entry.rowid == rowid
+                    and entry.fragid == fragid
+                    and self.extension.compress(entry.key) == target
+                ):
+                    return path, i
+            return None
+        for entry in node.entries:
+            if self._covers(entry.key, key):
+                result = self._find_leaf(
+                    self.store.read(entry.child), key, rowid, fragid, path
+                )
+                if result is not None:
+                    return result
+        return None
+
+    def _condense(self, path: List[GistNode]) -> None:
+        orphans: List[Tuple[GistEntry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.MIN_ENTRIES:
+                parent.entries = [
+                    e for e in parent.entries if e.child != node.page_id
+                ]
+                orphans.extend((e, node.level) for e in node.entries)
+                self.store.free(node.page_id)
+            else:
+                self.store.write(node)
+                self._refresh_parent_key(parent, node)
+        self.store.write(path[0])
+        for entry, level in sorted(orphans, key=lambda pair: pair[1]):
+            self._insert_entry(entry, level)
+
+    def _shrink_root(self) -> None:
+        root = self.store.read(self.root_id)
+        while not root.leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child
+            self.store.free(root.page_id)
+            self.root_id = child_id
+            self.height -= 1
+            root = self.store.read(child_id)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, query: Any) -> List[Tuple[int, int]]:
+        self.last_node_accesses = 0
+        results: List[Tuple[int, int]] = []
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            self.last_node_accesses += 1
+            for entry in node.entries:
+                if node.leaf:
+                    if self.extension.matches(entry.key, query):
+                        results.append((entry.rowid, entry.fragid))
+                elif self.extension.consistent(entry.key, query):
+                    stack.append(entry.child)
+        return results
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self):
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            yield node
+            if not node.leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def check(self) -> None:
+        counted = 0
+        for node in self.iter_nodes():
+            if node.leaf:
+                if node.level != 0:
+                    raise AssertionError("leaf at nonzero level")
+                counted += len(node.entries)
+                continue
+            for entry in node.entries:
+                child = self.store.read(entry.child)
+                if child.level != node.level - 1:
+                    raise AssertionError("level mismatch")
+                child_union = self.extension.union(
+                    [e.key for e in child.entries]
+                )
+                if not self._covers(entry.key, child_union):
+                    raise AssertionError(
+                        f"parent key does not cover child {child.page_id}"
+                    )
+        if counted != self.size:
+            raise AssertionError(
+                f"size mismatch: counted {counted}, recorded {self.size}"
+            )
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "height": self.height,
+            "size": self.size,
+            "nodes": self.node_count(),
+            "extension": self.extension.name,
+        }

@@ -1,0 +1,127 @@
+"""The GR-tree scan cursor.
+
+Appendix A of the paper: ``Tree.search()`` creates a ``Cursor`` storing
+the query predicate and tree-traversal information; qualifying entries
+are retrieved one at a time with ``next()`` (the ``grt_getnext()`` purpose
+function returns one qualifying row per call).
+
+Section 5.5's deletion compromise lives here too: the cursor keeps the
+traversal state across calls and is *restarted* -- not discarded -- when
+the tree is condensed underneath it.  After a restart, entries already
+returned are skipped, so a retrieve-and-delete loop neither misses nor
+repeats entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.grtree.entries import GREntry, Predicate
+from repro.temporal.chronon import Chronon
+from repro.temporal.regions import Region
+
+
+class Cursor:
+    """A resumable depth-first scan of a GR-tree."""
+
+    def __init__(
+        self,
+        tree,  # GRTree; untyped to avoid the circular import
+        query: Region,
+        predicate: Predicate,
+        now: Chronon,
+    ) -> None:
+        self.tree = tree
+        self.query = query
+        self.predicate = predicate
+        self.now = now
+        self._seen_version = tree.condense_version
+        self._returned: Set[Tuple[int, int]] = set()
+        self._visited: Set[int] = set()
+        self._exhausted = False
+        # Stack of (page_id, next entry index to look at).
+        self._stack: List[Tuple[int, int]] = [(tree.root_id, 0)]
+
+    @property
+    def node_accesses(self) -> int:
+        """Distinct nodes visited by this cursor so far."""
+        return len(self._visited)
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restart the scan from the root (the ``grt_rescan`` semantics).
+
+        Forgets which entries were already returned -- a rescan is a new
+        scan of the same qualification.
+        """
+        self._stack = [(self.tree.root_id, 0)]
+        self._returned.clear()
+        self._exhausted = False
+        self._seen_version = self.tree.condense_version
+
+    def restart_keeping_history(self) -> None:
+        """Restart traversal but keep skipping already-returned entries.
+
+        Used after the tree condensed underneath the cursor (Section 5.5):
+        saved traversal state is useless, but re-returning entries would
+        make the caller's delete loop spin.
+        """
+        self._stack = [(self.tree.root_id, 0)]
+        self._exhausted = False
+        self._seen_version = self.tree.condense_version
+
+    def _ensure_fresh(self) -> None:
+        if self._seen_version != self.tree.condense_version:
+            self.restart_keeping_history()
+
+    # ------------------------------------------------------------------
+
+    def next(self) -> Optional[GREntry]:
+        """Return the next qualifying leaf entry, or ``None`` at the end."""
+        self._ensure_fresh()
+        if self._exhausted:
+            return None
+        while self._stack:
+            page_id, index = self._stack.pop()
+            node = self.tree.store.read(page_id)
+            self._visited.add(page_id)
+            if node.leaf:
+                # Leaves are always rescanned from the top: a deletion
+                # between next() calls may have shifted the entry slots,
+                # and the returned-set makes the rescan skip-correct.
+                for entry in node.entries:
+                    if not self.predicate.leaf_test(
+                        entry.region(self.now), self.query
+                    ):
+                        continue
+                    key = (entry.rowid, entry.fragid)
+                    if key in self._returned:
+                        continue
+                    self._returned.add(key)
+                    self._stack.append((page_id, 0))
+                    return entry
+                continue
+            descended = False
+            while index < len(node.entries):
+                entry = node.entries[index]
+                index += 1
+                if self.predicate.internal_test(entry.region(self.now), self.query):
+                    # Remember where to resume in this node, then descend.
+                    self._stack.append((page_id, index))
+                    self._stack.append((entry.child, 0))
+                    descended = True
+                    break
+            if descended:
+                continue
+        self._exhausted = True
+        return None
+
+    def fetch_all(self) -> List[GREntry]:
+        """Drain the cursor (convenience for tests and benchmarks)."""
+        results = []
+        while True:
+            entry = self.next()
+            if entry is None:
+                return results
+            results.append(entry)

@@ -1,0 +1,239 @@
+"""GR-tree entries: four timestamps plus the Rectangle and Hidden flags.
+
+A leaf entry encodes a data tuple's bitemporal region with the four
+timestamps of Figure 2 plus a ``(rowid, fragid)`` pointer.  A non-leaf
+entry encodes the minimum bounding region of a child node with four
+timestamps, the ``Rectangle`` flag (the timestamps ``(tt1, UC, vt1, NOW)``
+are ambiguous in internal nodes: growing stair *or* rectangle growing in
+both dimensions), the ``Hidden`` flag (a growing stair is temporarily
+hidden under a taller fixed rectangle and will one day outgrow it,
+Figure 4(c)), and the child's page id.
+
+The two resolution algorithms quoted verbatim in Section 3 --
+
+    IF flag Hidden is set AND VTend is fixed AND VTend < current time
+    THEN set VTend to NOW
+
+    IF TTend is equal to UC  THEN set TTend to the current time
+    IF VTend is equal to NOW THEN set VTend to TTend
+
+-- live in :meth:`GREntry.region`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.temporal.chronon import Chronon
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region
+from repro.temporal.variables import NOW, UC, Timestamp, is_ground
+
+
+@dataclass
+class GREntry:
+    """One slot of a GR-tree node."""
+
+    tt_begin: Chronon
+    tt_end: Timestamp                 # ground value or UC
+    vt_begin: Chronon
+    vt_end: Timestamp                 # ground value or NOW
+    rectangle: bool = False           # the "Rectangle" flag (non-leaf)
+    hidden: bool = False              # the "Hidden" flag (non-leaf)
+    child: Optional[int] = None       # child page id (non-leaf)
+    rowid: Optional[int] = None       # data tuple pointer (leaf)
+    fragid: int = 0
+
+    @classmethod
+    def from_extent(
+        cls, extent: TimeExtent, rowid: int, fragid: int = 0
+    ) -> "GREntry":
+        """Build a leaf entry from a data tuple's time extent."""
+        return cls(
+            extent.tt_begin,
+            extent.tt_end,
+            extent.vt_begin,
+            extent.vt_end,
+            rowid=rowid,
+            fragid=fragid,
+        )
+
+    def extent(self) -> TimeExtent:
+        """Recover the 4TS extent (leaf entries only)."""
+        return TimeExtent(self.tt_begin, self.tt_end, self.vt_begin, self.vt_end)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def growing(self) -> bool:
+        """Does the encoded region keep extending as time passes?"""
+        return self.tt_end is UC
+
+    def effective_vt_end(self, now: Chronon) -> Timestamp:
+        """Apply the Hidden-flag adjustment of Section 3."""
+        if self.hidden and is_ground(self.vt_end) and self.vt_end < now:
+            return NOW
+        return self.vt_end
+
+    def region(self, now: Chronon) -> Region:
+        """Decode the entry's region at current time *now*."""
+        vt_end = self.effective_vt_end(now)
+        tt_end = now if self.tt_end is UC else self.tt_end
+        tt_end = max(tt_end, self.tt_begin)
+        if vt_end is NOW:
+            vt_res: Chronon = tt_end
+            stair = not self.rectangle
+        else:
+            vt_res = vt_end
+            stair = False
+        region = Region.make(self.tt_begin, tt_end, self.vt_begin, vt_res, stair)
+        if region is None:
+            raise ValueError(f"entry {self} decodes to an empty region at {now}")
+        return region
+
+    def fits_under_diagonal_forever(self) -> bool:
+        """May this entry's region ever extend above the ``vt = tt`` line?
+
+        Stair shapes never do; fixed-top regions never do when their top
+        starts at or below the diagonal; hidden entries and rectangles
+        growing in both dimensions eventually do.
+        """
+        if self.hidden:
+            return False
+        if self.vt_end is NOW:
+            return not self.rectangle
+        return self.vt_end <= self.tt_begin
+
+    def __str__(self) -> str:
+        def fmt(v):
+            return v if is_ground(v) else v.name
+
+        flags = ""
+        if self.rectangle:
+            flags += "R"
+        if self.hidden:
+            flags += "H"
+        pointer = f"child={self.child}" if self.child is not None else (
+            f"rowid={self.rowid}"
+        )
+        return (
+            f"GREntry(tt=[{fmt(self.tt_begin)},{fmt(self.tt_end)}], "
+            f"vt=[{fmt(self.vt_begin)},{fmt(self.vt_end)}]"
+            f"{', ' + flags if flags else ''}, {pointer})"
+        )
+
+
+def same_timestamps(a: GREntry, b: GREntry) -> bool:
+    """Timestamp-level equality, treating variables by identity."""
+
+    def ts_eq(x: Timestamp, y: Timestamp) -> bool:
+        if is_ground(x) != is_ground(y):
+            return False
+        return x == y if is_ground(x) else x is y
+
+    return (
+        a.tt_begin == b.tt_begin
+        and ts_eq(a.tt_end, b.tt_end)
+        and a.vt_begin == b.vt_begin
+        and ts_eq(a.vt_end, b.vt_end)
+    )
+
+
+def bound_entries(entries: Sequence[GREntry], now: Chronon) -> GREntry:
+    """Compute the parent entry's timestamps and flags for *entries*.
+
+    The bound must contain every child region at the current *and every
+    future* time; variables in the bound make it grow along with its
+    children.  Three shapes arise (Section 3 / Figure 4):
+
+    * a **stair** when no child ever crosses the ``vt = tt`` diagonal;
+    * a **rectangle growing in both dimensions** when a growing stair is
+      (or will be) the tallest child;
+    * a **fixed-top rectangle with the Hidden flag** when a growing stair
+      is currently hidden under a taller fixed rectangle (Figure 4(c)).
+    """
+    if not entries:
+        raise ValueError("cannot bound an empty entry list")
+    for e in entries:
+        # Transaction-time axiom: a ground TTend never lies in the
+        # future.  (A growing bound resolves UC to 'now', so it could
+        # not contain such a child at the current time.)
+        if is_ground(e.tt_end) and e.tt_end > now:
+            raise ValueError(
+                f"entry {e} has a ground TTend beyond the current time {now}"
+            )
+    tt_begin = min(e.tt_begin for e in entries)
+    vt_begin = min(e.vt_begin for e in entries)
+    any_growing = any(e.tt_end is UC for e in entries)
+    tt_end: Timestamp = (
+        UC if any_growing else max(e.tt_end for e in entries)  # type: ignore[type-var]
+    )
+
+    if all(e.fits_under_diagonal_forever() for e in entries):
+        return GREntry(tt_begin, tt_end, vt_begin, NOW, rectangle=False)
+
+    # Rectangle bound.  Children with an unbounded future top force either
+    # a rectangle growing in both dimensions or the Hidden compromise.
+    unbounded = [
+        e
+        for e in entries
+        if e.tt_end is UC and (e.vt_end is NOW or e.hidden)
+    ]
+    tops: List[Chronon] = []
+    for e in entries:
+        if e.vt_end is NOW:
+            if e.tt_end is not UC:
+                tops.append(e.tt_end)  # a stopped stair/rect tops out here
+        else:
+            tops.append(e.vt_end)
+    max_fixed = max(tops) if tops else None
+
+    if unbounded:
+        if max_fixed is not None and max_fixed > now:
+            # Figure 4(c): the growing stair hides under the taller fixed
+            # rectangle -- for now.
+            return GREntry(
+                tt_begin, tt_end, vt_begin, max_fixed, rectangle=True, hidden=True
+            )
+        return GREntry(tt_begin, tt_end, vt_begin, NOW, rectangle=True)
+
+    assert max_fixed is not None
+    latent = any(e.hidden for e in entries)
+    return GREntry(
+        tt_begin, tt_end, vt_begin, max_fixed, rectangle=True, hidden=latent
+    )
+
+
+class Predicate(enum.Enum):
+    """The strategy-function semantics evaluated inside the tree.
+
+    Each predicate knows how to test a leaf region against the query and
+    whether an internal bounding region can possibly lead to qualifying
+    leaves (the pruning rule).
+    """
+
+    OVERLAPS = "overlaps"
+    EQUAL = "equal"
+    CONTAINS = "contains"          # leaf region contains the query region
+    CONTAINED_IN = "contained_in"  # leaf region lies within the query region
+
+    def leaf_test(self, leaf_region: Region, query: Region) -> bool:
+        if self is Predicate.OVERLAPS:
+            return leaf_region.overlaps(query)
+        if self is Predicate.EQUAL:
+            return leaf_region.equal(query)
+        if self is Predicate.CONTAINS:
+            return leaf_region.contains(query)
+        return query.contains(leaf_region)
+
+    def internal_test(self, bound_region: Region, query: Region) -> bool:
+        """May a node bounded by *bound_region* contain qualifying leaves?"""
+        if self is Predicate.OVERLAPS:
+            return bound_region.overlaps(query)
+        if self is Predicate.EQUAL or self is Predicate.CONTAINS:
+            # A leaf can only equal/contain the query when the query is
+            # fully inside the node's bound.
+            return bound_region.contains(query)
+        return bound_region.overlaps(query)

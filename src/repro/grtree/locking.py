@@ -1,0 +1,180 @@
+"""Developer-implemented node-level locking (Section 5.3's road not taken).
+
+With the index in an sbspace, locking is fixed at large-object
+granularity and "concurrency control and recovery protocols of
+Kornacker et al. cannot be implemented".  With an OS file, "the
+developer has the freedom to implement any desirable concurrency
+control" -- at the price of building it.  This module builds the simple
+end of that spectrum: per-node shared/exclusive locks with *lock
+coupling* (crabbing) for scans, and subtree-exclusive locking for
+insertions [BS77], over any page store.
+
+It is deliberately not the full R-link protocol [KB95, KMH97] -- the
+paper only argues that finer-than-LO locking becomes *possible* outside
+sbspaces; the benchmark quantifies how much concurrency even this simple
+protocol recovers compared to one lock on the whole index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.grtree.entries import GREntry, Predicate
+from repro.grtree.tree import GRTree
+from repro.storage.locks import LockManager, LockMode
+from repro.temporal.chronon import Chronon
+from repro.temporal.extent import TimeExtent
+
+
+class NodeLockingProtocol:
+    """S/X locks at index-node granularity over a shared lock manager.
+
+    Lock names are ``("node", index_name, page_id)``, so conflicts are
+    per-subtree instead of per-index.  Locks are held for the duration
+    of the operation (scan or insert), released by :meth:`finish` --
+    the caller decides when an operation's locks can go.
+    """
+
+    def __init__(self, locks: LockManager, index_name: str) -> None:
+        self.locks = locks
+        self.index_name = index_name
+        self._held: dict[int, Set[Tuple[str, str, int]]] = {}
+
+    def _resource(self, page_id: int) -> Tuple[str, str, int]:
+        return ("node", self.index_name, page_id)
+
+    def acquire(self, txn_id: int, page_id: int, mode: LockMode) -> None:
+        resource = self._resource(page_id)
+        self.locks.acquire(txn_id, resource, mode)
+        self._held.setdefault(txn_id, set()).add(resource)
+
+    def release(self, txn_id: int, page_id: int) -> None:
+        resource = self._resource(page_id)
+        self.locks.release(txn_id, resource)
+        self._held.get(txn_id, set()).discard(resource)
+
+    def finish(self, txn_id: int) -> int:
+        """Release every node lock the operation still holds."""
+        held = self._held.pop(txn_id, set())
+        for resource in held:
+            self.locks.release(txn_id, resource)
+        return len(held)
+
+    def held_count(self, txn_id: int) -> int:
+        return len(self._held.get(txn_id, ()))
+
+
+class LockCouplingScan:
+    """A scan that holds node locks with lock coupling.
+
+    At any moment the scan shared-locks exactly its current root-to-node
+    path (parents are released as soon as the child is locked -- the
+    [BS77] discipline) so concurrent writers conflict only when they
+    touch the same subtree.
+    """
+
+    def __init__(
+        self,
+        tree: GRTree,
+        protocol: NodeLockingProtocol,
+        txn_id: int,
+        query: TimeExtent,
+        predicate: Predicate = Predicate.OVERLAPS,
+        now: Optional[Chronon] = None,
+    ) -> None:
+        self.tree = tree
+        self.protocol = protocol
+        self.txn_id = txn_id
+        self.now = tree.now if now is None else now
+        self.query = query.region(self.now)
+        self.predicate = predicate
+        self._stack: List[Tuple[int, int]] = []
+        self._open_root()
+
+    def _open_root(self) -> None:
+        self.protocol.acquire(self.txn_id, self.tree.root_id, LockMode.SHARED)
+        self._stack = [(self.tree.root_id, 0)]
+
+    def next(self) -> Optional[GREntry]:
+        while self._stack:
+            page_id, index = self._stack.pop()
+            node = self.tree.store.read(page_id)
+            if node.leaf:
+                while index < len(node.entries):
+                    entry = node.entries[index]
+                    index += 1
+                    if self.predicate.leaf_test(
+                        entry.region(self.now), self.query
+                    ):
+                        self._stack.append((page_id, index))
+                        return entry
+                self.protocol.release(self.txn_id, page_id)
+                continue
+            descended = False
+            while index < len(node.entries):
+                entry = node.entries[index]
+                index += 1
+                if self.predicate.internal_test(
+                    entry.region(self.now), self.query
+                ):
+                    # Couple: lock the child before continuing below it.
+                    self.protocol.acquire(
+                        self.txn_id, entry.child, LockMode.SHARED
+                    )
+                    self._stack.append((page_id, index))
+                    self._stack.append((entry.child, 0))
+                    descended = True
+                    break
+            if not descended:
+                self.protocol.release(self.txn_id, page_id)
+        return None
+
+    def close(self) -> None:
+        self.protocol.finish(self.txn_id)
+
+    def fetch_all(self) -> List[GREntry]:
+        results = []
+        try:
+            while True:
+                entry = self.next()
+                if entry is None:
+                    return results
+                results.append(entry)
+        finally:
+            self.close()
+
+
+def locked_insert(
+    tree: GRTree,
+    protocol: NodeLockingProtocol,
+    txn_id: int,
+    extent: TimeExtent,
+    rowid: int,
+) -> None:
+    """Insert under node-level locking, [BS77]'s optimistic variant:
+    shared locks down the descent path, exclusive only on the leaf being
+    modified.  When the leaf is full (a split will propagate), the path
+    locks are upgraded to exclusive before the structural change -- the
+    upgrade can conflict, which is precisely the protocol's documented
+    cost.  Locks are released when the operation completes."""
+    entry = GREntry.from_extent(extent, rowid)
+    region = entry.region(tree.now + tree.time_horizon)
+    page_id = tree.root_id
+    protocol.acquire(txn_id, page_id, LockMode.SHARED)
+    node = tree.store.read(page_id)
+    path = [page_id]
+    try:
+        while not node.leaf:
+            index = tree._choose_subtree(node, region)
+            page_id = node.entries[index].child
+            protocol.acquire(txn_id, page_id, LockMode.SHARED)
+            path.append(page_id)
+            node = tree.store.read(page_id)
+        protocol.acquire(txn_id, page_id, LockMode.EXCLUSIVE)
+        if len(node.entries) + 1 > tree.max_entries:
+            # The split will touch ancestors: upgrade the whole path.
+            for ancestor in path:
+                protocol.acquire(txn_id, ancestor, LockMode.EXCLUSIVE)
+        tree.insert(extent, rowid)
+    finally:
+        protocol.finish(txn_id)

@@ -1,0 +1,106 @@
+"""GR-tree node layout and page serialization.
+
+The layout "does not differ significantly from the layout of an R*-tree
+node" (Section 3): a header plus an array of entries.  Each entry packs
+the four timestamps (with ``UC``/``NOW`` encoded as a reserved sentinel),
+one flag byte carrying ``Rectangle`` and ``Hidden``, and the pointer
+(child page id, or rowid + fragid).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.grtree.entries import GREntry
+from repro.storage.buffer import BufferPool
+from repro.temporal.variables import NOW, UC, is_ground
+
+_NODE_HEADER = struct.Struct("<BHB")
+#: tt_begin, tt_end, vt_begin, vt_end, flags, pointer-a, pointer-b.
+_ENTRY = struct.Struct("<qqqqBqi")
+
+#: Sentinel encoding of the variables UC and NOW on disk.
+_VARIABLE_SENTINEL = 2**62
+
+_FLAG_RECTANGLE = 0x01
+_FLAG_HIDDEN = 0x02
+
+
+@dataclass
+class GRNode:
+    """A GR-tree node; ``page_id`` is the node's identity."""
+
+    page_id: int
+    leaf: bool
+    level: int = 0
+    entries: List[GREntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class GRNodeStore:
+    """Persists GR-tree nodes through a buffer pool, one node per page."""
+
+    def __init__(self, buffer: BufferPool) -> None:
+        self.buffer = buffer
+        self.capacity = (buffer.store.page_size - _NODE_HEADER.size) // _ENTRY.size
+        if self.capacity < 4:
+            raise ValueError(
+                f"page size {buffer.store.page_size} too small for a GR-tree node"
+            )
+
+    def allocate(self, leaf: bool, level: int = 0) -> GRNode:
+        return GRNode(self.buffer.allocate(), leaf, level)
+
+    def read(self, page_id: int) -> GRNode:
+        data = self.buffer.read(page_id)
+        leaf, count, level = _NODE_HEADER.unpack_from(data, 0)
+        offset = _NODE_HEADER.size
+        entries: List[GREntry] = []
+        for _ in range(count):
+            ttb, tte, vtb, vte, flags, ptr_a, ptr_b = _ENTRY.unpack_from(data, offset)
+            offset += _ENTRY.size
+            entry = GREntry(
+                tt_begin=ttb,
+                tt_end=UC if tte == _VARIABLE_SENTINEL else tte,
+                vt_begin=vtb,
+                vt_end=NOW if vte == _VARIABLE_SENTINEL else vte,
+                rectangle=bool(flags & _FLAG_RECTANGLE),
+                hidden=bool(flags & _FLAG_HIDDEN),
+            )
+            if leaf:
+                entry.rowid, entry.fragid = ptr_a, ptr_b
+            else:
+                entry.child = ptr_a
+            entries.append(entry)
+        return GRNode(page_id, bool(leaf), level, entries)
+
+    def write(self, node: GRNode) -> None:
+        if len(node.entries) > self.capacity:
+            raise ValueError(
+                f"node overflow: {len(node.entries)} entries > capacity "
+                f"{self.capacity}"
+            )
+        parts = [_NODE_HEADER.pack(node.leaf, len(node.entries), node.level)]
+        for entry in node.entries:
+            flags = (_FLAG_RECTANGLE if entry.rectangle else 0) | (
+                _FLAG_HIDDEN if entry.hidden else 0
+            )
+            tte = entry.tt_end if is_ground(entry.tt_end) else _VARIABLE_SENTINEL
+            vte = entry.vt_end if is_ground(entry.vt_end) else _VARIABLE_SENTINEL
+            if node.leaf:
+                ptr_a, ptr_b = entry.rowid, entry.fragid
+            else:
+                ptr_a, ptr_b = entry.child, 0
+            parts.append(
+                _ENTRY.pack(
+                    entry.tt_begin, tte, entry.vt_begin, vte, flags, ptr_a, ptr_b
+                )
+            )
+        self.buffer.write(node.page_id, b"".join(parts))
+
+    def free(self, page_id: int) -> None:
+        self.buffer.free(page_id)

@@ -1,0 +1,563 @@
+"""The GR-tree proper: R*-based algorithms over growing regions.
+
+The algorithms follow the R*-tree skeleton (ChooseSubtree, forced
+reinsertion, topological split, condensation on deletion), with three
+GR-specific modifications from Section 3 of the paper:
+
+* all geometry is evaluated through the ``UC``/``NOW`` resolution and
+  Hidden-flag adjustment algorithms, so regions and bounds *grow*;
+* parent entries store four timestamps plus the ``Rectangle``/``Hidden``
+  flags computed by :func:`repro.grtree.entries.bound_entries`, never
+  materialized coordinates;
+* insertion penalties are evaluated at ``now + time_horizon``, the
+  paper's "time parameter capturing the development over time of
+  entries": a growing region is charged for the space it is *going to*
+  occupy, not just the space it occupies today.
+
+Deletions implement the Section 5.5 compromise: an open scan cursor is
+restarted only when the tree was actually condensed.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.grtree.cursor import Cursor
+from repro.grtree.entries import (
+    GREntry,
+    Predicate,
+    bound_entries,
+    same_timestamps,
+)
+from repro.grtree.node import GRNode, GRNodeStore
+from repro.temporal.chronon import Chronon, Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region, bounding_region
+from repro.temporal.variables import UC
+
+#: Meta-page layout: magic, root page id, height, size, time horizon.
+_META = struct.Struct("<4sqqqq")
+_META_MAGIC = b"GRT1"
+
+
+class GRTree:
+    """A GR-tree over a :class:`~repro.grtree.node.GRNodeStore`.
+
+    Use :meth:`create` for a new index (reserves a meta page so the tree
+    can be reopened from the same storage with :meth:`open`, which is what
+    the DataBlade's ``grt_create``/``grt_open`` purpose functions do).
+    """
+
+    def __init__(
+        self,
+        store: GRNodeStore,
+        clock: Clock,
+        time_horizon: int = 20,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+        meta_page: Optional[int] = None,
+        root_id: Optional[int] = None,
+        height: int = 1,
+        size: int = 0,
+    ) -> None:
+        self.store = store
+        self.clock = clock
+        self.time_horizon = time_horizon
+        self.max_entries = store.capacity
+        self.min_entries = max(2, math.ceil(store.capacity * min_fill))
+        self.reinsert_count = max(1, int(store.capacity * reinsert_fraction))
+        self.meta_page = meta_page
+        if root_id is None:
+            root = store.allocate(leaf=True, level=0)
+            store.write(root)
+            root_id = root.page_id
+        self.root_id = root_id
+        self.height = height
+        self.size = size
+        self.last_node_accesses = 0
+        #: Incremented whenever the tree condenses; cursors watch this.
+        self.condense_version = 0
+        #: Whether the most recent deletion condensed the tree.
+        self.condensed = False
+        self._reinserted_levels: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Creation / reopening (persistent meta page)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, store: GRNodeStore, clock: Clock, **kwargs) -> "GRTree":
+        meta_page = store.buffer.allocate()
+        tree = cls(store, clock, meta_page=meta_page, **kwargs)
+        tree._write_meta()
+        return tree
+
+    @classmethod
+    def open(cls, store: GRNodeStore, clock: Clock, meta_page: int = 0) -> "GRTree":
+        data = store.buffer.read(meta_page)
+        try:
+            magic, root_id, height, size, horizon = _META.unpack_from(data, 0)
+        except struct.error as exc:
+            raise ValueError("storage does not contain a GR-tree") from exc
+        if magic != _META_MAGIC:
+            raise ValueError("storage does not contain a GR-tree")
+        return cls(
+            store,
+            clock,
+            time_horizon=horizon,
+            meta_page=meta_page,
+            root_id=root_id,
+            height=height,
+            size=size,
+        )
+
+    def _write_meta(self) -> None:
+        if self.meta_page is None:
+            return
+        self.store.buffer.write(
+            self.meta_page,
+            _META.pack(
+                _META_MAGIC, self.root_id, self.height, self.size, self.time_horizon
+            ),
+        )
+
+    @property
+    def now(self) -> Chronon:
+        return self.clock.now
+
+    @property
+    def _eval_time(self) -> Chronon:
+        """The time at which insertion penalties are evaluated."""
+        return self.now + self.time_horizon
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, extent: TimeExtent, rowid: int, fragid: int = 0) -> None:
+        """Index a data tuple's time extent."""
+        self._reinserted_levels = set()
+        self._insert_entry(GREntry.from_extent(extent, rowid, fragid), level=0)
+        self.size += 1
+        self._write_meta()
+
+    def _insert_entry(self, entry: GREntry, level: int) -> None:
+        path = self._choose_path(entry, level)
+        path[-1].entries.append(entry)
+        self._propagate_up(path)
+
+    def _choose_path(self, entry: GREntry, target_level: int) -> List[GRNode]:
+        path = [self.store.read(self.root_id)]
+        region = entry.region(self._eval_time)
+        while path[-1].level > target_level:
+            node = path[-1]
+            index = self._choose_subtree(node, region)
+            path.append(self.store.read(node.entries[index].child))
+        return path
+
+    def _choose_subtree(self, node: GRNode, region: Region) -> int:
+        if node.level == 1:
+            return self._least_overlap_enlargement(node, region)
+        return self._least_area_enlargement(node, region)
+
+    def _least_area_enlargement(self, node: GRNode, region: Region) -> int:
+        t = self._eval_time
+        best, best_key = 0, None
+        for i, entry in enumerate(node.entries):
+            r = entry.region(t)
+            key = (r.union_bounds(region).area() - r.area(), r.area())
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def _least_overlap_enlargement(self, node: GRNode, region: Region) -> int:
+        t = self._eval_time
+        regions = [e.region(t) for e in node.entries]
+        best, best_key = 0, None
+        for i, r in enumerate(regions):
+            enlarged = r.union_bounds(region)
+            overlap_delta = 0
+            for j, other in enumerate(regions):
+                if j == i:
+                    continue
+                after = enlarged.intersection(other)
+                before = r.intersection(other)
+                overlap_delta += (after.area() if after else 0) - (
+                    before.area() if before else 0
+                )
+            key = (
+                overlap_delta,
+                enlarged.area() - r.area(),
+                r.area(),
+            )
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    # ------------------------------------------------------------------
+    # Overflow treatment
+    # ------------------------------------------------------------------
+
+    def _propagate_up(self, path: List[GRNode]) -> None:
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.entries) > self.max_entries:
+                if depth > 0 and node.level not in self._reinserted_levels:
+                    self._reinserted_levels.add(node.level)
+                    self._force_reinsert(path, depth)
+                    return
+                self._split(path, depth)
+                if depth > 0:
+                    continue
+                return
+            self.store.write(node)
+            if depth > 0:
+                self._refresh_child_bound(path[depth - 1], node)
+
+    def _refresh_child_bound(self, parent: GRNode, child: GRNode) -> None:
+        bound = bound_entries(child.entries, self.now)
+        for i, entry in enumerate(parent.entries):
+            if entry.child == child.page_id:
+                bound.child = child.page_id
+                parent.entries[i] = bound
+                return
+        raise RuntimeError(
+            f"child {child.page_id} not found in parent {parent.page_id}"
+        )
+
+    def _force_reinsert(self, path: List[GRNode], depth: int) -> None:
+        node = path[depth]
+        t = self._eval_time
+        bound = bounding_region([e.region(t) for e in node.entries])
+        center_t = (bound.tt_lo + bound.tt_hi) / 2
+        center_v = (bound.vt_lo + bound.vt_hi) / 2
+
+        def distance(entry: GREntry) -> float:
+            r = entry.region(t)
+            return ((r.tt_lo + r.tt_hi) / 2 - center_t) ** 2 + (
+                (r.vt_lo + r.vt_hi) / 2 - center_v
+            ) ** 2
+
+        node.entries.sort(key=distance, reverse=True)
+        evicted = node.entries[: self.reinsert_count]
+        node.entries = node.entries[self.reinsert_count :]
+        self.store.write(node)
+        for d in range(depth - 1, -1, -1):
+            self._refresh_child_bound(path[d], path[d + 1])
+            self.store.write(path[d])
+        for entry in reversed(evicted):
+            self._insert_entry(entry, node.level)
+
+    def _split(self, path: List[GRNode], depth: int) -> None:
+        node = path[depth]
+        group_a, group_b = self._choose_split(node.entries)
+        node.entries = group_a
+        sibling = self.store.allocate(leaf=node.leaf, level=node.level)
+        sibling.entries = group_b
+        self.store.write(node)
+        self.store.write(sibling)
+        if depth == 0:
+            new_root = self.store.allocate(leaf=False, level=node.level + 1)
+            bound_a = bound_entries(node.entries, self.now)
+            bound_a.child = node.page_id
+            bound_b = bound_entries(sibling.entries, self.now)
+            bound_b.child = sibling.page_id
+            new_root.entries = [bound_a, bound_b]
+            self.store.write(new_root)
+            self.root_id = new_root.page_id
+            self.height += 1
+            self._write_meta()
+            return
+        parent = path[depth - 1]
+        self._refresh_child_bound(parent, node)
+        bound_b = bound_entries(sibling.entries, self.now)
+        bound_b.child = sibling.page_id
+        parent.entries.append(bound_b)
+
+    def _choose_split(
+        self, entries: List[GREntry]
+    ) -> Tuple[List[GREntry], List[GREntry]]:
+        """R* topological split on the regions at the evaluation time."""
+        m = self.min_entries
+        t = self._eval_time
+        decorated = [(e, e.region(t)) for e in entries]
+
+        axis_keys = {
+            "tt": lambda pair: (pair[1].tt_lo, pair[1].tt_hi),
+            "tt_hi": lambda pair: (pair[1].tt_hi, pair[1].tt_lo),
+            "vt": lambda pair: (pair[1].vt_lo, pair[1].vt_hi),
+            "vt_hi": lambda pair: (pair[1].vt_hi, pair[1].vt_lo),
+        }
+        axes = {"tt": ("tt", "tt_hi"), "vt": ("vt", "vt_hi")}
+
+        best_axis, best_margin = "tt", None
+        for axis, sort_names in axes.items():
+            margin = 0
+            for name in sort_names:
+                ordered = sorted(decorated, key=axis_keys[name])
+                for k in range(m, len(ordered) - m + 1):
+                    left = bounding_region([r for _, r in ordered[:k]])
+                    right = bounding_region([r for _, r in ordered[k:]])
+                    margin += left.margin() + right.margin()
+            if best_margin is None or margin < best_margin:
+                best_axis, best_margin = axis, margin
+
+        best_split, best_key = None, None
+        for name in axes[best_axis]:
+            ordered = sorted(decorated, key=axis_keys[name])
+            for k in range(m, len(ordered) - m + 1):
+                left = bounding_region([r for _, r in ordered[:k]])
+                right = bounding_region([r for _, r in ordered[k:]])
+                inter = left.intersection(right)
+                key = (
+                    inter.area() if inter else 0,
+                    left.area() + right.area(),
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_split = (
+                        [e for e, _ in ordered[:k]],
+                        [e for e, _ in ordered[k:]],
+                    )
+        assert best_split is not None
+        return best_split
+
+    # ------------------------------------------------------------------
+    # Deletion and condensation (Section 5.5)
+    # ------------------------------------------------------------------
+
+    def delete(self, extent: TimeExtent, rowid: int, fragid: int = 0) -> bool:
+        """Remove a leaf entry; condense underfull nodes."""
+        self.condensed = False
+        target = GREntry.from_extent(extent, rowid, fragid)
+        found = self._find_leaf_path(
+            self.store.read(self.root_id), target, []
+        )
+        if found is None:
+            return False
+        path, index = found
+        del path[-1].entries[index]
+        self.size -= 1
+        self._condense(path)
+        self._shrink_root()
+        self._write_meta()
+        return True
+
+    def _find_leaf_path(
+        self, node: GRNode, target: GREntry, path: List[GRNode]
+    ) -> Optional[Tuple[List[GRNode], int]]:
+        path = path + [node]
+        if node.leaf:
+            for i, entry in enumerate(node.entries):
+                if (
+                    entry.rowid == target.rowid
+                    and entry.fragid == target.fragid
+                    and same_timestamps(entry, target)
+                ):
+                    return path, i
+            return None
+        target_region = target.region(self.now)
+        for entry in node.entries:
+            if entry.region(self.now).contains(target_region):
+                result = self._find_leaf_path(
+                    self.store.read(entry.child), target, path
+                )
+                if result is not None:
+                    return result
+        return None
+
+    def _condense(self, path: List[GRNode]) -> None:
+        orphans: List[Tuple[GREntry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.min_entries:
+                parent.entries = [
+                    e for e in parent.entries if e.child != node.page_id
+                ]
+                orphans.extend((entry, node.level) for entry in node.entries)
+                self.store.free(node.page_id)
+                self.condensed = True
+            else:
+                self.store.write(node)
+                self._refresh_child_bound(parent, node)
+        self.store.write(path[0])
+        if self.condensed:
+            self.condense_version += 1
+        for entry, level in sorted(orphans, key=lambda pair: pair[1]):
+            self._reinserted_levels = set()
+            self._insert_entry(entry, level)
+
+    def _shrink_root(self) -> None:
+        root = self.store.read(self.root_id)
+        changed = False
+        while not root.leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child
+            self.store.free(root.page_id)
+            self.root_id = child_id
+            self.height -= 1
+            root = self.store.read(child_id)
+            changed = True
+        if changed:
+            self.condense_version += 1
+            self.condensed = True
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: TimeExtent,
+        predicate: Predicate = Predicate.OVERLAPS,
+        now: Optional[Chronon] = None,
+    ) -> Cursor:
+        """Open a cursor over entries satisfying *predicate* vs *query*.
+
+        *now* defaults to the clock; the server layer passes the time it
+        sampled when the index was opened (Section 5.4).
+        """
+        at = self.now if now is None else now
+        return Cursor(self, query.region(at), predicate, at)
+
+    def search_all(
+        self,
+        query: TimeExtent,
+        predicate: Predicate = Predicate.OVERLAPS,
+        now: Optional[Chronon] = None,
+    ) -> List[Tuple[int, int]]:
+        """Drain a search into (rowid, fragid) pairs, recording I/O."""
+        cursor = self.search(query, predicate, now)
+        results = [(e.rowid, e.fragid) for e in cursor.fetch_all()]
+        self.last_node_accesses = cursor.node_accesses
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection, integrity, statistics
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterable[GRNode]:
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            yield node
+            if not node.leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def check(self, horizon: int = 50) -> None:
+        """Verify GR-tree invariants (the ``am_check`` contract).
+
+        Containment is checked both now and at ``now + horizon`` so that
+        growing children outpacing their bounds (the Hidden-flag hazard)
+        is caught, not just today's geometry.
+        """
+        leaf_entries = 0
+        times = (self.now, self.now + horizon)
+        for node in self.iter_nodes():
+            if node.page_id != self.root_id and len(node.entries) < self.min_entries:
+                raise AssertionError(
+                    f"node {node.page_id} underfull: {len(node.entries)}"
+                )
+            if len(node.entries) > self.max_entries:
+                raise AssertionError(f"node {node.page_id} overfull")
+            if node.leaf:
+                if node.level != 0:
+                    raise AssertionError("leaf node with nonzero level")
+                leaf_entries += len(node.entries)
+                continue
+            for entry in node.entries:
+                child = self.store.read(entry.child)
+                if child.level != node.level - 1:
+                    raise AssertionError("level mismatch between parent and child")
+                for t in times:
+                    bound = entry.region(t)
+                    for child_entry in child.entries:
+                        if not bound.contains(child_entry.region(t)):
+                            raise AssertionError(
+                                f"bound {entry} does not contain child "
+                                f"{child_entry} at time {t}"
+                            )
+        if leaf_entries != self.size:
+            raise AssertionError(
+                f"size mismatch: counted {leaf_entries}, recorded {self.size}"
+            )
+
+    def scan_cost(self, query: TimeExtent, now: Optional[Chronon] = None) -> float:
+        """Estimated page reads for a scan (the ``am_scancost`` input).
+
+        Height plus the expected number of leaves touched, estimated from
+        the query area's share of the root bound's area.
+        """
+        at = self.now if now is None else now
+        root = self.store.read(self.root_id)
+        if not root.entries:
+            return 1.0
+        leaves = max(1, self.size // max(1, self.max_entries // 2))
+        root_bound = bounding_region([e.region(at) for e in root.entries])
+        query_region = query.region(at)
+        inter = root_bound.intersection(query_region)
+        selectivity = 0.0 if inter is None else inter.area() / root_bound.area()
+        return self.height + selectivity * leaves
+
+    def stats(self) -> Dict[str, float]:
+        nodes = list(self.iter_nodes())
+        return {
+            "height": self.height,
+            "size": self.size,
+            "nodes": len(nodes),
+            "leaves": sum(1 for n in nodes if n.leaf),
+            "avg_fill": (
+                sum(len(n.entries) for n in nodes) / (len(nodes) * self.max_entries)
+                if nodes
+                else 0.0
+            ),
+        }
+
+    def quality(self, now: Optional[Chronon] = None) -> Dict[str, float]:
+        """Tree 'goodness' metrics: dead space and sibling overlap at a
+        time (the Figure 3 criteria the GR-tree is designed to minimize).
+        """
+        from repro.temporal.regions import union_area
+
+        at = self.now if now is None else now
+        dead = 0
+        overlap = 0
+        for node in self.iter_nodes():
+            if node.leaf or not node.entries:
+                continue
+            regions = [e.region(at) for e in node.entries]
+            bound = bounding_region(regions)
+            dead += bound.area() - union_area(regions)
+            for i, a in enumerate(regions):
+                for b in regions[i + 1 :]:
+                    inter = a.intersection(b)
+                    if inter is not None:
+                        overlap += inter.area()
+        return {"dead_space": float(dead), "sibling_overlap": float(overlap)}
+
+    def dump(self, now: Optional[Chronon] = None) -> str:
+        """Human-readable tree structure (the Figure 5 rendering)."""
+        at = self.now if now is None else now
+        lines: List[str] = []
+
+        def visit(page_id: int, indent: int) -> None:
+            node = self.store.read(page_id)
+            kind = "leaf" if node.leaf else "node"
+            lines.append(
+                "  " * indent + f"{kind} {page_id} (level {node.level}):"
+            )
+            for entry in node.entries:
+                lines.append(
+                    "  " * (indent + 1)
+                    + f"{entry} -> {entry.region(at)}"
+                )
+                if entry.child is not None:
+                    visit(entry.child, indent + 2)
+
+        visit(self.root_id, 0)
+        return "\n".join(lines)

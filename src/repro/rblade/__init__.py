@@ -1,0 +1,14 @@
+"""A compact R-tree DataBlade: the "built-in R-tree" analogue.
+
+Informix ships its own R-tree access method (the paper contrasts it with
+the GR-tree DataBlade throughout Sections 4-5: its default operator class
+has strategies ``Overlap``, ``Equal``, ``Contains``, ``Within`` and
+supports ``Union``, ``Size``, ``Inter``).  This subpackage provides the
+same thing for the reproduction's server: a 2-D ``Box`` opaque type and
+an ``rtree_am`` access method over the R*-tree, so the multi-opclass and
+Figure 3 material can be exercised against a second, independent blade.
+"""
+
+from repro.rblade.blade import RTreeDataBlade, register_rtree_blade
+
+__all__ = ["RTreeDataBlade", "register_rtree_blade"]

@@ -1,0 +1,16 @@
+"""The R-tree family: geometry, node layout, R*-tree, and Guttman R-tree.
+
+The GR-tree (Section 3 of the paper) is "based on the R*-tree [BEC90],
+an improved version of the R-tree originally proposed by Guttman [GUT84]".
+This subpackage provides those ancestors as full implementations over the
+paged storage substrate: the R*-tree serves as the structural base and as
+the evaluation baseline (with ``UC``/``NOW`` mapped to ground values), and
+the Guttman R-tree appears in ablation benchmarks.
+"""
+
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.node import Entry, Node, NodeStore
+from repro.rtree.rstar import RStarTree
+
+__all__ = ["Rect", "GuttmanRTree", "Entry", "Node", "NodeStore", "RStarTree"]

@@ -1,0 +1,116 @@
+"""Axis-aligned rectangles in *n* dimensions.
+
+The minimum-bounding-rectangle arithmetic every R-tree variant relies on:
+area, margin, enlargement, overlap, union.  Coordinates are floats (the
+GR-tree uses its own integer region algebra from
+:mod:`repro.temporal.regions`; this module serves the spatial R-trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned box ``[lo_i, hi_i]`` in each dimension."""
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimensionality")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"degenerate rectangle: lo={self.lo} hi={self.hi}")
+
+    @staticmethod
+    def of(*bounds: float) -> "Rect":
+        """Build from interleaved bounds: ``Rect.of(x1, x2, y1, y2, ...)``."""
+        if len(bounds) % 2:
+            raise ValueError("bounds must come in (lo, hi) pairs")
+        lo = tuple(bounds[0::2])
+        hi = tuple(bounds[1::2])
+        return Rect(lo, hi)
+
+    @staticmethod
+    def point(*coords: float) -> "Rect":
+        return Rect(tuple(coords), tuple(coords))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    # ------------------------------------------------------------------
+
+    def area(self) -> float:
+        result = 1.0
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l
+        return result
+
+    def margin(self) -> float:
+        """Sum of the side lengths (the R* split quality criterion)."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    def center(self) -> Tuple[float, ...]:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb *other* (Guttman's criterion)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return all(
+            l1 <= h2 and l2 <= h1
+            for l1, h1, l2, h2 in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Rect(lo, hi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.area()
+
+    def contains(self, other: "Rect") -> bool:
+        return all(
+            l1 <= l2 and h2 <= h1
+            for l1, h1, l2, h2 in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def contains_point(self, *coords: float) -> bool:
+        return all(l <= c <= h for l, c, h in zip(self.lo, coords, self.hi))
+
+    def distance_to_center(self, other: "Rect") -> float:
+        """Squared center distance (used by forced reinsertion ordering)."""
+        return sum((a - b) ** 2 for a, b in zip(self.center(), other.center()))
+
+    def __str__(self) -> str:
+        pairs = ", ".join(
+            f"[{l:g},{h:g}]" for l, h in zip(self.lo, self.hi)
+        )
+        return f"Rect({pairs})"
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """Minimum bounding rectangle of a non-empty collection."""
+    rects = iter(rects)
+    try:
+        result = next(rects)
+    except StopIteration:
+        raise ValueError("cannot bound an empty collection") from None
+    for rect in rects:
+        result = result.union(rect)
+    return result

@@ -1,0 +1,378 @@
+"""The R*-tree [BEC90]: the structural base of the GR-tree.
+
+Implements the full R* algorithm suite over paged nodes: ChooseSubtree
+(minimum overlap enlargement at the leaf level, minimum area enlargement
+above), OverflowTreatment with forced reinsertion (once per level per
+insertion), the topological split (choose axis by margin, distribution by
+overlap), deletion with tree condensation, and window search with node-
+access accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.rtree.geometry import Rect, union_all
+from repro.rtree.node import Entry, Node, NodeStore
+
+
+class RStarTree:
+    """A disk-based R*-tree over a :class:`~repro.rtree.node.NodeStore`."""
+
+    def __init__(
+        self,
+        store: NodeStore,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+        root_id: Optional[int] = None,
+        height: int = 1,
+        size: int = 0,
+    ) -> None:
+        self.store = store
+        self.max_entries = store.capacity
+        self.min_entries = max(2, math.ceil(store.capacity * min_fill))
+        self.reinsert_count = max(1, int(store.capacity * reinsert_fraction))
+        #: Subclasses (the Guttman R-tree) can disable forced reinsertion.
+        self.reinsert_enabled = True
+        if root_id is None:
+            root = store.allocate(leaf=True, level=0)
+            store.write(root)
+            root_id = root.page_id
+        self.root_id = root_id
+        self.height = height
+        self.size = size
+        #: Node accesses performed by the most recent search.
+        self.last_node_accesses = 0
+        #: Set when the most recent deletion condensed the tree (needed by
+        #: the GR-tree cursor-restart compromise of Section 5.5).
+        self.condensed = False
+        self._reinserted_levels: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, rowid: int, fragid: int = 0) -> None:
+        """Insert a data rectangle (ID1 of the R* paper)."""
+        self._reinserted_levels = set()
+        self._insert_entry(Entry(rect, rowid=rowid, fragid=fragid), level=0)
+        self.size += 1
+
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        path = self._choose_path(entry.rect, level)
+        node = path[-1]
+        node.entries.append(entry)
+        self._propagate_up(path)
+
+    def _choose_path(self, rect: Rect, target_level: int) -> List[Node]:
+        """Read the root-to-target-level path chosen for *rect* (CS1-CS3)."""
+        path = [self.store.read(self.root_id)]
+        while path[-1].level > target_level:
+            node = path[-1]
+            index = self._choose_subtree(node, rect)
+            path.append(self.store.read(node.entries[index].child))
+        return path
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """R* ChooseSubtree: overlap-driven just above the leaves."""
+        if node.level == 1:
+            return self._least_overlap_enlargement(node, rect)
+        return self._least_area_enlargement(node, rect)
+
+    def _least_area_enlargement(self, node: Node, rect: Rect) -> int:
+        best, best_key = 0, None
+        for i, entry in enumerate(node.entries):
+            key = (entry.rect.enlargement(rect), entry.rect.area())
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def _least_overlap_enlargement(self, node: Node, rect: Rect) -> int:
+        best, best_key = 0, None
+        rects = [e.rect for e in node.entries]
+        for i, entry in enumerate(node.entries):
+            enlarged = entry.rect.union(rect)
+            overlap_delta = sum(
+                enlarged.overlap_area(other) - entry.rect.overlap_area(other)
+                for j, other in enumerate(rects)
+                if j != i
+            )
+            key = (overlap_delta, entry.rect.enlargement(rect), entry.rect.area())
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    # ------------------------------------------------------------------
+    # Overflow treatment: forced reinsert, then split
+    # ------------------------------------------------------------------
+
+    def _propagate_up(self, path: List[Node]) -> None:
+        """Write back a modified path, treating overflows bottom-up."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.entries) > self.max_entries:
+                if (
+                    self.reinsert_enabled
+                    and depth > 0
+                    and node.level not in self._reinserted_levels
+                ):
+                    self._reinserted_levels.add(node.level)
+                    self._force_reinsert(path, depth)
+                    return
+                self._split(path, depth)
+                if depth > 0:
+                    # The parent gained an entry; keep propagating.
+                    continue
+                return
+            self.store.write(node)
+            if depth > 0:
+                parent = path[depth - 1]
+                self._refresh_child_rect(parent, node)
+        # Path fully written.
+
+    def _refresh_child_rect(self, parent: Node, child: Node) -> None:
+        for entry in parent.entries:
+            if entry.child == child.page_id:
+                entry.rect = child.mbr()
+                return
+        raise RuntimeError(
+            f"child {child.page_id} not found in parent {parent.page_id}"
+        )
+
+    def _force_reinsert(self, path: List[Node], depth: int) -> None:
+        """R* forced reinsertion: evict the p entries farthest from the
+        node's center and insert them again at the same level."""
+        node = path[depth]
+        center_rect = node.mbr()
+        node.entries.sort(
+            key=lambda e: e.rect.distance_to_center(center_rect), reverse=True
+        )
+        evicted = node.entries[: self.reinsert_count]
+        node.entries = node.entries[self.reinsert_count :]
+        self.store.write(node)
+        # Shrink ancestor rectangles before reinserting.
+        for d in range(depth - 1, -1, -1):
+            self._refresh_child_rect(path[d], path[d + 1])
+            self.store.write(path[d])
+        # Close reinsert: farthest entries first were sorted; reinsert in
+        # increasing distance order (reverse of eviction order).
+        for entry in reversed(evicted):
+            self._insert_entry(entry, node.level)
+
+    def _split(self, path: List[Node], depth: int) -> None:
+        """R* topological split of ``path[depth]``."""
+        node = path[depth]
+        group_a, group_b = self._choose_split(node.entries)
+        node.entries = group_a
+        sibling = self.store.allocate(leaf=node.leaf, level=node.level)
+        sibling.entries = group_b
+        self.store.write(node)
+        self.store.write(sibling)
+        if depth == 0:
+            new_root = self.store.allocate(leaf=False, level=node.level + 1)
+            new_root.entries = [
+                Entry(node.mbr(), child=node.page_id),
+                Entry(sibling.mbr(), child=sibling.page_id),
+            ]
+            self.store.write(new_root)
+            self.root_id = new_root.page_id
+            self.height += 1
+            return
+        parent = path[depth - 1]
+        self._refresh_child_rect(parent, node)
+        parent.entries.append(Entry(sibling.mbr(), child=sibling.page_id))
+
+    def _choose_split(
+        self, entries: List[Entry]
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """ChooseSplitAxis (min margin sum) + ChooseSplitIndex (min
+        overlap, ties by area)."""
+        m = self.min_entries
+        ndim = entries[0].rect.ndim
+        best_axis, best_axis_margin = 0, None
+        for axis in range(ndim):
+            margin = 0.0
+            for sort_key in (lambda e: (e.rect.lo[axis], e.rect.hi[axis]),
+                             lambda e: (e.rect.hi[axis], e.rect.lo[axis])):
+                ordered = sorted(entries, key=sort_key)
+                for k in range(m, len(ordered) - m + 1):
+                    margin += union_all(e.rect for e in ordered[:k]).margin()
+                    margin += union_all(e.rect for e in ordered[k:]).margin()
+            if best_axis_margin is None or margin < best_axis_margin:
+                best_axis, best_axis_margin = axis, margin
+        axis = best_axis
+        best_split, best_key = None, None
+        for sort_key in (lambda e: (e.rect.lo[axis], e.rect.hi[axis]),
+                         lambda e: (e.rect.hi[axis], e.rect.lo[axis])):
+            ordered = sorted(entries, key=sort_key)
+            for k in range(m, len(ordered) - m + 1):
+                mbr_a = union_all(e.rect for e in ordered[:k])
+                mbr_b = union_all(e.rect for e in ordered[k:])
+                key = (mbr_a.overlap_area(mbr_b), mbr_a.area() + mbr_b.area())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_split = (ordered[:k], ordered[k:])
+        assert best_split is not None
+        return best_split
+
+    # ------------------------------------------------------------------
+    # Deletion and condensation
+    # ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, rowid: int, fragid: int = 0) -> bool:
+        """Remove a data entry; returns whether it was found.
+
+        Sets :attr:`condensed` when underfull nodes were dissolved (their
+        entries reinserted), which invalidates open scans (Section 5.5).
+        """
+        self.condensed = False
+        found = self._find_leaf_path(
+            self.store.read(self.root_id), rect, rowid, fragid, []
+        )
+        if found is None:
+            return False
+        path, entry_index = found
+        leaf = path[-1]
+        del leaf.entries[entry_index]
+        self.size -= 1
+        self._condense(path)
+        self._shrink_root()
+        return True
+
+    def _find_leaf_path(
+        self,
+        node: Node,
+        rect: Rect,
+        rowid: int,
+        fragid: int,
+        path: List[Node],
+    ) -> Optional[Tuple[List[Node], int]]:
+        path = path + [node]
+        if node.leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.rowid == rowid and entry.fragid == fragid and (
+                    entry.rect == rect
+                ):
+                    return path, i
+            return None
+        for entry in node.entries:
+            if entry.rect.contains(rect):
+                child = self.store.read(entry.child)
+                result = self._find_leaf_path(child, rect, rowid, fragid, path)
+                if result is not None:
+                    return result
+        return None
+
+    def _condense(self, path: List[Node]) -> None:
+        orphans: List[Tuple[Entry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.min_entries:
+                # Dissolve the node: remove it from the parent, queue its
+                # surviving entries for reinsertion at the same level.
+                parent.entries = [
+                    e for e in parent.entries if e.child != node.page_id
+                ]
+                orphans.extend((entry, node.level) for entry in node.entries)
+                self.store.free(node.page_id)
+                self.condensed = True
+            else:
+                self.store.write(node)
+                self._refresh_child_rect(parent, node)
+        self.store.write(path[0])
+        # Reinsert orphans bottom-up so leaf entries go back to leaves.
+        for entry, level in sorted(orphans, key=lambda pair: pair[1]):
+            self._reinserted_levels = set()
+            self._insert_entry(entry, level)
+
+    def _shrink_root(self) -> None:
+        root = self.store.read(self.root_id)
+        while not root.leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child
+            self.store.free(root.page_id)
+            self.root_id = child_id
+            self.height -= 1
+            root = self.store.read(child_id)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, query: Rect) -> List[Tuple[int, int]]:
+        """All (rowid, fragid) whose rectangles intersect *query*."""
+        self.last_node_accesses = 0
+        results: List[Tuple[int, int]] = []
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            self.last_node_accesses += 1
+            for entry in node.entries:
+                if entry.rect.intersects(query):
+                    if node.leaf:
+                        results.append((entry.rowid, entry.fragid))
+                    else:
+                        stack.append(entry.child)
+        return results
+
+    def count(self, query: Rect) -> int:
+        return len(self.search(query))
+
+    # ------------------------------------------------------------------
+    # Introspection and integrity checking
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self):
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            yield node
+            if not node.leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def check(self) -> None:
+        """Verify structural invariants (the ``am_check`` contract):
+        MBR containment, fill bounds, level consistency, size."""
+        leaf_entries = 0
+        for node in self.iter_nodes():
+            if node.page_id != self.root_id and len(node.entries) < self.min_entries:
+                raise AssertionError(
+                    f"node {node.page_id} underfull: {len(node.entries)}"
+                )
+            if len(node.entries) > self.max_entries:
+                raise AssertionError(f"node {node.page_id} overfull")
+            if node.leaf:
+                if node.level != 0:
+                    raise AssertionError("leaf node with nonzero level")
+                leaf_entries += len(node.entries)
+                continue
+            for entry in node.entries:
+                child = self.store.read(entry.child)
+                if child.level != node.level - 1:
+                    raise AssertionError("level mismatch between parent and child")
+                if entry.rect != child.mbr():
+                    raise AssertionError(
+                        f"parent rect of node {child.page_id} is not the "
+                        f"exact MBR of its entries"
+                    )
+        if leaf_entries != self.size:
+            raise AssertionError(
+                f"size mismatch: counted {leaf_entries}, recorded {self.size}"
+            )
+
+    def stats(self) -> Dict[str, float]:
+        nodes = list(self.iter_nodes())
+        leaves = [n for n in nodes if n.leaf]
+        return {
+            "height": self.height,
+            "size": self.size,
+            "nodes": len(nodes),
+            "leaves": len(leaves),
+            "avg_fill": (
+                sum(len(n.entries) for n in nodes) / (len(nodes) * self.max_entries)
+            ),
+        }

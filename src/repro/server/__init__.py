@@ -1,0 +1,34 @@
+"""The extensible DBMS substrate ("mini-Informix").
+
+This subpackage rebuilds the machinery the paper's DataBlade plugs into:
+system catalogs, a type system with *opaque* user-defined types, a
+user-defined-routine (UDR) registry, *secondary access methods* defined by
+purpose functions, *operator classes* binding strategy and support
+functions to an access method, descriptors (index, scan, qualification),
+an optimizer that decides when a virtual index applies, and a small SQL
+front end covering every statement the paper shows.
+"""
+
+from repro.server.errors import (
+    AccessMethodError,
+    CatalogError,
+    DataTypeError,
+    ExecutionError,
+    ServerError,
+    SqlError,
+    TransactionError,
+    UdrError,
+)
+from repro.server.server import DatabaseServer
+
+__all__ = [
+    "AccessMethodError",
+    "CatalogError",
+    "DataTypeError",
+    "ExecutionError",
+    "ServerError",
+    "SqlError",
+    "TransactionError",
+    "UdrError",
+    "DatabaseServer",
+]

@@ -1,0 +1,227 @@
+"""Secondary access methods, purpose functions, and descriptors.
+
+Step 2/3 of Section 4: a developer defines a *secondary access method* by
+registering a set of *purpose functions* (Table 2) with ``CREATE
+SECONDARY ACCESS_METHOD``.  Only ``am_getnext`` is mandatory.  The server
+invokes the purpose functions with *descriptors* -- structures the server
+fills in and the DataBlade reads (and extends with user data):
+
+* the **index descriptor** (``td``) describes one virtual index;
+* the **scan descriptor** (``sd``) carries the index descriptor plus the
+  **qualification descriptor** (``qd``), the relevant part of the WHERE
+  clause, restricted to single-column predicates (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.server.errors import AccessMethodError
+
+#: The purpose-function slots of the paper's Table 2, in its order.
+PURPOSE_SLOTS = (
+    "am_create",
+    "am_drop",
+    "am_open",
+    "am_close",
+    "am_beginscan",
+    "am_endscan",
+    "am_rescan",
+    "am_getnext",
+    "am_insert",
+    "am_delete",
+    "am_update",
+    "am_scancost",
+    "am_stats",
+    "am_check",
+)
+
+#: Task descriptions, Table 2 verbatim (used by its benchmark).
+PURPOSE_TASKS = {
+    "Creating and dropping an index.": ("am_create", "am_drop"),
+    "Opening and closing an index.": ("am_open", "am_close"),
+    "Scanning an index for records that meet the qualifications of a query.": (
+        "am_beginscan",
+        "am_endscan",
+        "am_rescan",
+        "am_getnext",
+    ),
+    "Adding, deleting, and updating records in an index.": (
+        "am_insert",
+        "am_delete",
+        "am_update",
+    ),
+    "Determining the cost for a scan of an index.": ("am_scancost",),
+    "Updating statistics.": ("am_stats",),
+    "Checking an index consistency.": ("am_check",),
+}
+
+
+class SpaceType(enum.Enum):
+    """Where virtual indices of an access method live (``am_sptype``)."""
+
+    SBSPACE = "S"
+    EXTERNAL_FILE = "F"
+
+
+@dataclass
+class SecondaryAccessMethod:
+    """A registered access method: purpose-function names + properties."""
+
+    name: str
+    purpose_functions: Dict[str, str]  # slot -> registered UDR name
+    sptype: SpaceType = SpaceType.SBSPACE
+    default_opclass: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.purpose_functions) - set(PURPOSE_SLOTS)
+        if unknown:
+            raise AccessMethodError(
+                f"unknown purpose-function slots: {sorted(unknown)}"
+            )
+        if "am_getnext" not in self.purpose_functions:
+            raise AccessMethodError(
+                "am_getnext is mandatory for a secondary access method"
+            )
+
+    def has(self, slot: str) -> bool:
+        return slot in self.purpose_functions
+
+
+# ----------------------------------------------------------------------
+# Qualification descriptors
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SimpleQualification:
+    """One strategy-function predicate: ``f(column, constant)``,
+    ``f(constant, column)``, or ``f(column)``."""
+
+    function: str
+    column: str
+    constant: Any = None
+    constant_first: bool = False
+    has_constant: bool = True
+
+    def arguments(self, column_value: Any) -> Tuple[Any, ...]:
+        """Argument tuple for invoking the strategy UDR on a row value."""
+        if not self.has_constant:
+            return (column_value,)
+        if self.constant_first:
+            return (self.constant, column_value)
+        return (column_value, self.constant)
+
+
+class BooleanOperator(enum.Enum):
+    AND = "and"
+    OR = "or"
+
+
+@dataclass
+class CompoundQualification:
+    """An AND/OR combination of qualifications (Section 6.3: the blade
+    breaks these into simple ones)."""
+
+    operator: BooleanOperator
+    children: List["Qualification"]
+
+
+Qualification = Union[SimpleQualification, CompoundQualification]
+
+
+def qualification_functions(qual: Qualification) -> List[str]:
+    """All strategy-function names appearing in a qualification."""
+    if isinstance(qual, SimpleQualification):
+        return [qual.function]
+    names: List[str] = []
+    for child in qual.children:
+        names.extend(qualification_functions(child))
+    return names
+
+
+def qualification_column(qual: Qualification) -> Optional[str]:
+    """The single column a qualification refers to, or ``None`` if mixed."""
+    if isinstance(qual, SimpleQualification):
+        return qual.column
+    columns = {qualification_column(child) for child in qual.children}
+    return columns.pop() if len(columns) == 1 else None
+
+
+# ----------------------------------------------------------------------
+# Index and scan descriptors
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IndexDescriptor:
+    """The ``td`` structure passed to every purpose function."""
+
+    index_name: str
+    table_name: str
+    columns: Tuple[str, ...]
+    column_types: Tuple[str, ...]
+    am_name: str
+    opclass_names: Tuple[str, ...]
+    space_name: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    #: Slot for DataBlade-managed state (the Tree object, blob handles...).
+    user_data: Dict[str, Any] = field(default_factory=dict)
+    #: Filled by the server with session/server context before each call.
+    server: Any = None
+    session: Any = None
+
+    @property
+    def fragments(self) -> Tuple[int, ...]:
+        return (0,)  # the reproduction keeps tables unfragmented
+
+
+@dataclass
+class ScanDescriptor:
+    """The ``sd`` structure for a scan: index + qualification."""
+
+    index: IndexDescriptor
+    qualification: Optional[Qualification]
+    user_data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RowReference:
+    """What ``am_getnext`` returns: a rowid/fragid plus the indexed
+    fields, so covering queries can skip the base table."""
+
+    rowid: int
+    fragid: int = 0
+    row: Optional[Tuple[Any, ...]] = None
+
+
+class AccessMethodRegistry:
+    """The SYSAMS slice of the catalog."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[str, SecondaryAccessMethod] = {}
+
+    def register(self, am: SecondaryAccessMethod) -> SecondaryAccessMethod:
+        key = am.name.lower()
+        if key in self._methods:
+            raise AccessMethodError(f"access method {am.name} already exists")
+        self._methods[key] = am
+        return am
+
+    def unregister(self, name: str) -> None:
+        if self._methods.pop(name.lower(), None) is None:
+            raise AccessMethodError(f"no access method {name}")
+
+    def get(self, name: str) -> SecondaryAccessMethod:
+        try:
+            return self._methods[name.lower()]
+        except KeyError:
+            raise AccessMethodError(f"no access method {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._methods
+
+    def names(self) -> List[str]:
+        return sorted(self._methods)

@@ -1,0 +1,277 @@
+"""The server's type system, including opaque user-defined types.
+
+Built-in types cover what the paper's discussion needs (``INTEGER``,
+``FLOAT``, ``TEXT``/``LVARCHAR``, ``BOOLEAN``, ``DATE``, ``DATETIME``).
+An :class:`OpaqueType` (Step 1 of Section 4) is a type the server does not
+interpret; the DataBlade supplies *type support functions*:
+
+1. text input/output -- between SQL literals and the internal structure;
+2. binary send/receive -- between the internal structure and the
+   client/server wire representation;
+3. text-file import/export -- for the ``LOAD`` command.
+
+(The paper notes these pairs perform very similar tasks; the default
+import/export simply reuse input/output, exactly the de-duplication the
+authors wished BladeSmith had done.)
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.server.errors import DataTypeError
+from repro.temporal.chronon import Granularity, format_chronon, parse_chronon
+
+
+class DataType:
+    """Base class: a named type with text and binary codecs."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name.upper()
+
+    # -- text I/O -------------------------------------------------------
+
+    def input(self, text: str) -> Any:
+        """Parse the SQL textual representation."""
+        raise NotImplementedError
+
+    def output(self, value: Any) -> str:
+        """Render to the SQL textual representation."""
+        return str(value)
+
+    # -- binary send/receive ---------------------------------------------
+
+    def send(self, value: Any) -> bytes:
+        """Encode for the client/server connection."""
+        return self.output(value).encode("utf-8")
+
+    def receive(self, data: bytes) -> Any:
+        return self.input(data.decode("utf-8"))
+
+    # -- text-file import/export (the LOAD command) ----------------------
+
+    def import_text(self, text: str) -> Any:
+        return self.input(text)
+
+    def export_text(self, value: Any) -> str:
+        return self.output(value)
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self, value: Any) -> Any:
+        """Check (and possibly coerce) a Python-level value."""
+        return value
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class IntegerType(DataType):
+    def __init__(self) -> None:
+        super().__init__("INTEGER")
+
+    def input(self, text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise DataTypeError(f"invalid INTEGER literal: {text!r}") from None
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise DataTypeError(f"INTEGER expected, got {value!r}")
+        return value
+
+
+class FloatType(DataType):
+    def __init__(self) -> None:
+        super().__init__("FLOAT")
+
+    def input(self, text: str) -> float:
+        try:
+            return float(text)
+        except ValueError:
+            raise DataTypeError(f"invalid FLOAT literal: {text!r}") from None
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise DataTypeError(f"FLOAT expected, got {value!r}")
+        return float(value)
+
+
+class TextType(DataType):
+    def __init__(self, name: str = "LVARCHAR") -> None:
+        super().__init__(name)
+
+    def input(self, text: str) -> str:
+        return text
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise DataTypeError(f"{self.name} expected, got {value!r}")
+        return value
+
+
+class BooleanType(DataType):
+    def __init__(self) -> None:
+        super().__init__("BOOLEAN")
+
+    def input(self, text: str) -> bool:
+        lowered = text.strip().lower()
+        if lowered in ("t", "true", "1"):
+            return True
+        if lowered in ("f", "false", "0"):
+            return False
+        raise DataTypeError(f"invalid BOOLEAN literal: {text!r}")
+
+    def output(self, value: Any) -> str:
+        return "t" if value else "f"
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, bool):
+            raise DataTypeError(f"BOOLEAN expected, got {value!r}")
+        return value
+
+
+class DateType(DataType):
+    """Days (or months) as integer chronons, in the paper's text formats."""
+
+    def __init__(self, granularity: Granularity = Granularity.DAY) -> None:
+        super().__init__("DATE")
+        self.granularity = granularity
+
+    def input(self, text: str) -> int:
+        try:
+            return parse_chronon(text, self.granularity)
+        except ValueError as exc:
+            raise DataTypeError(f"invalid DATE literal: {text!r}") from exc
+
+    def output(self, value: Any) -> str:
+        return format_chronon(value, self.granularity)
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise DataTypeError(f"DATE expected, got {value!r}")
+        return value
+
+
+class DateTimeType(DataType):
+    """Fraction-of-a-second timestamps (ISO text format)."""
+
+    def __init__(self) -> None:
+        super().__init__("DATETIME")
+
+    def input(self, text: str) -> datetime.datetime:
+        try:
+            return datetime.datetime.fromisoformat(text.strip())
+        except ValueError:
+            raise DataTypeError(f"invalid DATETIME literal: {text!r}") from None
+
+    def output(self, value: Any) -> str:
+        return value.isoformat(sep=" ")
+
+    def validate(self, value: Any) -> datetime.datetime:
+        if not isinstance(value, datetime.datetime):
+            raise DataTypeError(f"DATETIME expected, got {value!r}")
+        return value
+
+
+class OpaqueType(DataType):
+    """A user-defined type with developer-supplied support functions.
+
+    ``input_fn``/``output_fn`` are mandatory; binary and import/export
+    support default to being derived from the text pair.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_fn: Callable[[str], Any],
+        output_fn: Callable[[Any], str],
+        send_fn: Optional[Callable[[Any], bytes]] = None,
+        receive_fn: Optional[Callable[[bytes], Any]] = None,
+        import_fn: Optional[Callable[[str], Any]] = None,
+        export_fn: Optional[Callable[[Any], str]] = None,
+        validate_fn: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        super().__init__(name)
+        self._input = input_fn
+        self._output = output_fn
+        self._send = send_fn
+        self._receive = receive_fn
+        self._import = import_fn
+        self._export = export_fn
+        self._validate = validate_fn
+
+    def input(self, text: str) -> Any:
+        return self._input(text)
+
+    def output(self, value: Any) -> str:
+        return self._output(value)
+
+    def send(self, value: Any) -> bytes:
+        if self._send is not None:
+            return self._send(value)
+        return super().send(value)
+
+    def receive(self, data: bytes) -> Any:
+        if self._receive is not None:
+            return self._receive(data)
+        return super().receive(data)
+
+    def import_text(self, text: str) -> Any:
+        if self._import is not None:
+            return self._import(text)
+        return self.input(text)
+
+    def export_text(self, value: Any) -> str:
+        if self._export is not None:
+            return self._export(value)
+        return self.output(value)
+
+    def validate(self, value: Any) -> Any:
+        if self._validate is not None:
+            return self._validate(value)
+        return value
+
+
+class TypeRegistry:
+    """The SYSTYPES slice of the catalog."""
+
+    def __init__(self, granularity: Granularity = Granularity.DAY) -> None:
+        self._types: Dict[str, DataType] = {}
+        for builtin in (
+            IntegerType(),
+            FloatType(),
+            TextType("LVARCHAR"),
+            TextType("TEXT"),
+            BooleanType(),
+            DateType(granularity),
+            DateTimeType(),
+        ):
+            self._types[builtin.name] = builtin
+
+    def register(self, data_type: DataType) -> DataType:
+        if data_type.name in self._types:
+            raise DataTypeError(f"type {data_type.name} already exists")
+        self._types[data_type.name] = data_type
+        return data_type
+
+    def unregister(self, name: str) -> None:
+        name = name.upper()
+        if name not in self._types:
+            raise DataTypeError(f"no type {name}")
+        del self._types[name]
+
+    def get(self, name: str) -> DataType:
+        try:
+            return self._types[name.upper()]
+        except KeyError:
+            raise DataTypeError(f"no type {name.upper()}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._types
+
+    def names(self):
+        return sorted(self._types)

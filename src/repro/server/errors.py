@@ -1,0 +1,35 @@
+"""Error hierarchy of the server layer."""
+
+from __future__ import annotations
+
+
+class ServerError(Exception):
+    """Base class for every error raised by the DBMS substrate."""
+
+
+class SqlError(ServerError):
+    """Syntax or semantic error in an SQL statement."""
+
+
+class CatalogError(ServerError):
+    """Unknown or duplicate catalog object (table, index, type, ...)."""
+
+
+class DataTypeError(ServerError):
+    """Invalid value for a data type, or unknown type."""
+
+
+class UdrError(ServerError):
+    """User-defined-routine registration or resolution failure."""
+
+
+class AccessMethodError(ServerError):
+    """Misuse of the secondary-access-method interface."""
+
+
+class ExecutionError(ServerError):
+    """Runtime failure while executing a statement."""
+
+
+class TransactionError(ServerError):
+    """Transaction state violation (nested begin, commit w/o begin, ...)."""

@@ -1,0 +1,164 @@
+"""The server facade: the "Informix Dynamic Server" of the reproduction.
+
+Wires together the clock, catalogs, shared-library registry, memory
+manager, trace facility, lock manager, write-ahead log, sbspaces, and the
+SQL executor.  DataBlade modules see this object through the index
+descriptor (``td.server``) and use it the way real blades use the
+DataBlade API: to open smart blobs, allocate named memory, emit trace
+messages, and register transaction-end callbacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.server import sql as ast
+from repro.server.access_method import SecondaryAccessMethod, SpaceType
+from repro.server.catalog import SystemCatalog
+from repro.server.datatypes import TypeRegistry
+from repro.server.errors import CatalogError
+from repro.server.executor import Executor
+from repro.server.memory import MemoryManager
+from repro.server.session import Session
+from repro.server.trace import TraceFacility
+from repro.server.udr import SharedLibraryRegistry
+from repro.storage.locks import LockManager
+from repro.storage.sbspace import Sbspace
+from repro.storage.wal import WriteAheadLog
+from repro.temporal.chronon import Clock, Granularity
+
+
+class DatabaseServer:
+    """An embeddable, extensible relational engine."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        granularity: Granularity = Granularity.DAY,
+        page_size: int = 2048,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock(granularity=granularity)
+        self.page_size = page_size
+        self.types = TypeRegistry(self.clock.granularity)
+        self.catalog = SystemCatalog(self.types)
+        self.library = SharedLibraryRegistry()
+        self.memory = MemoryManager()
+        self.trace = TraceFacility()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self.sbspaces: Dict[str, Sbspace] = {}
+        self.executor = Executor(self)
+        self._txn_ids = itertools.count(1)
+        #: The session internal work runs under (cost estimation etc.).
+        self.system_session = Session(self)
+        #: The most recent plan chosen by the optimizer (for inspection).
+        self.last_plan = None
+        #: Optimizer directive: always use an applicable virtual index.
+        self.prefer_virtual_index = False
+
+    # ------------------------------------------------------------------
+    # Sessions and transactions
+    # ------------------------------------------------------------------
+
+    def create_session(self) -> Session:
+        return Session(self)
+
+    def next_txn_id(self) -> int:
+        return next(self._txn_ids)
+
+    def bind_transaction(self, session: Session, txn_id: int) -> None:
+        for space in self.sbspaces.values():
+            space.set_transaction(txn_id)
+
+    def release_transaction(self, session: Session, txn_id: int) -> None:
+        self.locks.release_all(txn_id)
+        for space in self.sbspaces.values():
+            space.end_transaction(txn_id)
+            space.set_transaction(None)
+
+    def rollback_storage(self, txn_id: int) -> None:
+        for space in self.sbspaces.values():
+            space.rollback(txn_id)
+
+    # ------------------------------------------------------------------
+    # Storage spaces (Step 5: the onspaces command)
+    # ------------------------------------------------------------------
+
+    def create_sbspace(self, name: str = "sbspace1") -> Sbspace:
+        """The ``onspaces -c -S`` analogue."""
+        key = name.lower()
+        if key in self.sbspaces:
+            raise CatalogError(f"sbspace {name} already exists")
+        space = Sbspace(
+            name, page_size=self.page_size, lock_manager=self.locks, wal=self.wal
+        )
+        self.sbspaces[key] = space
+        return space
+
+    onspaces = create_sbspace
+
+    def get_sbspace(self, name: str) -> Sbspace:
+        try:
+            return self.sbspaces[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no sbspace {name}; create it first (onspaces)"
+            ) from None
+
+    def default_space_name(self, am: SecondaryAccessMethod) -> str:
+        if am.sptype is SpaceType.SBSPACE:
+            if not self.sbspaces:
+                raise CatalogError(
+                    "no sbspace exists; run create_sbspace() first (Step 5)"
+                )
+            return sorted(self.sbspaces)[0]
+        return "external"
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+
+    def execute(self, sql_text: str, session: Optional[Session] = None) -> Any:
+        """Parse and execute one SQL statement."""
+        if session is None:
+            session = self.system_session
+        if session.in_transaction:
+            self.bind_transaction(session, session.transaction.txn_id)
+        statement = ast.parse(sql_text)
+        return self.executor.execute(statement, session)
+
+    def run_script(self, script: str, session: Optional[Session] = None) -> List[Any]:
+        """Execute a semicolon-separated script (BladeManager-style
+        registration scripts are shipped in this form)."""
+        results = []
+        for statement in self._split_statements(script):
+            results.append(self.execute(statement, session))
+        return results
+
+    @staticmethod
+    def _split_statements(script: str) -> List[str]:
+        statements: List[str] = []
+        current: List[str] = []
+        in_string: Optional[str] = None
+        for char in script:
+            if in_string:
+                current.append(char)
+                if char == in_string:
+                    in_string = None
+                continue
+            if char in ("'", '"'):
+                in_string = char
+                current.append(char)
+                continue
+            if char == ";":
+                text = "".join(current).strip()
+                if text:
+                    statements.append(text)
+                current = []
+                continue
+            current.append(char)
+        tail = "".join(current).strip()
+        if tail:
+            statements.append(tail)
+        return statements

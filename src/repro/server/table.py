@@ -1,0 +1,135 @@
+"""Heap tables over the dbspace: rows, rowids, and page accounting.
+
+Tables live in *dbspaces* (Section 5.3: table data and built-in index
+data live there; there is no public DataBlade interface to them, which is
+why virtual indices must use sbspaces or OS files).  Rows are slotted;
+a rowid is stable for the lifetime of the row.  Sequential-scan I/O is
+charged at ``rows_per_page`` rows per page so that the optimizer has an
+honest seqscan cost to compare against ``am_scancost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.server.datatypes import DataType
+from repro.server.errors import CatalogError, ExecutionError
+
+#: How many heap rows share one page for I/O-accounting purposes.
+ROWS_PER_PAGE = 32
+
+
+@dataclass
+class Column:
+    name: str
+    data_type: DataType
+
+    @property
+    def type_name(self) -> str:
+        return self.data_type.name
+
+
+class Table:
+    """A slotted heap table."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise CatalogError(f"table {name} needs at least one column")
+        seen = set()
+        for column in columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise CatalogError(f"duplicate column {column.name} in {name}")
+            seen.add(lowered)
+        self.name = name
+        self.columns = list(columns)
+        self._rows: List[Optional[Dict[str, Any]]] = []
+        self._live = 0
+        #: Pages read by sequential scans (the seqscan cost ledger).
+        self.pages_read = 0
+
+    # ------------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name.lower() == name.lower():
+                return column
+        raise CatalogError(f"table {self.name} has no column {name}")
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name.lower() == name.lower() for c in self.columns)
+
+    # ------------------------------------------------------------------
+
+    def insert_row(self, values: Dict[str, Any]) -> int:
+        """Validate against column types and append; returns the rowid."""
+        normalized: Dict[str, Any] = {}
+        for column in self.columns:
+            if column.name not in values and not any(
+                k.lower() == column.name.lower() for k in values
+            ):
+                raise ExecutionError(
+                    f"INSERT into {self.name} is missing column {column.name}"
+                )
+            raw = values.get(column.name)
+            if raw is None:
+                raw = next(
+                    v for k, v in values.items() if k.lower() == column.name.lower()
+                )
+            normalized[column.name] = column.data_type.validate(raw)
+        extra = {
+            k for k in values if not self.has_column(k)
+        }
+        if extra:
+            raise ExecutionError(f"unknown columns in INSERT: {sorted(extra)}")
+        self._rows.append(normalized)
+        self._live += 1
+        return len(self._rows) - 1
+
+    def fetch(self, rowid: int) -> Dict[str, Any]:
+        if not 0 <= rowid < len(self._rows) or self._rows[rowid] is None:
+            raise ExecutionError(f"no row {rowid} in table {self.name}")
+        return self._rows[rowid]
+
+    def delete_row(self, rowid: int) -> Dict[str, Any]:
+        row = self.fetch(rowid)
+        self._rows[rowid] = None
+        self._live -= 1
+        return row
+
+    def update_row(self, rowid: int, changes: Dict[str, Any]) -> Tuple[
+        Dict[str, Any], Dict[str, Any]
+    ]:
+        """Apply *changes*; returns (old_row, new_row)."""
+        old = dict(self.fetch(rowid))
+        new = dict(old)
+        for key, value in changes.items():
+            column = self.column(key)
+            new[column.name] = column.data_type.validate(value)
+        self._rows[rowid] = new
+        return old, new
+
+    def scan(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Full scan, charging page reads."""
+        for start in range(0, len(self._rows), ROWS_PER_PAGE):
+            self.pages_read += 1
+            for rowid in range(start, min(start + ROWS_PER_PAGE, len(self._rows))):
+                row = self._rows[rowid]
+                if row is not None:
+                    yield rowid, row
+
+    @property
+    def row_count(self) -> int:
+        return self._live
+
+    @property
+    def page_count(self) -> int:
+        return max(1, -(-len(self._rows) // ROWS_PER_PAGE))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.type_name}" for c in self.columns)
+        return f"<Table {self.name}({cols}) rows={self._live}>"

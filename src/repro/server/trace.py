@@ -1,0 +1,70 @@
+"""Trace messages with trace classes and levels (Section 6.4).
+
+"Our findings are that the extensive usage of trace messages is a good
+instrument for debugging a DataBlade module.  Trace messages are directed
+to a special trace file and can be switched on or off selectively using
+trace classes and trace levels."
+
+The reproduction uses the same facility both as the debugging aid the
+paper describes and as the instrumentation with which the Figure 6 and
+Table 5 benchmarks observe purpose-function call sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class TraceMessage:
+    sequence: int
+    trace_class: str
+    level: int
+    text: str
+
+    def __str__(self) -> str:
+        return f"[{self.trace_class}:{self.level}] {self.text}"
+
+
+class TraceFacility:
+    """Collects trace messages, filtered by per-class trace levels."""
+
+    def __init__(self, sink: Optional[TextIO] = None) -> None:
+        self._levels: Dict[str, int] = {}
+        self._messages: List[TraceMessage] = []
+        self._sink = sink
+        self._sequence = 0
+
+    def set_level(self, trace_class: str, level: int) -> None:
+        """Enable *trace_class* up to *level* (0 disables it)."""
+        if level <= 0:
+            self._levels.pop(trace_class, None)
+        else:
+            self._levels[trace_class] = level
+
+    def enabled(self, trace_class: str, level: int = 1) -> bool:
+        return self._levels.get(trace_class, 0) >= level
+
+    def emit(self, trace_class: str, level: int, text: str) -> None:
+        """Record a message if the class is enabled at this level."""
+        if not self.enabled(trace_class, level):
+            return
+        message = TraceMessage(self._sequence, trace_class, level, text)
+        self._sequence += 1
+        self._messages.append(message)
+        if self._sink is not None:
+            self._sink.write(str(message) + "\n")
+
+    # ------------------------------------------------------------------
+
+    def messages(self, trace_class: Optional[str] = None) -> List[TraceMessage]:
+        if trace_class is None:
+            return list(self._messages)
+        return [m for m in self._messages if m.trace_class == trace_class]
+
+    def texts(self, trace_class: Optional[str] = None) -> List[str]:
+        return [m.text for m in self.messages(trace_class)]
+
+    def clear(self) -> None:
+        self._messages.clear()

@@ -1,0 +1,42 @@
+"""Storage substrate: pages, buffering, smart blobs, locks, logging.
+
+The paper's Section 5.3 analyses the two storage options an access-method
+DataBlade has in the Informix server: *sbspace smart blobs* (large objects
+with automatic two-phase locking at large-object granularity) and plain
+*operating-system files* (no services at all).  This subpackage rebuilds
+both, plus the page/buffer machinery and a write-ahead log, so the paper's
+concurrency and recovery discussion can be exercised as code.
+"""
+
+from repro.storage.buffer import BufferPool, IOStats
+from repro.storage.locks import (
+    IsolationLevel,
+    LockConflictError,
+    LockManager,
+    LockMode,
+)
+from repro.storage.multiblob import MultiBlobPageStore
+from repro.storage.osfile import OSFilePageStore
+from repro.storage.pages import PAGE_SIZE, InMemoryPageStore, PageStore
+from repro.storage.sbspace import LargeObjectHandle, Sbspace, SmartBlob
+from repro.storage.wal import LogRecord, RecordKind, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "IOStats",
+    "IsolationLevel",
+    "LockConflictError",
+    "LockManager",
+    "LockMode",
+    "MultiBlobPageStore",
+    "OSFilePageStore",
+    "PAGE_SIZE",
+    "InMemoryPageStore",
+    "PageStore",
+    "LargeObjectHandle",
+    "Sbspace",
+    "SmartBlob",
+    "LogRecord",
+    "RecordKind",
+    "WriteAheadLog",
+]

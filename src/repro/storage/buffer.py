@@ -1,0 +1,121 @@
+"""A buffer pool with LRU replacement and I/O accounting.
+
+Every index structure in the reproduction performs its page traffic
+through a :class:`BufferPool`, so the benchmarks can report I/O counts
+(the currency of the GR-tree evaluation) rather than wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.pages import PageStore
+
+
+@dataclass
+class IOStats:
+    """Counters for logical and physical page traffic."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    logical_writes: int = 0
+    physical_writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.logical_writes = 0
+        self.physical_writes = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            self.logical_reads,
+            self.physical_reads,
+            self.logical_writes,
+            self.physical_writes,
+        )
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.logical_reads - other.logical_reads,
+            self.physical_reads - other.physical_reads,
+            self.logical_writes - other.logical_writes,
+            self.physical_writes - other.physical_writes,
+        )
+
+
+class BufferPool:
+    """Write-back LRU cache of pages over a :class:`PageStore`."""
+
+    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.store = store
+        self.capacity = capacity
+        self.stats = IOStats()
+        # page_id -> (data, dirty); insertion order == recency order.
+        self._frames: "OrderedDict[int, tuple[bytes, bool]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch a page, through the cache."""
+        self.stats.logical_reads += 1
+        if page_id in self._frames:
+            data, dirty = self._frames.pop(page_id)
+            self._frames[page_id] = (data, dirty)
+            return data
+        data = self.store.read_page(page_id)
+        self.stats.physical_reads += 1
+        self._admit(page_id, data, dirty=False)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Stage a page write; flushed on eviction or :meth:`flush`."""
+        data = self.store._check_data(data)
+        self.stats.logical_writes += 1
+        if page_id in self._frames:
+            self._frames.pop(page_id)
+        self._admit(page_id, data, dirty=True)
+
+    def allocate(self) -> int:
+        return self.store.allocate_page()
+
+    def free(self, page_id: int) -> None:
+        """Discard any cached copy and release the page."""
+        self._frames.pop(page_id, None)
+        self.store.free_page(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (keeps frames resident)."""
+        for page_id, (data, dirty) in list(self._frames.items()):
+            if dirty:
+                self.store.write_page(page_id, data)
+                self.stats.physical_writes += 1
+                self._frames[page_id] = (data, False)
+
+    def invalidate(self) -> None:
+        """Drop all frames without writing back (crash simulation)."""
+        self._frames.clear()
+
+    # ------------------------------------------------------------------
+
+    def _admit(self, page_id: int, data: bytes, dirty: bool) -> None:
+        self._frames[page_id] = (data, dirty)
+        while len(self._frames) > self.capacity:
+            victim_id, (victim, victim_dirty) = self._frames.popitem(last=False)
+            if victim_dirty:
+                self.store.write_page(victim_id, victim)
+                self.stats.physical_writes += 1
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)

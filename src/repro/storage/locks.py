@@ -1,0 +1,133 @@
+"""Lock manager: shared/exclusive two-phase locking.
+
+The smart-blob space locks at *large-object* granularity (Section 5.3 of
+the paper): a lock is acquired when a large object is opened and -- this is
+the paper's key observation -- released either when the object is closed
+or only at transaction end, depending on the lock mode and the
+transaction's isolation level.  A DataBlade developer has no control over
+this, which is why R-link-style high-concurrency protocols cannot be built
+on sbspaces.
+
+The reproduction is single-threaded; "concurrency" means interleaved
+operations issued by distinct transaction tokens.  A conflicting request
+raises :class:`LockConflictError` immediately (no blocking), which is what
+the concurrency benchmarks count.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class IsolationLevel(enum.Enum):
+    """The isolation levels the paper's discussion distinguishes."""
+
+    DIRTY_READ = "dirty read"
+    COMMITTED_READ = "committed read"
+    REPEATABLE_READ = "repeatable read"
+
+
+class LockConflictError(RuntimeError):
+    """A lock request conflicts with locks held by other transactions."""
+
+    def __init__(self, resource: Hashable, mode: LockMode, holders: Set[int]) -> None:
+        self.resource = resource
+        self.mode = mode
+        self.holders = set(holders)
+        super().__init__(
+            f"cannot lock {resource!r} in mode {mode.value}: "
+            f"held by transactions {sorted(holders)}"
+        )
+
+
+@dataclass
+class _LockState:
+    shared: Set[int] = field(default_factory=set)
+    exclusive: int | None = None
+
+
+class LockManager:
+    """Grants S/X locks to transaction ids over hashable resources."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[Hashable, _LockState] = defaultdict(_LockState)
+        #: Total number of conflicts observed (for the benchmarks).
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> None:
+        """Grant the lock or raise :class:`LockConflictError`.
+
+        Re-acquisition and S->X upgrade by the sole holder succeed.
+        """
+        state = self._locks[resource]
+        if mode is LockMode.SHARED:
+            if state.exclusive is not None and state.exclusive != txn_id:
+                self.conflicts += 1
+                raise LockConflictError(resource, mode, {state.exclusive})
+            state.shared.add(txn_id)
+            return
+        # Exclusive request.
+        others = (state.shared - {txn_id}) | (
+            {state.exclusive} if state.exclusive not in (None, txn_id) else set()
+        )
+        if others:
+            self.conflicts += 1
+            raise LockConflictError(resource, mode, others)
+        state.shared.discard(txn_id)
+        state.exclusive = txn_id
+
+    def release(self, txn_id: int, resource: Hashable) -> None:
+        """Release this transaction's lock on *resource* (idempotent)."""
+        state = self._locks.get(resource)
+        if state is None:
+            return
+        state.shared.discard(txn_id)
+        if state.exclusive == txn_id:
+            state.exclusive = None
+        if not state.shared and state.exclusive is None:
+            del self._locks[resource]
+
+    def release_all(self, txn_id: int) -> int:
+        """Two-phase release at transaction end; returns count released."""
+        released = 0
+        for resource in list(self._locks):
+            state = self._locks[resource]
+            if txn_id in state.shared or state.exclusive == txn_id:
+                self.release(txn_id, resource)
+                released += 1
+        return released
+
+    # ------------------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> Set[int]:
+        state = self._locks.get(resource)
+        if state is None:
+            return set()
+        result = set(state.shared)
+        if state.exclusive is not None:
+            result.add(state.exclusive)
+        return result
+
+    def mode_held(self, txn_id: int, resource: Hashable) -> LockMode | None:
+        state = self._locks.get(resource)
+        if state is None:
+            return None
+        if state.exclusive == txn_id:
+            return LockMode.EXCLUSIVE
+        if txn_id in state.shared:
+            return LockMode.SHARED
+        return None
+
+    @property
+    def locked_resources(self) -> int:
+        return len(self._locks)

@@ -1,0 +1,111 @@
+"""The "in-between" storage design of Section 5.3.
+
+Between the two extremes the paper analyses -- one large object for the
+whole index (least concurrency) and one per node (bulky handles, costly
+opens) -- it suggests a middle ground: "large objects do not store
+single nodes, but several nodes ... Such a design would require policies
+for assigning nodes to large objects".
+
+:class:`MultiBlobPageStore` implements the straightforward policy: pages
+are striped into fixed-size groups, one large object per group, created
+on demand.  Locking then happens at group granularity (the caller locks
+``("lo", handle)`` exactly as for any large object), so two operations
+conflict only when they touch nodes in the same group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.storage.pages import PageStore
+from repro.storage.sbspace import LargeObjectHandle, Sbspace, SmartBlob
+
+
+class MultiBlobPageStore(PageStore):
+    """A page store striping pages over several smart blobs.
+
+    Page id ``p`` lives in group ``p // pages_per_lo`` at slot
+    ``p % pages_per_lo``.  Groups materialize as large objects the first
+    time a page in them is allocated.
+    """
+
+    def __init__(self, space: Sbspace, pages_per_lo: int = 8) -> None:
+        super().__init__(space.page_size)
+        if pages_per_lo < 1:
+            raise ValueError("pages_per_lo must be at least 1")
+        self.space = space
+        self.pages_per_lo = pages_per_lo
+        self._groups: List[SmartBlob] = []
+        self._allocated: Dict[int, bool] = {}
+        self._free: List[int] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+
+    def _locate(self, page_id: int) -> tuple[SmartBlob, int]:
+        group = page_id // self.pages_per_lo
+        if group >= len(self._groups):
+            raise KeyError(f"page {page_id} is not allocated")
+        return self._groups[group], page_id % self.pages_per_lo
+
+    def handle_for_page(self, page_id: int) -> LargeObjectHandle:
+        """The large object a page lives in -- the locking unit."""
+        blob, _ = self._locate(page_id)
+        return blob.handle
+
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    @property
+    def handle_bytes_per_child_pointer(self) -> float:
+        """Extra bytes a parent entry would carry to address a child in
+        another large object (amortized: one handle per group)."""
+        if not self._groups:
+            return 0.0
+        return self._groups[0].handle.size_bytes / self.pages_per_lo
+
+    # -- PageStore interface ----------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        if not self._allocated.get(page_id):
+            raise KeyError(f"page {page_id} is not allocated")
+        blob, slot = self._locate(page_id)
+        return blob.read_bytes(slot * self.page_size, self.page_size)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if not self._allocated.get(page_id):
+            raise KeyError(f"page {page_id} is not allocated")
+        blob, slot = self._locate(page_id)
+        blob.write_bytes(slot * self.page_size, self._check_data(data))
+
+    def allocate_page(self) -> int:
+        page_id = self._free.pop() if self._free else self._next_id
+        if page_id == self._next_id:
+            self._next_id += 1
+        group = page_id // self.pages_per_lo
+        while group >= len(self._groups):
+            self._groups.append(self.space.create())
+        self._allocated[page_id] = True
+        # Touch the slot so the blob's pages exist (zero-filled).
+        blob, slot = self._locate(page_id)
+        blob.write_bytes(slot * self.page_size, b"\x00" * self.page_size)
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        if not self._allocated.get(page_id):
+            raise KeyError(f"page {page_id} is not allocated")
+        self._allocated[page_id] = False
+        self._free.append(page_id)
+
+    @property
+    def page_count(self) -> int:
+        return sum(1 for live in self._allocated.values() if live)
+
+    def drop(self) -> None:
+        """Release every large object backing the store."""
+        for blob in self._groups:
+            self.space.drop(blob.handle)
+        self._groups.clear()
+        self._allocated.clear()
+        self._free.clear()
+        self._next_id = 0

@@ -1,0 +1,134 @@
+"""Index storage in a regular operating-system file (Section 5.3).
+
+The paper's second storage option: index pages live in an OS file outside
+the server's data space.  The developer gets full freedom -- and zero
+services: "all concurrency control and recovery protocols must be
+implemented by the access-method developer."  Accordingly this store
+offers nothing beyond raw page I/O; the storage-option benchmark contrasts
+that with the sbspace's automatic locking and logging.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional
+
+from repro.storage.pages import PAGE_SIZE, PageStore
+
+#: Header layout: magic, page size, next page id, free-list head.
+_HEADER = struct.Struct("<4sIII")
+_MAGIC = b"GRTF"
+_NO_PAGE = 0xFFFFFFFF
+
+
+class OSFilePageStore(PageStore):
+    """Fixed-size pages in a real file, with an intrusive free list.
+
+    Freed pages chain through their own first four bytes, so the free
+    list costs no extra storage -- the classic slotted-file trick.
+    """
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.path = path
+        create = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "r+b" if not create else "w+b")
+        if create:
+            self._next_id = 0
+            self._free_head = _NO_PAGE
+            self._live = 0
+            self._write_header()
+        else:
+            self._read_header()
+
+    # ------------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        self._file.seek(0)
+        self._file.write(
+            _HEADER.pack(_MAGIC, self.page_size, self._next_id, self._free_head)
+        )
+        self._file.flush()
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        magic, page_size, next_id, free_head = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path} is not a GR-tree index file")
+        if page_size != self.page_size:
+            raise ValueError(
+                f"page-size mismatch: file has {page_size}, requested {self.page_size}"
+            )
+        self._next_id = next_id
+        self._free_head = free_head
+        # Count live pages by walking the free list.
+        free = 0
+        cursor = free_head
+        while cursor != _NO_PAGE:
+            free += 1
+            cursor = self._read_free_link(cursor)
+        self._live = self._next_id - free
+
+    def _offset(self, page_id: int) -> int:
+        return _HEADER.size + page_id * self.page_size
+
+    def _read_free_link(self, page_id: int) -> int:
+        self._file.seek(self._offset(page_id))
+        return struct.unpack("<I", self._file.read(4))[0]
+
+    # ------------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        if page_id >= self._next_id:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._file.seek(self._offset(page_id))
+        return self._file.read(self.page_size)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if page_id >= self._next_id:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._file.seek(self._offset(page_id))
+        self._file.write(self._check_data(data))
+
+    def allocate_page(self) -> int:
+        if self._free_head != _NO_PAGE:
+            page_id = self._free_head
+            self._free_head = self._read_free_link(page_id)
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._file.seek(self._offset(page_id))
+        self._file.write(b"\x00" * self.page_size)
+        self._live += 1
+        self._write_header()
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        if page_id >= self._next_id:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._file.seek(self._offset(page_id))
+        self._file.write(struct.pack("<I", self._free_head))
+        self._free_head = page_id
+        self._live -= 1
+        self._write_header()
+
+    @property
+    def page_count(self) -> int:
+        return self._live
+
+    def sync(self) -> None:
+        """Force pages to stable storage (the only durability we offer)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._write_header()
+        self._file.close()
+
+    def __enter__(self) -> "OSFilePageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,105 @@
+"""Fixed-size pages and the page-store interface.
+
+Index nodes are serialized into fixed-size pages (one node per disk page,
+as in the paper's Section 3).  A :class:`PageStore` is anything that can
+persist numbered pages; implementations include the in-memory store used
+by smart blobs and the OS-file store of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+#: Default page size in bytes.  Small relative to real systems so that
+#: trees of interesting height arise from modest datasets.
+PAGE_SIZE = 4096
+
+
+class PageStore(abc.ABC):
+    """Persistence interface for numbered fixed-size pages."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+
+    @abc.abstractmethod
+    def read_page(self, page_id: int) -> bytes:
+        """Return the page's bytes (exactly ``page_size`` long)."""
+
+    @abc.abstractmethod
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Persist *data* (at most ``page_size`` bytes) as the page."""
+
+    @abc.abstractmethod
+    def allocate_page(self) -> int:
+        """Reserve a fresh page id."""
+
+    @abc.abstractmethod
+    def free_page(self, page_id: int) -> None:
+        """Release a page for reuse."""
+
+    @property
+    @abc.abstractmethod
+    def page_count(self) -> int:
+        """Number of live (allocated, not freed) pages."""
+
+    def _check_data(self, data: bytes) -> bytes:
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"page overflow: {len(data)} bytes > page size {self.page_size}"
+            )
+        return data.ljust(self.page_size, b"\x00")
+
+
+class InMemoryPageStore(PageStore):
+    """A page store held in memory; the substrate of smart blobs.
+
+    Freed page ids are recycled in LIFO order, mirroring the free-list
+    behaviour of a real space manager.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: Dict[int, bytes] = {}
+        self._free: list[int] = []
+        self._next_id = 0
+
+    def read_page(self, page_id: int) -> bytes:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} is not allocated") from None
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._pages[page_id] = self._check_data(data)
+
+    def allocate_page(self) -> int:
+        page_id = self._free.pop() if self._free else self._next_id
+        if page_id == self._next_id:
+            self._next_id += 1
+        self._pages[page_id] = b"\x00" * self.page_size
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Copy of all live pages (used by crash-simulation tests)."""
+        return dict(self._pages)
+
+    def clear(self) -> None:
+        """Drop every page -- simulates losing volatile state in a crash."""
+        self._pages.clear()
+        self._free.clear()
+        self._next_id = 0

@@ -1,0 +1,161 @@
+"""Write-ahead logging and recovery for the smart-blob space.
+
+The paper (Section 5.3) notes that when index data lives in an sbspace,
+the server's log manager -- not the DataBlade -- provides recovery.  This
+module is that log manager: smart-blob page writes and large-object
+lifecycle events are logged before they are applied, transactions can be
+rolled back from before-images at runtime, and :meth:`WriteAheadLog.recover`
+reconstructs the committed state after a simulated crash (redo from the
+log onto an emptied space).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+class RecordKind(enum.Enum):
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CREATE_LO = "create_lo"
+    DROP_LO = "drop_lo"
+    PAGE_ALLOC = "page_alloc"
+    PAGE_FREE = "page_free"
+    PAGE_WRITE = "page_write"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    txn_id: int
+    kind: RecordKind
+    lo_handle: Optional[str] = None
+    page_id: Optional[int] = None
+    before: Optional[bytes] = None
+    after: Optional[bytes] = None
+
+
+class WriteAheadLog:
+    """An append-only log with runtime rollback and crash recovery."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._active: set[int] = set()
+        self._committed: set[int] = set()
+        self._aborted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _append(self, txn_id: int, kind: RecordKind, **fields) -> LogRecord:
+        record = LogRecord(lsn=len(self._records), txn_id=txn_id, kind=kind, **fields)
+        self._records.append(record)
+        return record
+
+    def log_begin(self, txn_id: int) -> None:
+        if txn_id in self._active:
+            raise ValueError(f"transaction {txn_id} already active")
+        if txn_id in self._committed or txn_id in self._aborted:
+            raise ValueError(f"transaction id {txn_id} was already used")
+        self._active.add(txn_id)
+        self._append(txn_id, RecordKind.BEGIN)
+
+    def log_commit(self, txn_id: int) -> None:
+        self._require_active(txn_id)
+        self._active.discard(txn_id)
+        self._committed.add(txn_id)
+        self._append(txn_id, RecordKind.COMMIT)
+
+    def log_abort(self, txn_id: int) -> None:
+        self._require_active(txn_id)
+        self._active.discard(txn_id)
+        self._aborted.add(txn_id)
+        self._append(txn_id, RecordKind.ABORT)
+
+    def log_create_lo(self, txn_id: int, lo_handle: str) -> None:
+        self._require_active(txn_id)
+        self._append(txn_id, RecordKind.CREATE_LO, lo_handle=lo_handle)
+
+    def log_drop_lo(self, txn_id: int, lo_handle: str) -> None:
+        self._require_active(txn_id)
+        self._append(txn_id, RecordKind.DROP_LO, lo_handle=lo_handle)
+
+    def log_page_alloc(self, txn_id: int, lo_handle: str, page_id: int) -> None:
+        self._require_active(txn_id)
+        self._append(txn_id, RecordKind.PAGE_ALLOC, lo_handle=lo_handle, page_id=page_id)
+
+    def log_page_free(
+        self, txn_id: int, lo_handle: str, page_id: int, before: bytes
+    ) -> None:
+        self._require_active(txn_id)
+        self._append(
+            txn_id,
+            RecordKind.PAGE_FREE,
+            lo_handle=lo_handle,
+            page_id=page_id,
+            before=before,
+        )
+
+    def log_page_write(
+        self, txn_id: int, lo_handle: str, page_id: int, before: bytes, after: bytes
+    ) -> None:
+        self._require_active(txn_id)
+        self._append(
+            txn_id,
+            RecordKind.PAGE_WRITE,
+            lo_handle=lo_handle,
+            page_id=page_id,
+            before=before,
+            after=after,
+        )
+
+    def _require_active(self, txn_id: int) -> None:
+        if txn_id not in self._active:
+            raise ValueError(f"transaction {txn_id} is not active")
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+
+    def records(self) -> Iterable[LogRecord]:
+        return iter(self._records)
+
+    def records_for(self, txn_id: int) -> List[LogRecord]:
+        return [r for r in self._records if r.txn_id == txn_id]
+
+    def is_committed(self, txn_id: int) -> bool:
+        return txn_id in self._committed
+
+    def is_active(self, txn_id: int) -> bool:
+        return txn_id in self._active
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, space) -> int:
+        """Rebuild *space* (an :class:`~repro.storage.sbspace.Sbspace`)
+        to the committed state by redoing the log from the beginning.
+
+        Transactions that were still active at the crash are treated as
+        aborted (their records are skipped).  Returns the number of
+        records replayed.
+        """
+        space._reset_for_recovery()
+        replayed = 0
+        for record in self._records:
+            if record.txn_id not in self._committed:
+                continue
+            space._redo(record)
+            replayed += 1
+        # Whatever was active at crash time is now aborted.
+        self._aborted |= self._active
+        self._active.clear()
+        return replayed

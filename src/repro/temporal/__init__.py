@@ -1,0 +1,37 @@
+"""Bitemporal data-model substrate.
+
+This subpackage implements the data model of Section 2 of the paper:
+four-timestamp (4TS) bitemporal tuples, the ``UC`` and ``NOW`` variables,
+the six qualitatively different region cases, and the two-dimensional
+region geometry (rectangles and stair shapes) that the GR-tree indexes.
+"""
+
+from repro.temporal.chronon import (
+    Chronon,
+    Clock,
+    Granularity,
+    format_chronon,
+    parse_chronon,
+)
+from repro.temporal.extent import Case, TimeExtent
+from repro.temporal.regions import Region, bounding_region
+from repro.temporal.relation import BitemporalRelation, BitemporalTuple
+from repro.temporal.variables import NOW, UC, Timestamp, is_ground
+
+__all__ = [
+    "Chronon",
+    "Clock",
+    "Granularity",
+    "format_chronon",
+    "parse_chronon",
+    "Case",
+    "TimeExtent",
+    "Region",
+    "bounding_region",
+    "BitemporalRelation",
+    "BitemporalTuple",
+    "NOW",
+    "UC",
+    "Timestamp",
+    "is_ground",
+]

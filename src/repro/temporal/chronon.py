@@ -1,0 +1,120 @@
+"""Chronons, granularities, and the simulated clock.
+
+Time in the reproduction is discrete: a *chronon* is an integer count of
+granules since an epoch.  The paper's prototype uses a granularity of days
+(the Informix ``DATE`` type, Section 5.1), while the running EmpDep example
+of Section 2 uses months; both granularities are supported by codecs that
+translate between chronons and the paper's textual formats (``mm/dd/yy``
+for days, ``m/yy`` for months).
+
+All resolution of the variables ``UC``/``NOW`` flows through a
+:class:`Clock`, so tests and benchmarks can advance simulated time and
+observe bitemporal regions *growing* -- the central semantic of the paper.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass, field
+
+#: A chronon is just an integer; the alias documents intent in signatures.
+Chronon = int
+
+#: Day number of 1900-01-01, the epoch for the DAY granularity.
+_DAY_EPOCH = datetime.date(1900, 1, 1).toordinal()
+
+#: Two-digit years below the pivot are 20xx, others 19xx (the paper's data
+#: is from the 1990s: "12/10/95" means 1995).
+_CENTURY_PIVOT = 70
+
+
+class Granularity(enum.Enum):
+    """Supported time granularities and their textual formats."""
+
+    DAY = "day"
+    MONTH = "month"
+
+
+def _expand_year(year: int) -> int:
+    if year >= 100:
+        return year
+    return 2000 + year if year < _CENTURY_PIVOT else 1900 + year
+
+
+def parse_chronon(text: str, granularity: Granularity = Granularity.DAY) -> Chronon:
+    """Parse the paper's textual date formats into a chronon.
+
+    DAY granularity accepts ``mm/dd/yy`` or ``mm/dd/yyyy`` (e.g. the paper's
+    query constant ``12/10/95``); MONTH granularity accepts ``m/yy`` or
+    ``m/yyyy`` (e.g. ``4/97`` from the EmpDep relation).
+    """
+    parts = [p.strip() for p in text.strip().split("/")]
+    if granularity is Granularity.DAY:
+        if len(parts) != 3:
+            raise ValueError(f"expected mm/dd/yy date, got {text!r}")
+        month, day, year = (int(p) for p in parts)
+        year = _expand_year(year)
+        return datetime.date(year, month, day).toordinal() - _DAY_EPOCH
+    if len(parts) != 2:
+        raise ValueError(f"expected m/yy month, got {text!r}")
+    month, year = int(parts[0]), _expand_year(int(parts[1]))
+    if not 1 <= month <= 12:
+        raise ValueError(f"month out of range in {text!r}")
+    return (year - 1900) * 12 + (month - 1)
+
+
+def format_chronon(value: Chronon, granularity: Granularity = Granularity.DAY) -> str:
+    """Format a chronon back into the paper's textual form."""
+    if granularity is Granularity.DAY:
+        date = datetime.date.fromordinal(value + _DAY_EPOCH)
+        return f"{date.month:02d}/{date.day:02d}/{date.year:04d}"
+    year, month = divmod(value, 12)
+    return f"{month + 1}/{year + 1900:04d}"
+
+
+@dataclass
+class Clock:
+    """A settable, monotonically advancing source of the current time.
+
+    The paper (Section 5.4) discusses *when* the current time is sampled:
+    once per statement or once per transaction.  The server samples the
+    clock accordingly; this class only guarantees monotonicity, mirroring
+    the transaction-time axiom that time never moves backwards.
+    """
+
+    now: Chronon = 0
+    granularity: Granularity = Granularity.DAY
+    _observers: list = field(default_factory=list, repr=False)
+
+    def advance(self, delta: Chronon = 1) -> Chronon:
+        """Move the current time forward by *delta* chronons."""
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += delta
+        for observer in self._observers:
+            observer(self.now)
+        return self.now
+
+    def set(self, value: Chronon) -> Chronon:
+        """Jump the clock forward to *value* (never backwards)."""
+        if value < self.now:
+            raise ValueError(
+                f"time cannot move backwards (now={self.now}, requested={value})"
+            )
+        delta = value - self.now
+        if delta:
+            self.advance(delta)
+        return self.now
+
+    def set_text(self, text: str) -> Chronon:
+        """Jump the clock to a textual date in this clock's granularity."""
+        return self.set(parse_chronon(text, self.granularity))
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(now)`` to be called after every advance."""
+        self._observers.append(observer)
+
+    def format(self, value: Chronon | None = None) -> str:
+        """Format *value* (default: the current time) as text."""
+        return format_chronon(self.now if value is None else value, self.granularity)

@@ -1,0 +1,258 @@
+"""Bitemporal relation semantics (insert / logical delete / modify).
+
+This module implements the update semantics of Section 2 directly on
+in-memory tuples, independent of the DBMS server.  It is both a reference
+implementation (the linear-scan oracle the index tests compare against)
+and the substrate for the EmpDep examples of Tables 1 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+from repro.temporal.chronon import Chronon, Clock, Granularity
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region
+from repro.temporal.variables import NOW, UC
+
+
+@dataclass
+class BitemporalTuple:
+    """A tuple of non-temporal values plus its 4TS time extent."""
+
+    values: Mapping[str, object]
+    extent: TimeExtent
+    tuple_id: int = -1
+
+    def region(self, now: Chronon) -> Region:
+        return self.extent.region(now)
+
+
+class BitemporalRelation:
+    """An append-only bitemporal relation with 4TS semantics.
+
+    Tuples are never physically removed: deletion freezes the transaction
+    time, and modification is a deletion followed by an insertion, exactly
+    as in the paper's EmpDep walk-through.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        clock: Optional[Clock] = None,
+        granularity: Granularity = Granularity.DAY,
+    ) -> None:
+        self.columns = tuple(columns)
+        self.clock = clock if clock is not None else Clock(granularity=granularity)
+        self._tuples: list[BitemporalTuple] = []
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[BitemporalTuple]:
+        return iter(self._tuples)
+
+    @property
+    def now(self) -> Chronon:
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        values: Mapping[str, object],
+        vt_begin: Chronon,
+        vt_end=NOW,
+    ) -> BitemporalTuple:
+        """Insert *values* valid over ``[vt_begin, vt_end]``.
+
+        The transaction time is fixed by the insertion constraints:
+        ``TTbegin = current time`` and ``TTend = UC``.
+        """
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        extent = TimeExtent(self.now, UC, vt_begin, vt_end)
+        extent.validate_insertion(self.now)
+        row = BitemporalTuple(dict(values), extent, tuple_id=len(self._tuples))
+        self._tuples.append(row)
+        return row
+
+    def delete(self, predicate: Callable[[BitemporalTuple], bool]) -> int:
+        """Logically delete every *current* tuple matching *predicate*.
+
+        Returns the number of tuples deleted.  Deletion replaces
+        ``TTend = UC`` with ``current time - 1`` (closed intervals).
+        """
+        count = 0
+        for i, row in enumerate(self._tuples):
+            if row.extent.is_current and predicate(row):
+                new_extent = row.extent.logically_deleted(self.now)
+                self._tuples[i] = BitemporalTuple(
+                    row.values, new_extent, tuple_id=row.tuple_id
+                )
+                count += 1
+        return count
+
+    def modify(
+        self,
+        predicate: Callable[[BitemporalTuple], bool],
+        new_values: Mapping[str, object],
+        vt_begin: Chronon,
+        vt_end=NOW,
+    ) -> int:
+        """Modify matching current tuples: a deletion plus an insertion."""
+        count = self.delete(predicate)
+        for _ in range(count):
+            self.insert(new_values, vt_begin, vt_end)
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def current_state(self) -> list[BitemporalTuple]:
+        """Tuples in the current database state (TTend = UC)."""
+        return [row for row in self._tuples if row.extent.is_current]
+
+    def overlapping(self, query: TimeExtent) -> list[BitemporalTuple]:
+        """All tuples whose bitemporal region overlaps *query*'s region.
+
+        This is the linear-scan evaluation of the paper's ``Overlaps()``
+        strategy function, used as the oracle for the GR-tree.
+        """
+        now = self.now
+        query_region = query.region(now)
+        return [
+            row for row in self._tuples if row.region(now).overlaps(query_region)
+        ]
+
+    def timeslice(self, valid_time: Chronon, transaction_time: Chronon) -> list[
+        BitemporalTuple
+    ]:
+        """Who was true at *valid_time* according to our knowledge at
+        *transaction_time*?  (The paper's Julie query of Section 5.1.)
+        """
+        now = self.now
+        return [
+            row
+            for row in self._tuples
+            if row.region(now).contains_point(transaction_time, valid_time)
+        ]
+
+    def timeslice_naive(
+        self, valid_time: Chronon, transaction_time: Chronon
+    ) -> list[BitemporalTuple]:
+        """The *incorrect* timeslice that treats the valid- and
+        transaction-time intervals separately (Section 5.1's anomaly).
+
+        With ``VTend = NOW`` resolved against the current time instead of
+        against the tuple's own transaction-time end, a stair-shaped tuple
+        like Julie's wrongly qualifies.  Kept for the Table 3 / Figure 8
+        reproduction.
+        """
+        now = self.now
+        result = []
+        for row in self._tuples:
+            ext = row.extent
+            tt_end = now if ext.tt_end is UC else ext.tt_end
+            vt_end = now if ext.vt_end is NOW else ext.vt_end
+            if (
+                ext.tt_begin <= transaction_time <= tt_end
+                and ext.vt_begin <= valid_time <= vt_end
+            ):
+                result.append(row)
+        return result
+
+    # ------------------------------------------------------------------
+    # Rendering (Table 1 reproduction)
+    # ------------------------------------------------------------------
+
+    def to_table(self) -> list[dict[str, str]]:
+        """Render as rows of the paper's 4TS table layout."""
+        gran = self.clock.granularity
+        rows = []
+        for row in self._tuples:
+            rendered = {col: str(row.values.get(col, "")) for col in self.columns}
+            ext = row.extent
+
+            def fmt(value):
+                from repro.temporal.chronon import format_chronon
+                from repro.temporal.variables import is_ground
+
+                return (
+                    format_chronon(value, gran) if is_ground(value) else value.name
+                )
+
+            rendered["TTbegin"] = fmt(ext.tt_begin)
+            rendered["TTend"] = fmt(ext.tt_end)
+            rendered["VTbegin"] = fmt(ext.vt_begin)
+            rendered["VTend"] = fmt(ext.vt_end)
+            rows.append(rendered)
+        return rows
+
+    def format_table(self) -> str:
+        """Pretty-print the relation in the style of the paper's Table 1."""
+        header = list(self.columns) + ["TTbegin", "TTend", "VTbegin", "VTend"]
+        rows = self.to_table()
+        widths = {
+            col: max(len(col), *(len(r[col]) for r in rows)) if rows else len(col)
+            for col in header
+        }
+        lines = [" | ".join(col.ljust(widths[col]) for col in header)]
+        lines.append("-+-".join("-" * widths[col] for col in header))
+        for r in rows:
+            lines.append(" | ".join(r[col].ljust(widths[col]) for col in header))
+        return "\n".join(lines)
+
+
+def build_empdep(clock: Optional[Clock] = None) -> BitemporalRelation:
+    """Construct the paper's Table 1 EmpDep relation, replaying history.
+
+    The granularity is a month and the final current time is 9/97; the six
+    tuples arise from inserts, a delete (Tom), and a modification (Julie),
+    exactly as described in Section 2.
+    """
+    from repro.temporal.chronon import parse_chronon
+
+    def month(text: str) -> Chronon:
+        return parse_chronon(text, Granularity.MONTH)
+
+    if clock is None:
+        clock = Clock(now=month("3/97"), granularity=Granularity.MONTH)
+    rel = BitemporalRelation(["Employee", "Department"], clock=clock)
+
+    # 3/97: Tom's tuple is recorded ahead of its validity; Julie and
+    # Michelle's facts become both valid and current.
+    clock.set(month("3/97"))
+    rel.insert({"Employee": "Tom", "Department": "Management"},
+               month("6/97"), month("8/97"))
+    rel.insert({"Employee": "Julie", "Department": "Sales"}, month("3/97"))
+
+    # 4/97: John's past fact [3/97, 5/97] is recorded late.
+    clock.set(month("4/97"))
+    rel.insert({"Employee": "John", "Department": "Advertising"},
+               month("3/97"), month("5/97"))
+
+    # 5/97: Jane joins Sales; Michelle's 3/97 fact is recorded late.
+    clock.set(month("5/97"))
+    rel.insert({"Employee": "Jane", "Department": "Sales"}, month("5/97"))
+    rel.insert({"Employee": "Michelle", "Department": "Management"},
+               month("3/97"))
+
+    # 8/97: Tom's tuple is logically deleted and Julie's is modified,
+    # freezing both old transaction times at 8/97 - 1 = 7/97.
+    clock.set(month("8/97"))
+    rel.delete(lambda row: row.values["Employee"] == "Tom")
+    rel.modify(
+        lambda row: row.values["Employee"] == "Julie",
+        {"Employee": "Julie", "Department": "Sales"},
+        month("3/97"),
+        month("7/97"),
+    )
+
+    clock.set(month("9/97"))
+    return rel

@@ -1,0 +1,67 @@
+"""The temporal variables ``UC`` and ``NOW``.
+
+The 4TS format (Section 2 of the paper) uses two variables that denote the
+current time: ``UC`` ("until changed") may appear as a transaction-time end,
+and ``NOW`` may appear as a valid-time end.  A timestamp is therefore either
+a *ground* value (an integer chronon) or one of these two singletons.
+
+The singletons deliberately do not support ordering against integers: any
+comparison of a variable timestamp must first be resolved against a current
+time (see :mod:`repro.temporal.regions`), and accidental comparisons are a
+classic source of bugs in bitemporal code.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class _Variable:
+    """A named singleton temporal variable (``UC`` or ``NOW``)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        # Pickling must preserve singleton identity.
+        return (_lookup, (self._name,))
+
+    # Explicitly reject ordering: a variable must be resolved first.
+    def _refuse(self, other):  # pragma: no cover - defensive
+        raise TypeError(
+            f"cannot order temporal variable {self._name}; "
+            "resolve it against a current time first"
+        )
+
+    __lt__ = __le__ = __gt__ = __ge__ = _refuse
+
+
+#: "Until changed" -- the variable transaction-time end of a current tuple.
+UC = _Variable("UC")
+
+#: The variable valid-time end that tracks the current time.
+NOW = _Variable("NOW")
+
+_BY_NAME = {"UC": UC, "NOW": NOW}
+
+
+def _lookup(name: str) -> _Variable:
+    return _BY_NAME[name]
+
+
+#: A timestamp is a ground chronon or one of the two variables.
+Timestamp = Union[int, _Variable]
+
+
+def is_ground(value: Timestamp) -> bool:
+    """Return ``True`` when *value* is a fixed (non-variable) timestamp."""
+    return not isinstance(value, _Variable)

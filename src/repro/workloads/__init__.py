@@ -1,0 +1,20 @@
+"""Synthetic workload generators and evaluation baselines.
+
+The paper has no public dataset; its data model is the six-case taxonomy
+of Figure 2.  The generator produces bitemporal histories with a
+controlled fraction of now-relative tuples, update/delete mixes, and the
+query families of the companion evaluation (current/past timeslices and
+bitemporal windows).  The baselines reproduce what the GR-tree was
+evaluated against: an R\\*-tree indexing the extents with ``UC``/``NOW``
+substituted by the maximum timestamp, and a sequential scan.
+"""
+
+from repro.workloads.generator import BitemporalWorkload, WorkloadConfig
+from repro.workloads.baselines import MaxTimestampRTree, SequentialScanIndex
+
+__all__ = [
+    "BitemporalWorkload",
+    "WorkloadConfig",
+    "MaxTimestampRTree",
+    "SequentialScanIndex",
+]

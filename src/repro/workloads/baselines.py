@@ -1,0 +1,139 @@
+"""Evaluation baselines for the GR-tree.
+
+The companion evaluation pits the GR-tree against R-tree variants that
+cannot represent growing regions.  The standard workaround -- and our
+primary baseline -- substitutes the *maximum timestamp* for ``UC`` and
+``NOW``: a now-relative tuple is indexed as if it reached the end of
+time.  Overlap queries against such an index return a superset of the
+answer (every false positive costs a base-table fetch and an exact-
+geometry check), which is precisely the dead-space/overlap penalty the
+GR-tree's stair-shaped bounds avoid.
+
+``SequentialScanIndex`` is the no-index floor: every query reads all
+pages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import NodeStore
+from repro.rtree.rstar import RStarTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Chronon, Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+#: The "end of time" chronon used by the maximum-timestamp substitution.
+MAX_TIME = 10**9
+
+
+class MaxTimestampRTree:
+    """An R*-tree over extents with UC/NOW replaced by MAX_TIME.
+
+    The index sees every growing region as a rectangle stretching to the
+    end of time; searches therefore return candidates that must be
+    verified against the exact bitemporal geometry (counted as
+    ``last_false_positives``).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        page_size: int = 2048,
+        buffer_capacity: int = 64,
+    ) -> None:
+        self.clock = clock
+        pool = BufferPool(InMemoryPageStore(page_size=page_size), buffer_capacity)
+        self.tree = RStarTree(NodeStore(pool, ndim=2))
+        self.pool = pool
+        self._extents: Dict[int, TimeExtent] = {}
+        self.last_node_accesses = 0
+        self.last_candidates = 0
+        self.last_false_positives = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _rect_of(extent: TimeExtent) -> Rect:
+        tt_end = MAX_TIME if extent.tt_end is UC else extent.tt_end
+        vt_end = MAX_TIME if extent.vt_end is NOW else extent.vt_end
+        return Rect(
+            (float(extent.tt_begin), float(extent.vt_begin)),
+            (float(tt_end), float(vt_end)),
+        )
+
+    def insert(self, extent: TimeExtent, rowid: int) -> None:
+        self.tree.insert(self._rect_of(extent), rowid)
+        self._extents[rowid] = extent
+
+    def delete(self, extent: TimeExtent, rowid: int) -> bool:
+        found = self.tree.delete(self._rect_of(extent), rowid)
+        if found:
+            self._extents.pop(rowid, None)
+        return found
+
+    def search(
+        self, query: TimeExtent, now: Optional[Chronon] = None
+    ) -> List[int]:
+        """Exact answer: index candidates filtered by true geometry."""
+        at = self.clock.now if now is None else now
+        query_region = query.region(at)
+        query_rect = Rect(
+            (float(query_region.tt_lo), float(query_region.vt_lo)),
+            (float(query_region.tt_hi), float(query_region.vt_hi)),
+        )
+        candidates = self.tree.search(query_rect)
+        self.last_node_accesses = self.tree.last_node_accesses
+        self.last_candidates = len(candidates)
+        results = []
+        for rowid, _ in candidates:
+            extent = self._extents[rowid]
+            if extent.region(at).overlaps(query_region):
+                results.append(rowid)
+        self.last_false_positives = self.last_candidates - len(results)
+        return sorted(results)
+
+    def io_cost_of_last_search(self) -> int:
+        """Node accesses plus one base-table fetch per candidate."""
+        return self.last_node_accesses + self.last_candidates
+
+    def stats(self):
+        return self.tree.stats()
+
+
+class SequentialScanIndex:
+    """The no-index baseline: a heap of extents, scanned per query."""
+
+    ROWS_PER_PAGE = 32
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._extents: Dict[int, TimeExtent] = {}
+        self.last_pages_read = 0
+
+    def insert(self, extent: TimeExtent, rowid: int) -> None:
+        self._extents[rowid] = extent
+
+    def delete(self, extent: TimeExtent, rowid: int) -> bool:
+        return self._extents.pop(rowid, None) is not None
+
+    def search(
+        self, query: TimeExtent, now: Optional[Chronon] = None
+    ) -> List[int]:
+        at = self.clock.now if now is None else now
+        q = query.region(at)
+        self.last_pages_read = max(
+            1, math.ceil(len(self._extents) / self.ROWS_PER_PAGE)
+        )
+        return sorted(
+            rowid
+            for rowid, extent in self._extents.items()
+            if extent.region(at).overlaps(q)
+        )
+
+    def io_cost_of_last_search(self) -> int:
+        return self.last_pages_read

@@ -1,0 +1,239 @@
+"""Tests for the B+-tree substrate and its DataBlade (Step 4 material)."""
+
+import random
+
+import pytest
+
+from repro.bblade import register_btree_blade
+from repro.btree.node import BTreeNodeStore
+from repro.btree.tree import BPlusTree
+from repro.server import DatabaseServer
+from repro.server.optimizer import IndexScanPlan
+from repro.server.udr import Routine
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+
+
+def natural(a: bytes, b: bytes) -> int:
+    x, y = int(a), int(b)
+    return (x > y) - (x < y)
+
+
+def key(value: int) -> bytes:
+    return str(value).encode()
+
+
+def make_tree(page_size=256):
+    pool = BufferPool(InMemoryPageStore(page_size=page_size), capacity=64)
+    return BPlusTree(BTreeNodeStore(pool), natural)
+
+
+class TestBPlusTree:
+    def test_insert_and_point_lookup(self):
+        tree = make_tree()
+        for i in range(500):
+            tree.insert(key(i), rowid=i)
+        tree.check()
+        assert tree.height > 1
+        assert tree.search_equal(key(250)) == [(250, 0)]
+        assert tree.search_equal(key(999)) == []
+
+    def test_range_scan_in_order(self):
+        tree = make_tree()
+        values = random.Random(1).sample(range(1000), 400)
+        for i, v in enumerate(values):
+            tree.insert(key(v), rowid=i)
+        results = tree.search_range(key(100), key(200))
+        scanned = [int(k) for k, _, _ in results]
+        assert scanned == sorted(v for v in values if 100 <= v <= 200)
+
+    def test_open_bounds(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(key(i), rowid=i)
+        assert len(tree.search_range(None, key(9))) == 10
+        assert len(tree.search_range(key(90), None)) == 10
+        assert len(tree.search_range(None, None)) == 100
+
+    def test_exclusive_bounds(self):
+        tree = make_tree()
+        for i in range(20):
+            tree.insert(key(i), rowid=i)
+        got = tree.search_range(key(5), key(10), low_inclusive=False,
+                                high_inclusive=False)
+        assert [int(k) for k, _, _ in got] == [6, 7, 8, 9]
+
+    def test_duplicates_across_splits(self):
+        tree = make_tree(page_size=128)
+        for i in range(200):
+            tree.insert(key(7), rowid=i)
+        tree.check()
+        assert sorted(r for r, _ in tree.search_equal(key(7))) == list(range(200))
+
+    def test_delete_specific_duplicate(self):
+        tree = make_tree(page_size=128)
+        for i in range(50):
+            tree.insert(key(7), rowid=i)
+        assert tree.delete(key(7), rowid=25)
+        assert not tree.delete(key(7), rowid=25)
+        remaining = {r for r, _ in tree.search_equal(key(7))}
+        assert remaining == set(range(50)) - {25}
+
+    def test_delete_everything(self):
+        tree = make_tree()
+        for i in range(300):
+            tree.insert(key(i), rowid=i)
+        for i in range(300):
+            assert tree.delete(key(i), rowid=i)
+        assert tree.size == 0
+        assert tree.search_range(None, None) == []
+
+    def test_interleaved_matches_oracle(self):
+        rng = random.Random(9)
+        tree = make_tree(page_size=256)
+        live = {}
+        next_id = 0
+        for _ in range(2000):
+            if live and rng.random() < 0.4:
+                rowid = rng.choice(list(live))
+                assert tree.delete(key(live.pop(rowid)), rowid)
+            else:
+                value = rng.randint(0, 500)
+                tree.insert(key(value), next_id)
+                live[next_id] = value
+                next_id += 1
+        tree.check()
+        lo, hi = 100, 300
+        expected = sorted(
+            rowid for rowid, v in live.items() if lo <= v <= hi
+        )
+        got = sorted(r for _, r, _ in tree.search_range(key(lo), key(hi)))
+        assert got == expected
+
+    def test_custom_comparator_changes_order(self):
+        """The paper's example order 0, -1, 1, -2, 2."""
+
+        def zigzag(a: bytes, b: bytes) -> int:
+            def rank(raw):
+                v = int(raw)
+                return (abs(v), 0 if v < 0 else 1)
+
+            ra, rb = rank(a), rank(b)
+            return (ra > rb) - (ra < rb)
+
+        pool = BufferPool(InMemoryPageStore(page_size=256), capacity=64)
+        tree = BPlusTree(BTreeNodeStore(pool), zigzag)
+        for i, v in enumerate([-2, -1, 0, 1, 2]):
+            tree.insert(str(v).encode(), rowid=i)
+        tree.check()
+        order = [int(k) for k, _, _ in tree.search_range(None, None)]
+        assert order == [0, -1, 1, -2, 2]
+
+    def test_oversized_key_rejected(self):
+        tree = make_tree(page_size=256)
+        with pytest.raises(ValueError):
+            tree.insert(b"x" * 100, rowid=1)
+
+
+@pytest.fixture()
+def server():
+    s = DatabaseServer()
+    s.create_sbspace("spc")
+    register_btree_blade(s)
+    s.execute("CREATE TABLE emp (name LVARCHAR, age INTEGER)")
+    s.execute("CREATE INDEX bi ON emp(age) USING btree_am IN spc")
+    s.prefer_virtual_index = True
+    rng = random.Random(5)
+    s._ages = {}
+    for i in range(200):
+        age = rng.randint(0, 90)
+        s.execute(f"INSERT INTO emp VALUES ('p{i}', {age})")
+        s._ages[f"p{i}"] = age
+    return s
+
+
+class TestBTreeBlade:
+    def test_operators_use_the_index(self, server):
+        for op, pred in (
+            ("= 40", lambda a: a == 40),
+            ("> 80", lambda a: a > 80),
+            (">= 80", lambda a: a >= 80),
+            ("< 5", lambda a: a < 5),
+            ("<= 5", lambda a: a <= 5),
+        ):
+            rows = server.execute(f"SELECT name FROM emp WHERE age {op}")
+            assert isinstance(server.last_plan, IndexScanPlan), op
+            expected = sorted(n for n, a in server._ages.items() if pred(a))
+            assert sorted(r["name"] for r in rows) == expected, op
+
+    def test_constant_on_the_left_commutes(self, server):
+        rows = server.execute("SELECT name FROM emp WHERE 80 < age")
+        assert isinstance(server.last_plan, IndexScanPlan)
+        expected = sorted(n for n, a in server._ages.items() if a > 80)
+        assert sorted(r["name"] for r in rows) == expected
+
+    def test_range_conjunction(self, server):
+        rows = server.execute(
+            "SELECT name FROM emp WHERE age >= 20 AND age < 30"
+        )
+        expected = sorted(
+            n for n, a in server._ages.items() if 20 <= a < 30
+        )
+        assert sorted(r["name"] for r in rows) == expected
+
+    def test_update_and_delete_maintain_index(self, server):
+        server.execute("UPDATE emp SET age = 99 WHERE age = 40")
+        server.execute("DELETE FROM emp WHERE age < 10")
+        assert "consistent" in server.execute("CHECK INDEX bi")
+        rows = server.execute("SELECT name FROM emp WHERE age = 99")
+        expected = sorted(n for n, a in server._ages.items() if a == 40)
+        assert sorted(r["name"] for r in rows) == expected
+
+    def test_persistence_across_statements(self, server):
+        first = server.execute("SELECT name FROM emp WHERE age > 50")
+        second = server.execute("SELECT name FROM emp WHERE age > 50")
+        assert sorted(r["name"] for r in first) == sorted(
+            r["name"] for r in second
+        )
+
+    def test_new_opclass_with_substitute_compare(self, server):
+        """Step 4's punchline: 'a substitute function for compare() has
+        to be written, and a new operator class with the new function
+        name ... registered': index order becomes 0, -1, 1, -2, 2."""
+
+        def abs_compare(a: int, b: int) -> int:
+            ra, rb = (abs(a), 0 if a < 0 else 1), (abs(b), 0 if b < 0 else 1)
+            return (ra > rb) - (ra < rb)
+
+        server.library.register(
+            "usr/functions/btree.bld", "bt_abscompare_udr", abs_compare
+        )
+        server.execute(
+            "CREATE FUNCTION AbsCompare(INTEGER, INTEGER) RETURNING int "
+            "EXTERNAL NAME 'usr/functions/btree.bld(bt_abscompare_udr)' "
+            "LANGUAGE c"
+        )
+        server.execute(
+            "CREATE OPCLASS btree_abs_ops FOR btree_am "
+            "STRATEGIES(BT_Equal, BT_GreaterThan, BT_GreaterThanOrEqual, "
+            "BT_LessThan, BT_LessThanOrEqual) "
+            "SUPPORT(AbsCompare)"
+        )
+        server.execute("CREATE TABLE nums (v INTEGER)")
+        server.execute(
+            "CREATE INDEX ni ON nums(v btree_abs_ops) USING btree_am IN spc"
+        )
+        for v in (-2, -1, 0, 1, 2):
+            server.execute(f"INSERT INTO nums VALUES ({v})")
+        # A full scan through the index returns the substituted order.
+        info = server.catalog.get_index("ni")
+        blade = server.catalog.routines.resolve_any("bt_getnext").fn.__self__
+        td = server.executor._descriptor(info, server.system_session)
+        with server.system_session.autocommit():
+            blade.bt_open(td)
+            order = [
+                int(k)
+                for k, _, _ in td.user_data["tree"].search_range(None, None)
+            ]
+            blade.bt_close(td)
+        assert order == [0, -1, 1, -2, 2]

@@ -1,0 +1,327 @@
+"""End-to-end tests for the GR-tree DataBlade through SQL."""
+
+import pytest
+
+from repro.datablade import register_grtree_blade, unregister_grtree_blade
+from repro.datablade.blade import GRTreeDataBlade
+from repro.server import DatabaseServer
+from repro.server.errors import AccessMethodError
+from repro.server.optimizer import IndexScanPlan, SeqScanPlan
+from repro.storage.locks import LockConflictError
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def make_server(now=100):
+    server = DatabaseServer(clock=Clock(now=now))
+    server.create_sbspace("spc")
+    blade = register_grtree_blade(server)
+    server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+    server.execute(
+        "CREATE INDEX gi ON t(te grt_opclass) USING grtree_am IN spc"
+    )
+    server.prefer_virtual_index = True
+    return server, blade
+
+
+def insert(server, name, text):
+    server.execute(f"INSERT INTO t VALUES ('{name}', '{text}')")
+
+
+def day(chronon):
+    return format_chronon(chronon)
+
+
+class TestLifecycle:
+    def test_registration_creates_catalog_objects(self):
+        server, blade = make_server()
+        assert "grtree_am" in server.catalog.access_methods
+        assert "grt_opclass" in server.catalog.opclasses
+        am = server.catalog.access_methods.get("grtree_am")
+        assert am.default_opclass == "grt_opclass"
+        assert "GRT_TIMEEXTENT_T" in server.types
+        assert server.catalog.has_table("grtree_indexdata")
+
+    def test_metadata_record_created_and_dropped(self):
+        server, blade = make_server()
+        meta = server.catalog.get_table("grtree_indexdata")
+        assert meta.row_count == 1
+        server.execute("DROP INDEX gi")
+        assert meta.row_count == 0
+
+    def test_unregister_removes_everything(self):
+        server, blade = make_server()
+        server.execute("DROP INDEX gi")
+        unregister_grtree_blade(server)
+        assert "grtree_am" not in server.catalog.access_methods
+        assert "GRT_TIMEEXTENT_T" not in server.types
+        assert not server.catalog.has_table("grtree_indexdata")
+
+    def test_unregister_refuses_with_live_index(self):
+        server, blade = make_server()
+        with pytest.raises(RuntimeError):
+            unregister_grtree_blade(server)
+
+    def test_create_index_rejects_wrong_type(self):
+        server, blade = make_server()
+        server.execute("CREATE TABLE bad (n INTEGER)")
+        with pytest.raises(AccessMethodError):
+            server.execute("CREATE INDEX b ON bad(n) USING grtree_am IN spc")
+
+    def test_duplicate_equivalent_index_rejected(self):
+        server, blade = make_server()
+        with pytest.raises(AccessMethodError):
+            server.execute(
+                "CREATE INDEX gi2 ON t(te grt_opclass) USING grtree_am IN spc"
+            )
+        # The failed CREATE INDEX must not leave a catalog entry behind.
+        assert not server.catalog.has_index("gi2")
+
+    def test_index_built_over_existing_rows(self):
+        server = DatabaseServer(clock=Clock(now=100))
+        server.create_sbspace("spc")
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+        for i in range(20):
+            insert(server, f"pre{i}", f"{day(100)}, UC, {day(95)}, NOW")
+        server.execute("CREATE INDEX gi ON t(te) USING grtree_am IN spc")
+        server.prefer_virtual_index = True
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')"
+        )
+        assert isinstance(server.last_plan, IndexScanPlan)
+        assert len(rows) == 20
+
+
+class TestFigure6CallSequences:
+    def test_insert_sequence(self):
+        server, blade = make_server()
+        server.trace.set_level("am", 1)
+        insert(server, "a", f"{day(100)}, UC, {day(95)}, NOW")
+        assert server.trace.texts("am") == [
+            "grtree_am.am_open",
+            "grtree_am.am_insert",
+            "grtree_am.am_close",
+        ]
+
+    def test_select_sequence(self):
+        server, blade = make_server()
+        insert(server, "a", f"{day(100)}, UC, {day(95)}, NOW")
+        server.trace.set_level("am", 1)
+        server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')"
+        )
+        calls = [c.split(".", 1)[1] for c in server.trace.texts("am")]
+        assert calls[0] == "am_scancost"  # the optimizer asks first
+        assert calls[1:] == [
+            "am_open",
+            "am_beginscan",
+            "am_getnext",
+            "am_getnext",  # the final call returns no row
+            "am_endscan",
+            "am_close",
+        ]
+
+
+class TestQueries:
+    def test_index_and_seqscan_agree(self):
+        server, blade = make_server(now=100)
+        clock = server.clock
+        import random
+
+        rng = random.Random(4)
+        expected = []
+        for i in range(150):
+            vtb = clock.now - rng.randint(0, 30)
+            if rng.random() < 0.5:
+                text = f"{day(clock.now)}, UC, {day(vtb)}, NOW"
+            else:
+                text = f"{day(clock.now)}, UC, {day(vtb)}, {day(vtb + 10)}"
+            insert(server, f"r{i}", text)
+            if i % 10 == 0:
+                clock.advance(1)
+        query = f"'{day(clock.now)}, UC, {day(clock.now - 5)}, NOW'"
+        server.prefer_virtual_index = True
+        with_index = server.execute(f"SELECT name FROM t WHERE Overlaps(te, {query})")
+        assert isinstance(server.last_plan, IndexScanPlan)
+        server.prefer_virtual_index = False
+        server.execute("DROP INDEX gi")
+        without_index = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {query})"
+        )
+        assert isinstance(server.last_plan, SeqScanPlan)
+        assert sorted(r["name"] for r in with_index) == sorted(
+            r["name"] for r in without_index
+        )
+
+    def test_all_four_strategies_through_index(self):
+        server, blade = make_server(now=100)
+        insert(server, "stair", f"{day(100)}, UC, {day(100)}, NOW")
+        insert(server, "rect", f"{day(100)}, UC, {day(120)}, {day(130)}")
+        server.clock.advance(50)
+        q_all = f"'{day(90)}, {day(200)}, {day(90)}, {day(200)}'"
+        names = {
+            r["name"]
+            for r in server.execute(
+                f"SELECT name FROM t WHERE ContainedIn(te, {q_all})"
+            )
+        }
+        assert names == {"stair", "rect"}
+        q_rect = f"'{day(100)}, {day(150)}, {day(120)}, {day(130)}'"
+        names = {
+            r["name"]
+            for r in server.execute(f"SELECT name FROM t WHERE Equal(te, {q_rect})")
+        }
+        assert names == {"rect"}
+        q_small = f"'{day(110)}, {day(112)}, {day(105)}, {day(107)}'"
+        names = {
+            r["name"]
+            for r in server.execute(
+                f"SELECT name FROM t WHERE Contains(te, {q_small})"
+            )
+        }
+        assert names == {"stair"}
+
+    def test_complex_qualification_through_index(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(100)}, NOW")
+        insert(server, "b", f"{day(100)}, UC, {day(150)}, {day(160)}")
+        insert(server, "c", f"{day(100)}, UC, {day(60)}, {day(70)}")
+        server.clock.advance(20)
+        q1 = f"'{day(110)}, {day(130)}, {day(100)}, {day(120)}'"  # hits a
+        q2 = f"'{day(100)}, {day(110)}, {day(155)}, {day(156)}'"  # hits b
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {q1}) OR Overlaps(te, {q2})"
+        )
+        assert isinstance(server.last_plan, IndexScanPlan)
+        assert {r["name"] for r in rows} == {"a", "b"}
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {q1}) AND Overlaps(te, {q2})"
+        )
+        assert rows == []
+
+    def test_residual_filter_applied(self):
+        server, blade = make_server(now=100)
+        insert(server, "x", f"{day(100)}, UC, {day(95)}, NOW")
+        insert(server, "y", f"{day(100)}, UC, {day(95)}, NOW")
+        q = f"'{day(100)}, UC, {day(100)}, NOW'"
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {q}) AND name = 'x'"
+        )
+        assert isinstance(server.last_plan, IndexScanPlan)
+        assert [r["name"] for r in rows] == ["x"]
+
+    def test_index_survives_across_statements(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(95)}, NOW")
+        server.clock.advance(10)
+        insert(server, "b", f"{day(110)}, UC, {day(105)}, NOW")
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(110)}, UC, {day(110)}, NOW')"
+        )
+        assert {r["name"] for r in rows} == {"a", "b"}
+
+    def test_delete_through_index(self):
+        server, blade = make_server(now=100)
+        for i in range(60):
+            insert(server, f"old{i}", f"{day(100)}, UC, {day(95)}, {day(98)}")
+        for i in range(60):
+            insert(server, f"new{i}", f"{day(100)}, UC, {day(100)}, NOW")
+        # Valid time below 100: hits the fixed extents, not the stairs.
+        q = f"'{day(100)}, {day(105)}, {day(95)}, {day(98)}'"
+        deleted = server.execute(f"DELETE FROM t WHERE Overlaps(te, {q})")
+        assert deleted == 60
+        server.execute("CHECK INDEX gi")
+        remaining = server.execute("SELECT name FROM t")
+        assert len(remaining) == 60
+
+    def test_update_nonindexed_column_leaves_index_alone(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(95)}, NOW")
+        server.trace.set_level("am", 1)
+        server.execute("UPDATE t SET name = 'renamed' WHERE name = 'a'")
+        calls = [c.split(".", 1)[1] for c in server.trace.texts("am")]
+        assert "am_update" not in calls
+
+    def test_check_and_stats_via_sql(self):
+        server, blade = make_server(now=100)
+        for i in range(40):
+            insert(server, f"r{i}", f"{day(100)}, UC, {day(95)}, NOW")
+        assert "consistent" in server.execute("CHECK INDEX gi")
+        stats = server.execute("UPDATE STATISTICS FOR INDEX gi")
+        assert stats["size"] == 40
+        assert "dead_space" in stats
+
+
+class TestCurrentTimeAndTransactions:
+    """Section 5.4: a constant current time per transaction."""
+
+    def test_time_sampled_at_first_open_stays_constant(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(100)}, NOW")
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        q = f"'{day(140)}, {day(160)}, {day(140)}, {day(150)}'"
+        # First use inside the transaction samples now=100: no overlap yet.
+        assert server.execute(f"SELECT name FROM t WHERE Overlaps(te, {q})",
+                              session) == []
+        server.clock.advance(100)  # the stair would now cover the query
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {q})", session
+        )
+        assert rows == []  # still the sampled time
+        server.execute("COMMIT WORK", session)
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, {q})", session
+        )
+        assert [r["name"] for r in rows] == ["a"]  # fresh transaction
+
+    def test_named_memory_freed_at_transaction_end(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(100)}, NOW")
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')",
+            session,
+        )
+        key = f"grt_now.session{session.session_id}"
+        assert server.memory.named_exists(key)
+        server.execute("COMMIT WORK", session)
+        assert not server.memory.named_exists(key)
+
+
+class TestConcurrency:
+    """Section 5.3: automatic LO-level locking of the sbspace."""
+
+    def test_writer_blocks_reader(self):
+        server, blade = make_server(now=100)
+        writer = server.create_session()
+        reader = server.create_session()
+        server.execute("BEGIN WORK", writer)
+        server.execute(
+            f"INSERT INTO t VALUES ('w', '{day(100)}, UC, {day(95)}, NOW')",
+            writer,
+        )
+        # The writer holds the exclusive LO lock until transaction end.
+        server.execute("BEGIN WORK", reader)
+        with pytest.raises(LockConflictError):
+            server.execute(
+                f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')",
+                reader,
+            )
+        server.execute("ROLLBACK WORK", reader)
+        server.execute("COMMIT WORK", writer)
+        # After the writer commits the reader proceeds.
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')",
+            reader,
+        )
+        assert [r["name"] for r in rows] == ["w"]
+
+    def test_readers_share_the_index(self):
+        server, blade = make_server(now=100)
+        insert(server, "a", f"{day(100)}, UC, {day(95)}, NOW")
+        r1, r2 = server.create_session(), server.create_session()
+        q = f"'{day(100)}, UC, {day(100)}, NOW'"
+        assert server.execute(f"SELECT name FROM t WHERE Overlaps(te, {q})", r1)
+        assert server.execute(f"SELECT name FROM t WHERE Overlaps(te, {q})", r2)

@@ -1,0 +1,91 @@
+"""Property-based tests for the B+-tree (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.node import BTreeNodeStore
+from repro.btree.tree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+
+
+def natural(a: bytes, b: bytes) -> int:
+    x, y = int(a), int(b)
+    return (x > y) - (x < y)
+
+
+def key(value: int) -> bytes:
+    return str(value).encode()
+
+
+def make_tree(page_size=256):
+    pool = BufferPool(InMemoryPageStore(page_size=page_size), capacity=64)
+    return BPlusTree(BTreeNodeStore(pool), natural)
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = []
+    live_count = 0
+    length = draw(st.integers(min_value=1, max_value=120))
+    for _ in range(length):
+        if live_count and draw(st.booleans()) and draw(st.booleans()):
+            ops.append(("delete", draw(st.integers(0, live_count - 1))))
+        else:
+            ops.append(("insert", draw(st.integers(0, 300))))
+            live_count += 1
+    return ops
+
+
+class TestBTreeProperties:
+    @given(operation_sequences())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    def test_matches_sorted_list_oracle(self, ops):
+        tree = make_tree()
+        oracle = {}  # rowid -> value
+        inserted = []
+        for op, arg in ops:
+            if op == "insert":
+                rowid = len(inserted)
+                tree.insert(key(arg), rowid)
+                oracle[rowid] = arg
+                inserted.append(arg)
+            else:
+                live = sorted(oracle)
+                if not live:
+                    continue
+                rowid = live[arg % len(live)]
+                assert tree.delete(key(oracle.pop(rowid)), rowid)
+        tree.check()
+        scanned = [(int(k), r) for k, r, _ in tree.iter_all()]
+        expected = sorted((v, r) for r, v in oracle.items())
+        assert sorted(scanned) == expected
+        # Order property: keys come back non-decreasing.
+        values = [v for v, _ in scanned]
+        assert values == sorted(values)
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=150),
+           st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_range_queries_exact(self, values, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = make_tree()
+        for rowid, value in enumerate(values):
+            tree.insert(key(value), rowid)
+        got = sorted(r for _, r, _ in tree.search_range(key(lo), key(hi)))
+        expected = sorted(r for r, v in enumerate(values) if lo <= v <= hi)
+        assert got == expected
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_duplicates(self, values):
+        tree = make_tree(page_size=128)
+        for rowid, value in enumerate(values):
+            tree.insert(key(value), rowid)
+        tree.check()
+        target = values[0]
+        expected = sorted(r for r, v in enumerate(values) if v == target)
+        assert sorted(r for r, _ in tree.search_equal(key(target))) == expected

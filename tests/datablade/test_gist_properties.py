@@ -1,0 +1,80 @@
+"""Property-based tests for the GiST (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gist import GiST, IntervalExtension, RectExtension
+from repro.gist.extensions import Interval, IntervalQuery, RectQuery
+from repro.gist.tree import GistNodeStore
+from repro.rtree.geometry import Rect
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+
+
+def make_tree(extension, page_size=512):
+    pool = BufferPool(InMemoryPageStore(page_size=page_size), capacity=64)
+    return GiST(GistNodeStore(pool, extension))
+
+
+@st.composite
+def rects(draw):
+    x = draw(st.floats(min_value=0, max_value=500, allow_nan=False))
+    y = draw(st.floats(min_value=0, max_value=500, allow_nan=False))
+    w = draw(st.floats(min_value=0, max_value=40, allow_nan=False))
+    h = draw(st.floats(min_value=0, max_value=40, allow_nan=False))
+    return Rect((x, y), (x + w, y + h))
+
+
+class TestRectGistProperties:
+    @given(st.lists(rects(), min_size=1, max_size=120), rects())
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    def test_overlap_search_exact(self, data, query_rect):
+        tree = make_tree(RectExtension())
+        for rowid, rect in enumerate(data):
+            tree.insert(rect, rowid)
+        tree.check()
+        got = sorted(r for r, _ in tree.search(RectQuery("overlap", query_rect)))
+        expected = sorted(
+            i for i, r in enumerate(data) if r.intersects(query_rect)
+        )
+        assert got == expected
+
+    @given(st.lists(rects(), min_size=4, max_size=80),
+           st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    def test_deletions_preserve_invariants(self, data, victims):
+        tree = make_tree(RectExtension())
+        live = {}
+        for rowid, rect in enumerate(data):
+            tree.insert(rect, rowid)
+            live[rowid] = rect
+        for v in victims:
+            if not live:
+                break
+            rowid = sorted(live)[v % len(live)]
+            assert tree.delete(live.pop(rowid), rowid)
+        tree.check()
+        everything = RectQuery("overlap", Rect((-1, -1), (600, 600)))
+        assert sorted(r for r, _ in tree.search(everything)) == sorted(live)
+
+
+class TestIntervalGistProperties:
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=150),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_search_exact(self, values, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = make_tree(IntervalExtension())
+        for rowid, v in enumerate(values):
+            tree.insert(Interval(v, v), rowid)
+        tree.check()
+        got = sorted(
+            r for r, _ in tree.search(IntervalQuery("between", lo, hi))
+        )
+        expected = sorted(r for r, v in enumerate(values) if lo <= v <= hi)
+        assert got == expected

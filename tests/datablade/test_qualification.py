@@ -1,0 +1,113 @@
+"""Tests for breaking complex qualifications into simple ones."""
+
+import pytest
+
+from repro.datablade.qualification import build_plan, resolve_simple
+from repro.grtree.entries import Predicate
+from repro.server.access_method import (
+    BooleanOperator,
+    CompoundQualification,
+    SimpleQualification,
+)
+from repro.server.errors import AccessMethodError
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+EXT_A = TimeExtent(10, UC, 10, NOW)
+EXT_B = TimeExtent(5, 20, 0, 30)
+
+
+def simple(function, constant=EXT_A, constant_first=False):
+    return SimpleQualification(
+        function, "te", constant=constant, constant_first=constant_first
+    )
+
+
+class TestResolveSimple:
+    def test_strategy_names_resolve_to_predicates(self):
+        assert resolve_simple(simple("Overlaps")).predicate is Predicate.OVERLAPS
+        assert resolve_simple(simple("equal")).predicate is Predicate.EQUAL
+        assert resolve_simple(simple("Contains")).predicate is Predicate.CONTAINS
+        assert (
+            resolve_simple(simple("ContainedIn")).predicate
+            is Predicate.CONTAINED_IN
+        )
+
+    def test_commuted_containment(self):
+        # Contains(constant, column): the column is inside the constant.
+        resolved = resolve_simple(simple("Contains", constant_first=True))
+        assert resolved.predicate is Predicate.CONTAINED_IN
+        resolved = resolve_simple(simple("ContainedIn", constant_first=True))
+        assert resolved.predicate is Predicate.CONTAINS
+
+    def test_symmetric_predicates_unchanged_by_commuting(self):
+        assert (
+            resolve_simple(simple("Overlaps", constant_first=True)).predicate
+            is Predicate.OVERLAPS
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(AccessMethodError):
+            resolve_simple(simple("Neighbour"))
+
+    def test_non_extent_constant_rejected(self):
+        with pytest.raises(AccessMethodError):
+            resolve_simple(simple("Overlaps", constant="a string"))
+
+    def test_missing_constant_rejected(self):
+        qual = SimpleQualification("Overlaps", "te", has_constant=False)
+        with pytest.raises(AccessMethodError):
+            resolve_simple(qual)
+
+
+class TestDnf:
+    def test_single_predicate(self):
+        plan = build_plan(simple("Overlaps"))
+        assert len(plan.branches) == 1
+        assert len(plan.branches[0]) == 1
+        assert plan.predicate_count == 1
+
+    def test_and_combines_into_one_branch(self):
+        qual = CompoundQualification(
+            BooleanOperator.AND,
+            [simple("Overlaps"), simple("ContainedIn", EXT_B)],
+        )
+        plan = build_plan(qual)
+        assert len(plan.branches) == 1
+        assert len(plan.branches[0]) == 2
+
+    def test_or_creates_branches(self):
+        qual = CompoundQualification(
+            BooleanOperator.OR,
+            [simple("Overlaps"), simple("Equal", EXT_B)],
+        )
+        plan = build_plan(qual)
+        assert len(plan.branches) == 2
+
+    def test_and_over_or_distributes(self):
+        # (A or B) and (C or D) -> four branches of two predicates each.
+        a_or_b = CompoundQualification(
+            BooleanOperator.OR, [simple("Overlaps"), simple("Equal")]
+        )
+        c_or_d = CompoundQualification(
+            BooleanOperator.OR,
+            [simple("Contains", EXT_B), simple("ContainedIn", EXT_B)],
+        )
+        plan = build_plan(
+            CompoundQualification(BooleanOperator.AND, [a_or_b, c_or_d])
+        )
+        assert len(plan.branches) == 4
+        assert all(len(branch) == 2 for branch in plan.branches)
+        assert plan.predicate_count == 8
+
+    def test_nested_same_operator(self):
+        qual = CompoundQualification(
+            BooleanOperator.OR,
+            [
+                simple("Overlaps"),
+                CompoundQualification(
+                    BooleanOperator.OR, [simple("Equal"), simple("Contains")]
+                ),
+            ],
+        )
+        assert len(build_plan(qual).branches) == 3

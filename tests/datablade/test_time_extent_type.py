@@ -1,0 +1,81 @@
+"""Tests for the GRT_TimeExtent_t opaque type support functions."""
+
+import pytest
+
+from repro.datablade.time_extent import (
+    TYPE_NAME,
+    extent_receive,
+    extent_send,
+    make_time_extent_type,
+)
+from repro.server.errors import DataTypeError
+from repro.temporal.chronon import Granularity
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+
+@pytest.fixture
+def day_type():
+    return make_time_extent_type(Granularity.DAY)
+
+
+class TestTextIO:
+    def test_paper_literal(self, day_type):
+        value = day_type.input("12/10/95, UC, 12/10/95, NOW")
+        assert isinstance(value, TimeExtent)
+        assert value.tt_end is UC and value.vt_end is NOW
+
+    def test_output_roundtrip(self, day_type):
+        value = day_type.input("12/10/95, UC, 12/10/95, NOW")
+        assert day_type.input(day_type.output(value)) == value
+
+    def test_constraint_violations_rejected(self, day_type):
+        with pytest.raises(DataTypeError):
+            day_type.input("12/10/95, 12/09/95, 01/01/95, 02/01/95")
+        with pytest.raises(DataTypeError):
+            day_type.input("garbage")
+        with pytest.raises(DataTypeError):
+            day_type.input("12/10/95, UC, 12/11/95, NOW")  # VTbegin > TTbegin
+
+    def test_month_granularity(self):
+        month_type = make_time_extent_type(Granularity.MONTH)
+        value = month_type.input("3/97, UC, 3/97, NOW")
+        assert month_type.output(value) == "3/1997, UC, 3/1997, NOW"
+
+
+class TestBinarySendReceive:
+    def test_roundtrip_with_variables(self, day_type):
+        value = day_type.input("12/10/95, UC, 12/10/95, NOW")
+        assert extent_receive(extent_send(value)) == value
+
+    def test_roundtrip_ground(self, day_type):
+        value = day_type.input("12/10/95, 12/20/95, 01/01/95, 02/01/95")
+        assert extent_receive(extent_send(value)) == value
+
+    def test_fixed_width(self, day_type):
+        value = day_type.input("12/10/95, UC, 12/10/95, NOW")
+        assert len(extent_send(value)) == 32
+
+    def test_bad_wire_value(self):
+        with pytest.raises(DataTypeError):
+            extent_receive(b"short")
+
+
+class TestImportExport:
+    def test_reuses_text_pair(self, day_type):
+        # The paper notes import/export and input/output do the same job.
+        text = "12/10/95, UC, 12/10/95, NOW"
+        assert day_type.import_text(text) == day_type.input(text)
+        value = day_type.input(text)
+        assert day_type.export_text(value) == day_type.output(value)
+
+
+class TestValidation:
+    def test_python_value_validation(self, day_type):
+        extent = TimeExtent(100, UC, 90, NOW)
+        assert day_type.validate(extent) is extent
+        with pytest.raises(DataTypeError):
+            day_type.validate("not an extent")
+
+    def test_registered_name(self, day_type):
+        assert day_type.name == TYPE_NAME.upper()

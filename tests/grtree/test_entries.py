@@ -1,0 +1,181 @@
+"""Tests for GR-tree entries: region decoding, flags, bounding."""
+
+import pytest
+
+from repro.grtree.entries import GREntry, Predicate, bound_entries, same_timestamps
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region
+from repro.temporal.variables import NOW, UC
+
+
+class TestLeafRegionDecoding:
+    def test_growing_stair(self):
+        entry = GREntry(10, UC, 10, NOW)
+        region = entry.region(25)
+        assert region.stair
+        assert (region.tt_lo, region.tt_hi) == (10, 25)
+        assert (region.vt_lo, region.vt_hi) == (10, 25)
+
+    def test_static_rectangle(self):
+        entry = GREntry(10, 20, 5, 15)
+        assert entry.region(99) == Region.make(10, 20, 5, 15)
+
+    def test_from_extent_roundtrip(self):
+        extent = TimeExtent(10, UC, 5, NOW)
+        entry = GREntry.from_extent(extent, rowid=3, fragid=1)
+        assert entry.extent() == extent
+        assert (entry.rowid, entry.fragid) == (3, 1)
+        assert entry.region(30) == extent.region(30)
+
+    def test_growing_property(self):
+        assert GREntry(10, UC, 10, NOW).growing
+        assert not GREntry(10, 20, 10, NOW).growing
+
+
+class TestInternalRegionDecoding:
+    def test_rectangle_flag_disambiguates(self):
+        # (tt1, UC, vt1, NOW) in a non-leaf entry: stair or rectangle
+        # growing in both dimensions, depending on the flag.
+        stair = GREntry(10, UC, 5, NOW, rectangle=False)
+        rect = GREntry(10, UC, 5, NOW, rectangle=True)
+        assert stair.region(30).stair
+        assert not rect.region(30).stair
+        assert rect.region(30) == Region.make(10, 30, 5, 30)
+
+    def test_hidden_adjustment_before_outgrowing(self):
+        # Fixed top 50 still above the clock: no adjustment.
+        entry = GREntry(10, UC, 5, 50, rectangle=True, hidden=True)
+        region = entry.region(40)
+        assert region.vt_hi == 50
+
+    def test_hidden_adjustment_after_outgrowing(self):
+        # The paper's algorithm: Hidden set, VTend fixed, VTend < now
+        # => treat VTend as NOW.
+        entry = GREntry(10, UC, 5, 50, rectangle=True, hidden=True)
+        region = entry.region(60)
+        assert region.vt_hi == 60  # follows the clock again
+
+    def test_unhidden_fixed_top_never_adjusts(self):
+        entry = GREntry(10, UC, 5, 50, rectangle=True, hidden=False)
+        assert entry.region(60).vt_hi == 50
+
+
+class TestFitsUnderDiagonal:
+    def test_stairs_always_fit(self):
+        assert GREntry(10, UC, 10, NOW).fits_under_diagonal_forever()
+        assert GREntry(10, 20, 5, NOW).fits_under_diagonal_forever()
+
+    def test_fixed_rect_fits_iff_top_at_or_below_ttbegin(self):
+        assert GREntry(10, 20, 5, 10).fits_under_diagonal_forever()
+        assert not GREntry(10, 20, 5, 11).fits_under_diagonal_forever()
+
+    def test_growing_both_rect_never_fits(self):
+        assert not GREntry(10, UC, 5, NOW, rectangle=True).fits_under_diagonal_forever()
+
+    def test_hidden_never_fits(self):
+        assert not GREntry(10, UC, 5, 8, hidden=True).fits_under_diagonal_forever()
+
+
+class TestBoundEntries:
+    def test_all_stairs_bound_with_stair(self):
+        entries = [GREntry(10, UC, 10, NOW), GREntry(12, UC, 8, NOW)]
+        bound = bound_entries(entries, now=20)
+        assert bound.vt_end is NOW and not bound.rectangle
+        assert bound.tt_end is UC
+        assert bound.tt_begin == 10 and bound.vt_begin == 8
+
+    def test_stair_plus_under_diagonal_rect_is_stair(self):
+        # Figure 4(b): the rectangle never rises above vt = tt.
+        entries = [GREntry(10, UC, 10, NOW), GREntry(20, 30, 5, 18)]
+        bound = bound_entries(entries, now=35)
+        assert bound.vt_end is NOW and not bound.rectangle
+
+    def test_tall_rect_forces_rectangle(self):
+        # Figure 4(a): a rectangle above the diagonal forces a rectangle
+        # bound; with a growing stair inside and the rect top above now,
+        # the stair is hidden (Figure 4(c)).
+        entries = [GREntry(10, UC, 10, NOW), GREntry(12, UC, 20, 60)]
+        bound = bound_entries(entries, now=30)
+        assert bound.rectangle
+        assert bound.hidden
+        assert bound.vt_end == 60
+        assert bound.tt_end is UC
+
+    def test_growing_stair_tallest_gives_growing_rectangle(self):
+        # Once the stair has outgrown every fixed top, the bound must be
+        # a rectangle growing in both dimensions.
+        entries = [GREntry(10, UC, 10, NOW), GREntry(12, UC, 20, 25)]
+        bound = bound_entries(entries, now=30)
+        assert bound.rectangle
+        assert bound.vt_end is NOW
+        assert not bound.hidden
+
+    def test_all_static_rectangle_bound(self):
+        entries = [GREntry(10, 20, 15, 30), GREntry(5, 12, 18, 40)]
+        bound = bound_entries(entries, now=50)
+        assert bound.rectangle and not bound.hidden
+        assert bound.tt_end == 20 and bound.vt_end == 40
+        assert bound.tt_begin == 5 and bound.vt_begin == 15
+
+    def test_stopped_stair_top_is_its_ttend(self):
+        entries = [GREntry(10, 20, 10, NOW), GREntry(5, 30, 25, 28)]
+        bound = bound_entries(entries, now=50)
+        # Stopped stair tops out at tt_end=20; the rect at 28.
+        assert bound.vt_end == 28
+
+    def test_hidden_propagates_upward(self):
+        child = GREntry(10, UC, 5, 50, rectangle=True, hidden=True)
+        sibling = GREntry(12, 20, 30, 60)
+        bound = bound_entries([child, sibling], now=30)
+        assert bound.hidden
+
+    def test_bound_contains_members_now_and_later(self):
+        entries = [
+            GREntry(10, UC, 10, NOW),
+            GREntry(12, UC, 20, 60),
+            GREntry(5, 15, 2, 4),
+            GREntry(20, 25, 18, NOW),
+        ]
+        bound = bound_entries(entries, now=30)
+        for t in (30, 45, 59, 60, 61, 100, 500):
+            bound_region = bound.region(t)
+            for entry in entries:
+                assert bound_region.contains(entry.region(t)), (entry, t)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bound_entries([], now=10)
+
+
+class TestSameTimestamps:
+    def test_equal(self):
+        assert same_timestamps(GREntry(1, UC, 0, NOW), GREntry(1, UC, 0, NOW))
+        assert same_timestamps(GREntry(1, 5, 0, 3), GREntry(1, 5, 0, 3))
+
+    def test_variable_vs_ground(self):
+        assert not same_timestamps(GREntry(1, UC, 0, 3), GREntry(1, 5, 0, 3))
+        assert not same_timestamps(GREntry(1, 5, 0, NOW), GREntry(1, 5, 0, 5))
+
+
+class TestPredicates:
+    def test_overlaps(self):
+        a = Region.make(0, 10, 0, 10)
+        b = Region.make(5, 15, 5, 15)
+        assert Predicate.OVERLAPS.leaf_test(a, b)
+        assert Predicate.OVERLAPS.internal_test(a, b)
+
+    def test_equal_pruning_uses_containment(self):
+        bound = Region.make(0, 20, 0, 20)
+        query = Region.make(5, 10, 5, 10)
+        assert Predicate.EQUAL.internal_test(bound, query)
+        assert not Predicate.EQUAL.leaf_test(bound, query)
+        outside = Region.make(15, 30, 0, 10)
+        assert not Predicate.EQUAL.internal_test(outside, query)
+
+    def test_contains_and_contained_in(self):
+        big = Region.make(0, 20, 0, 20)
+        small = Region.make(5, 10, 5, 10)
+        assert Predicate.CONTAINS.leaf_test(big, small)
+        assert not Predicate.CONTAINS.leaf_test(small, big)
+        assert Predicate.CONTAINED_IN.leaf_test(small, big)
+        assert not Predicate.CONTAINED_IN.leaf_test(big, small)

@@ -1,0 +1,108 @@
+"""Tests for developer-implemented node-level locking (Section 5.3)."""
+
+import pytest
+
+from repro.grtree.locking import (
+    LockCouplingScan,
+    NodeLockingProtocol,
+    locked_insert,
+)
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.locks import LockConflictError, LockManager, LockMode
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+
+@pytest.fixture()
+def setup():
+    clock = Clock(now=100)
+    store = GRNodeStore(BufferPool(InMemoryPageStore(page_size=512)))
+    tree = GRTree.create(store, clock)
+    # Two well-separated *static* populations so queries touch distinct
+    # subtrees (growing stairs would all converge on the diagonal).
+    rowid = 0
+    for i in range(150):
+        tree.insert(TimeExtent(60 + (i % 20), 100, 80 + (i % 20), 120), rowid)
+        rowid += 1
+    clock.advance(300)
+    for i in range(150):
+        tree.insert(TimeExtent(360 + (i % 20), 400, 380 + (i % 20), 420), rowid)
+        rowid += 1
+    locks = LockManager()
+    protocol = NodeLockingProtocol(locks, "gi")
+    return clock, tree, locks, protocol
+
+
+def query_around(t, span=20):
+    return TimeExtent(t, t + span, t - span, t + span)
+
+
+class TestLockCoupling:
+    def test_scan_results_match_plain_search(self, setup):
+        clock, tree, locks, protocol = setup
+        query = TimeExtent(clock.now, UC, clock.now - 50, NOW)
+        scan = LockCouplingScan(tree, protocol, txn_id=1, query=query)
+        locked = sorted(e.rowid for e in scan.fetch_all())
+        plain = sorted(r for r, _ in tree.search_all(query))
+        assert locked == plain
+
+    def test_all_locks_released_after_scan(self, setup):
+        clock, tree, locks, protocol = setup
+        query = TimeExtent(clock.now, UC, clock.now - 50, NOW)
+        LockCouplingScan(tree, protocol, txn_id=1, query=query).fetch_all()
+        assert locks.locked_resources == 0
+
+    def test_coupling_holds_bounded_locks(self, setup):
+        """Mid-scan, only the current path (not the whole tree) is
+        locked: the count never approaches the node count."""
+        clock, tree, locks, protocol = setup
+        query = TimeExtent(clock.now, UC, clock.now - 400, NOW)
+        scan = LockCouplingScan(tree, protocol, txn_id=1, query=query)
+        max_held = 0
+        while scan.next() is not None:
+            max_held = max(max_held, protocol.held_count(1))
+        scan.close()
+        assert 0 < max_held <= tree.height + 3
+        assert max_held < tree.node_count()
+
+    def test_readers_in_disjoint_subtrees_do_not_conflict(self, setup):
+        clock, tree, locks, protocol = setup
+        early = LockCouplingScan(tree, protocol, 1, query_around(80))
+        late = LockCouplingScan(tree, protocol, 2, query_around(390))
+        assert early.next() is not None
+        assert late.next() is not None  # no LockConflictError
+        early.close()
+        late.close()
+
+    def test_writer_conflicts_only_on_shared_path(self, setup):
+        clock, tree, locks, protocol = setup
+        # Reader parks inside the "early" subtree.
+        reader = LockCouplingScan(tree, protocol, 1, query_around(80))
+        assert reader.next() is not None
+        # A writer inserting into the "late" region only shares the root,
+        # which the reader has already released (coupling!).
+        extent = TimeExtent(clock.now, UC, clock.now - 1, NOW)
+        locked_insert(tree, protocol, 2, extent, rowid=99_999)
+        reader.close()
+        assert locks.locked_resources == 0
+
+    def test_writer_blocks_reader_on_same_leaf(self, setup):
+        clock, tree, locks, protocol = setup
+        # Manually hold an X lock on the root to model a writer that has
+        # not finished yet, then start a reader.
+        protocol.acquire(7, tree.root_id, LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            LockCouplingScan(tree, protocol, 8, query_around(80))
+        protocol.finish(7)
+
+    def test_locked_insert_releases_everything(self, setup):
+        clock, tree, locks, protocol = setup
+        extent = TimeExtent(clock.now, UC, clock.now - 5, NOW)
+        locked_insert(tree, protocol, 3, extent, rowid=77_777)
+        assert locks.locked_resources == 0
+        assert tree.size == 301
+        tree.check()

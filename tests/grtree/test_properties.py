@@ -1,0 +1,140 @@
+"""Property-based tests for the GR-tree (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.grtree.entries import GREntry, Predicate, bound_entries
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+
+NOW_BASE = 100
+
+
+@st.composite
+def leaf_entries(draw):
+    """Leaf entries insertable around time NOW_BASE."""
+    tt_begin = draw(st.integers(min_value=50, max_value=NOW_BASE))
+    growing = draw(st.booleans())
+    # A ground transaction-time end can never exceed the current time.
+    tt_end = UC if growing else draw(
+        st.integers(min_value=tt_begin, max_value=NOW_BASE)
+    )
+    now_relative = draw(st.booleans())
+    if now_relative:
+        vt_begin = draw(st.integers(min_value=0, max_value=tt_begin))
+        vt_end = NOW
+    else:
+        vt_begin = draw(st.integers(min_value=0, max_value=160))
+        vt_end = draw(st.integers(min_value=vt_begin, max_value=vt_begin + 60))
+    return GREntry(tt_begin, tt_end, vt_begin, vt_end, rowid=draw(st.integers(0, 10)))
+
+
+@st.composite
+def internal_entries(draw):
+    """Non-leaf entries with arbitrary flag combinations."""
+    entry = draw(leaf_entries())
+    entry.rowid = None
+    entry.child = 1
+    if entry.vt_end is NOW:
+        entry.rectangle = draw(st.booleans())
+    else:
+        entry.rectangle = True
+        # Hidden implies a growing stair in the subtree, so the entry
+        # itself must still be growing and hold the stair's floor.
+        if entry.tt_end is UC and entry.vt_begin <= entry.tt_begin:
+            entry.hidden = draw(st.booleans())
+    return entry
+
+
+class TestBoundProperties:
+    @given(
+        st.lists(st.one_of(leaf_entries(), internal_entries()), min_size=1, max_size=8),
+        st.integers(min_value=NOW_BASE, max_value=NOW_BASE + 20),
+        st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=6),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_bound_contains_members_at_all_future_times(
+        self, entries, now, offsets
+    ):
+        bound = bound_entries(entries, now)
+        for offset in offsets:
+            t = now + offset
+            bound_region = bound.region(t)
+            for entry in entries:
+                assert bound_region.contains(entry.region(t)), (
+                    f"{bound} fails to contain {entry} at {t}"
+                )
+
+    @given(
+        st.lists(leaf_entries(), min_size=1, max_size=8),
+        st.integers(min_value=NOW_BASE, max_value=NOW_BASE + 20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bound_is_growing_iff_some_member_grows(self, entries, now):
+        bound = bound_entries(entries, now)
+        assert (bound.tt_end is UC) == any(e.tt_end is UC for e in entries)
+
+    @given(
+        st.lists(leaf_entries(), min_size=1, max_size=8),
+        st.integers(min_value=NOW_BASE, max_value=NOW_BASE + 20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stair_bound_only_when_all_under_diagonal(self, entries, now):
+        bound = bound_entries(entries, now)
+        if not bound.rectangle and bound.vt_end is NOW:
+            assert all(e.fits_under_diagonal_forever() for e in entries)
+
+
+class TestTreeFuzz:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=12, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_randomised_session_matches_oracle(self, seed):
+        """A full random session: inserts, deletions, clock advances,
+        then all four predicates against a linear-scan oracle."""
+        rng = random.Random(seed)
+        clock = Clock(now=100)
+        store = GRNodeStore(BufferPool(InMemoryPageStore(page_size=512)))
+        tree = GRTree.create(store, clock)
+        live = {}
+        next_rowid = 0
+        for _ in range(rng.randint(30, 150)):
+            action = rng.random()
+            if action < 0.6 or not live:
+                if rng.random() < 0.5:
+                    extent = TimeExtent(
+                        clock.now, UC, clock.now - rng.randint(0, 30), NOW
+                    )
+                else:
+                    vtb = clock.now - rng.randint(-10, 30)
+                    extent = TimeExtent(clock.now, UC, vtb, vtb + rng.randint(0, 20))
+                tree.insert(extent, next_rowid)
+                live[next_rowid] = extent
+                next_rowid += 1
+            elif action < 0.85:
+                rowid = rng.choice(sorted(live))
+                assert tree.delete(live.pop(rowid), rowid)
+            else:
+                clock.advance(rng.randint(1, 5))
+        tree.check()
+        now = clock.now
+        for predicate in Predicate:
+            vtb = now - rng.randint(0, 60)
+            query = TimeExtent(
+                now - rng.randint(0, 60), now + rng.randint(0, 30),
+                vtb, vtb + rng.randint(0, 50),
+            )
+            q_region = query.region(now)
+            expected = sorted(
+                rowid
+                for rowid, ext in live.items()
+                if predicate.leaf_test(ext.region(now), q_region)
+            )
+            got = sorted(r for r, _ in tree.search_all(query, predicate))
+            assert got == expected, (seed, predicate)

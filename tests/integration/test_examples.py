@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # Examples use module-level randomness deterministically; run each
+    # in a fresh __main__ namespace.
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"
+    assert "Traceback" not in output
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 8

@@ -1,0 +1,194 @@
+"""Tests for the workload generator, baselines, and the core facade."""
+
+import pytest
+
+from repro.core import BitemporalDatabase
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+from repro.workloads import (
+    BitemporalWorkload,
+    MaxTimestampRTree,
+    SequentialScanIndex,
+    WorkloadConfig,
+)
+
+
+class ListSink:
+    def __init__(self):
+        self.rows = {}
+
+    def insert(self, extent, rowid):
+        self.rows[rowid] = extent
+
+    def delete(self, extent, rowid):
+        assert self.rows.pop(rowid) == extent
+
+
+def make_grtree(clock):
+    store = GRNodeStore(BufferPool(InMemoryPageStore(page_size=1024)))
+    return GRTree.create(store, clock)
+
+
+class TestWorkloadGenerator:
+    def test_reproducible(self):
+        clock1, clock2 = Clock(now=100), Clock(now=100)
+        w1 = BitemporalWorkload(clock1, WorkloadConfig(seed=7))
+        w2 = BitemporalWorkload(clock2, WorkloadConfig(seed=7))
+        s1, s2 = ListSink(), ListSink()
+        w1.run(s1, 200)
+        w2.run(s2, 200)
+        assert s1.rows == s2.rows
+        assert clock1.now == clock2.now
+
+    def test_now_relative_fraction_respected(self):
+        clock = Clock(now=100)
+        workload = BitemporalWorkload(
+            clock, WorkloadConfig(seed=1, now_relative_fraction=1.0,
+                                  delete_fraction=0, update_fraction=0)
+        )
+        sink = ListSink()
+        workload.run(sink, 100)
+        assert all(e.vt_end is NOW for e in sink.rows.values())
+
+    def test_all_six_cases_arise(self):
+        clock = Clock(now=100)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=3))
+        sink = ListSink()
+        workload.run(sink, 800)
+        cases = {e.case.value for e in workload.all_extents().values()}
+        assert cases == {1, 2, 3, 4, 5, 6}
+
+    def test_oracle_matches_grtree(self):
+        clock = Clock(now=100)
+        tree = make_grtree(clock)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=5))
+        workload.run(tree, 400)
+        tree.check()
+        for query in (
+            workload.current_timeslice_query(),
+            workload.window_query(20, 20),
+        ):
+            got = sorted(r for r, _ in tree.search_all(query))
+            assert got == workload.oracle_overlapping(query)
+
+    def test_insertion_constraints_hold(self):
+        clock = Clock(now=50)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=11))
+        sink = ListSink()
+        for _ in range(100):
+            before = clock.now
+            extent = workload.make_extent()
+            extent.validate_insertion(before)
+
+
+class TestBaselines:
+    def test_max_timestamp_rtree_is_exact_after_filtering(self):
+        clock = Clock(now=100)
+        baseline = MaxTimestampRTree(clock)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=13))
+        workload.run(baseline, 300)
+        query = workload.window_query(15, 15)
+        assert baseline.search(query) == workload.oracle_overlapping(query)
+
+    def test_max_timestamp_rtree_has_false_positives_on_now_relative_data(self):
+        clock = Clock(now=100)
+        baseline = MaxTimestampRTree(clock)
+        workload = BitemporalWorkload(
+            clock,
+            WorkloadConfig(seed=17, now_relative_fraction=1.0,
+                           delete_fraction=0.3),
+        )
+        workload.run(baseline, 400)
+        # A window in the upper-left area: above the stairs (small vt,
+        # recent tt is below the diagonal; choose vt above tt).
+        now = clock.now
+        query = TimeExtent(max(0, now - 60), max(0, now - 50), now + 50, now + 60)
+        baseline.search(query)
+        assert baseline.last_false_positives > 0
+
+    def test_sequential_scan_costs_all_pages(self):
+        clock = Clock(now=100)
+        seq = SequentialScanIndex(clock)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=19))
+        workload.run(seq, 200)
+        query = workload.current_timeslice_query()
+        assert seq.search(query) == workload.oracle_overlapping(query)
+        assert seq.io_cost_of_last_search() >= len(seq._extents) // 32
+
+    def test_grtree_beats_max_timestamp_on_now_relative_queries(self):
+        """The headline claim, in miniature: on heavily now-relative
+        data, the GR-tree answers with less I/O than the max-timestamp
+        R*-tree (whose growing rectangles overlap everything)."""
+        clock = Clock(now=100)
+        tree = make_grtree(clock)
+        baseline = MaxTimestampRTree(clock, page_size=1024)
+
+        workload = BitemporalWorkload(
+            clock,
+            WorkloadConfig(seed=23, now_relative_fraction=0.8,
+                           delete_fraction=0.15, update_fraction=0.15),
+        )
+        # Drive both indexes with the same history.
+        class Tee:
+            def insert(self, extent, rowid):
+                tree.insert(extent, rowid)
+                baseline.insert(extent, rowid)
+
+            def delete(self, extent, rowid):
+                assert tree.delete(extent, rowid)
+                assert baseline.delete(extent, rowid)
+
+        workload.run(Tee(), 1200)
+        tree_io = 0
+        baseline_io = 0
+        for _ in range(15):
+            query = workload.window_query(8, 8)
+            expected = workload.oracle_overlapping(query)
+            got = sorted(r for r, _ in tree.search_all(query))
+            assert got == expected
+            assert baseline.search(query) == expected
+            tree_io += tree.last_node_accesses + len(expected)
+            baseline_io += baseline.io_cost_of_last_search()
+        assert tree_io < baseline_io
+
+
+class TestCoreFacade:
+    def test_quickstart_flow(self):
+        db = BitemporalDatabase(["employee", "department"])
+        db.clock.set(100)
+        db.insert({"employee": "Jane", "department": "Sales"}, vt_begin=100)
+        db.clock.advance(10)
+        db.insert({"employee": "Tom", "department": "Ads"}, vt_begin=105)
+        assert {r["employee"] for r in db.current()} == {"Jane", "Tom"}
+        db.clock.advance(1)
+        db.delete_where("employee", "Tom")
+        assert {r["employee"] for r in db.current()} == {"Jane"}
+        # History is preserved: Tom is still visible to a past timeslice.
+        past = db.timeslice(valid_time=106, transaction_time=db.now - 1)
+        assert "Tom" in {r["employee"] for r in past}
+        assert "consistent" in db.check_index()
+
+    def test_modify(self):
+        db = BitemporalDatabase(["who", "what"])
+        db.clock.set(100)
+        db.insert({"who": "a", "what": "x"}, vt_begin=100)
+        db.clock.advance(5)
+        assert db.modify("who", "a", {"who": "a", "what": "y"}, vt_begin=100) == 1
+        rows = db.current()
+        assert [r["what"] for r in rows] == ["y"]
+        assert db.statistics()["size"] >= 2
+
+    def test_reserved_column_rejected(self):
+        with pytest.raises(ValueError):
+            BitemporalDatabase(["time_extent"])
+
+    def test_quoting_in_values(self):
+        db = BitemporalDatabase(["name"])
+        db.clock.set(100)
+        db.insert({"name": "O'Brien"}, vt_begin=100)
+        assert db.current()[0]["name"] == "O'Brien"

@@ -1,0 +1,80 @@
+"""Tests for n-dimensional rectangle arithmetic."""
+
+import pytest
+
+from repro.rtree.geometry import Rect, union_all
+
+
+class TestConstruction:
+    def test_of_interleaved(self):
+        r = Rect.of(0, 2, 1, 3)
+        assert r.lo == (0, 1) and r.hi == (2, 3)
+
+    def test_point(self):
+        p = Rect.point(5, 7)
+        assert p.area() == 0
+        assert p.contains_point(5, 7)
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ValueError):
+            Rect((0, 0), (1,))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Rect.of(2, 0, 0, 1)
+
+    def test_rejects_odd_bounds(self):
+        with pytest.raises(ValueError):
+            Rect.of(0, 1, 2)
+
+
+class TestMetrics:
+    def test_area(self):
+        assert Rect.of(0, 4, 0, 3).area() == 12
+
+    def test_margin(self):
+        assert Rect.of(0, 4, 0, 3).margin() == 7
+
+    def test_center(self):
+        assert Rect.of(0, 4, 0, 2).center() == (2, 1)
+
+    def test_three_dimensional(self):
+        r = Rect.of(0, 2, 0, 3, 0, 4)
+        assert r.area() == 24
+        assert r.ndim == 3
+
+
+class TestSetOperations:
+    def test_union(self):
+        assert Rect.of(0, 1, 0, 1).union(Rect.of(2, 3, 2, 3)) == Rect.of(0, 3, 0, 3)
+
+    def test_enlargement(self):
+        assert Rect.of(0, 1, 0, 1).enlargement(Rect.of(2, 3, 0, 1)) == 2.0
+
+    def test_intersects_edge_touch(self):
+        assert Rect.of(0, 1, 0, 1).intersects(Rect.of(1, 2, 1, 2))
+
+    def test_disjoint(self):
+        assert not Rect.of(0, 1, 0, 1).intersects(Rect.of(2, 3, 2, 3))
+
+    def test_intersection(self):
+        inter = Rect.of(0, 2, 0, 2).intersection(Rect.of(1, 3, 1, 3))
+        assert inter == Rect.of(1, 2, 1, 2)
+        assert Rect.of(0, 1, 0, 1).intersection(Rect.of(5, 6, 5, 6)) is None
+
+    def test_overlap_area(self):
+        assert Rect.of(0, 2, 0, 2).overlap_area(Rect.of(1, 3, 1, 3)) == 1.0
+        assert Rect.of(0, 1, 0, 1).overlap_area(Rect.of(5, 6, 5, 6)) == 0.0
+
+    def test_contains(self):
+        assert Rect.of(0, 5, 0, 5).contains(Rect.of(1, 2, 1, 2))
+        assert not Rect.of(1, 2, 1, 2).contains(Rect.of(0, 5, 0, 5))
+        assert Rect.of(0, 5, 0, 5).contains(Rect.of(0, 5, 0, 5))
+
+    def test_union_all(self):
+        rects = [Rect.of(0, 1, 0, 1), Rect.of(4, 5, 2, 3), Rect.of(-1, 0, 0, 2)]
+        assert union_all(rects) == Rect.of(-1, 5, 0, 3)
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])

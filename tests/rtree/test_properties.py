@@ -1,0 +1,99 @@
+"""Property-based tests for the R-tree family (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.node import NodeStore
+from repro.rtree.rstar import RStarTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+
+
+@st.composite
+def rects(draw):
+    x = draw(st.floats(min_value=0, max_value=500, allow_nan=False))
+    y = draw(st.floats(min_value=0, max_value=500, allow_nan=False))
+    w = draw(st.floats(min_value=0, max_value=40, allow_nan=False))
+    h = draw(st.floats(min_value=0, max_value=40, allow_nan=False))
+    return Rect((x, y), (x + w, y + h))
+
+
+def make_tree(cls=RStarTree):
+    pool = BufferPool(InMemoryPageStore(page_size=512), capacity=64)
+    return cls(NodeStore(pool, ndim=2))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    @settings(max_examples=200, deadline=None)
+    def test_union_contains_both(self, a, b):
+        merged = a.union(b)
+        assert merged.contains(a) and merged.contains(b)
+
+    @given(rects(), rects())
+    @settings(max_examples=200, deadline=None)
+    def test_intersection_symmetric_and_contained(self, a, b):
+        inter_ab = a.intersection(b)
+        inter_ba = b.intersection(a)
+        assert inter_ab == inter_ba
+        if inter_ab is not None:
+            assert a.contains(inter_ab) and b.contains(inter_ab)
+            assert a.intersects(b)
+        else:
+            assert not a.intersects(b)
+
+    @given(rects(), rects())
+    @settings(max_examples=200, deadline=None)
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(rects(), rects())
+    @settings(max_examples=200, deadline=None)
+    def test_overlap_area_bounded(self, a, b):
+        overlap = a.overlap_area(b)
+        assert -1e-9 <= overlap <= min(a.area(), b.area()) + 1e-9
+
+
+class TestTreeProperties:
+    @given(
+        st.lists(rects(), min_size=1, max_size=120),
+        rects(),
+        st.sampled_from([RStarTree, GuttmanRTree]),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    def test_search_matches_linear_scan(self, data, query, cls):
+        tree = make_tree(cls)
+        for rowid, rect in enumerate(data):
+            tree.insert(rect, rowid)
+        tree.check()
+        got = sorted(r for r, _ in tree.search(query))
+        expected = sorted(
+            i for i, r in enumerate(data) if r.intersects(query)
+        )
+        assert got == expected
+
+    @given(
+        st.lists(rects(), min_size=5, max_size=100),
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=list(HealthCheck))
+    def test_random_deletions_keep_invariants(self, data, victims):
+        tree = make_tree()
+        live = {}
+        for rowid, rect in enumerate(data):
+            tree.insert(rect, rowid)
+            live[rowid] = rect
+        for v in victims:
+            if not live:
+                break
+            rowid = sorted(live)[v % len(live)]
+            assert tree.delete(live.pop(rowid), rowid)
+        tree.check()
+        everything = Rect((-10.0, -10.0), (600.0, 600.0))
+        assert sorted(r for r, _ in tree.search(everything)) == sorted(live)

@@ -1,0 +1,255 @@
+"""Tests for the R*-tree and Guttman R-tree over paged storage."""
+
+import random
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.node import NodeStore
+from repro.rtree.rstar import RStarTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+
+
+def make_tree(cls=RStarTree, page_size=512, capacity=256):
+    store = InMemoryPageStore(page_size=page_size)
+    pool = BufferPool(store, capacity=capacity)
+    return cls(NodeStore(pool, ndim=2)), pool
+
+
+def random_rect(rng, extent=1000.0, max_side=20.0):
+    x = rng.uniform(0, extent)
+    y = rng.uniform(0, extent)
+    w = rng.uniform(0, max_side)
+    h = rng.uniform(0, max_side)
+    return Rect.of(x, x + w, y, y + h)
+
+
+class TestNodeSerialization:
+    def test_leaf_roundtrip(self):
+        tree, pool = make_tree()
+        store = tree.store
+        node = store.allocate(leaf=True, level=0)
+        from repro.rtree.node import Entry
+
+        node.entries = [
+            Entry(Rect.of(0.5, 1.5, -2.0, 3.25), rowid=42, fragid=7),
+            Entry(Rect.of(9, 10, 11, 12), rowid=-1, fragid=0),
+        ]
+        store.write(node)
+        again = store.read(node.page_id)
+        assert again.leaf and again.level == 0
+        assert [e.rowid for e in again.entries] == [42, -1]
+        assert [e.fragid for e in again.entries] == [7, 0]
+        assert again.entries[0].rect == Rect.of(0.5, 1.5, -2.0, 3.25)
+
+    def test_internal_roundtrip(self):
+        tree, pool = make_tree()
+        store = tree.store
+        node = store.allocate(leaf=False, level=2)
+        from repro.rtree.node import Entry
+
+        node.entries = [Entry(Rect.of(0, 1, 0, 1), child=99)]
+        store.write(node)
+        again = store.read(node.page_id)
+        assert not again.leaf and again.level == 2
+        assert again.entries[0].child == 99
+
+    def test_capacity_from_page_size(self):
+        tree, _ = make_tree(page_size=512)
+        # 512-byte pages, 44-byte entries, 4-byte header.
+        assert tree.store.capacity == (512 - 4) // (32 + 12)
+
+    def test_overflow_write_rejected(self):
+        tree, _ = make_tree(page_size=512)
+        from repro.rtree.node import Entry
+
+        node = tree.store.allocate(leaf=True)
+        node.entries = [
+            Entry(Rect.of(0, 1, 0, 1), rowid=i) for i in range(tree.store.capacity + 1)
+        ]
+        with pytest.raises(ValueError):
+            tree.store.write(node)
+
+    def test_tiny_page_rejected(self):
+        store = InMemoryPageStore(page_size=64)
+        pool = BufferPool(store)
+        with pytest.raises(ValueError):
+            NodeStore(pool, ndim=2)
+
+
+class TestInsertSearch:
+    def test_empty_tree_search(self):
+        tree, _ = make_tree()
+        assert tree.search(Rect.of(0, 100, 0, 100)) == []
+
+    def test_single_insert(self):
+        tree, _ = make_tree()
+        tree.insert(Rect.of(1, 2, 1, 2), rowid=7)
+        assert tree.search(Rect.of(0, 3, 0, 3)) == [(7, 0)]
+        assert tree.search(Rect.of(5, 6, 5, 6)) == []
+
+    def test_search_matches_oracle_after_many_inserts(self):
+        rng = random.Random(42)
+        tree, _ = make_tree(page_size=256)
+        data = []
+        for rowid in range(600):
+            rect = random_rect(rng)
+            tree.insert(rect, rowid)
+            data.append((rect, rowid))
+        tree.check()
+        assert tree.height > 1
+        for _ in range(25):
+            query = random_rect(rng, max_side=120.0)
+            expected = sorted(r for rect, r in data if rect.intersects(query))
+            got = sorted(r for r, _ in tree.search(query))
+            assert got == expected
+
+    def test_duplicate_rectangles_supported(self):
+        tree, _ = make_tree()
+        rect = Rect.of(5, 6, 5, 6)
+        for rowid in range(10):
+            tree.insert(rect, rowid)
+        assert sorted(r for r, _ in tree.search(rect)) == list(range(10))
+
+    def test_size_and_stats(self):
+        tree, _ = make_tree(page_size=256)
+        for rowid in range(100):
+            tree.insert(Rect.point(rowid, rowid), rowid)
+        assert tree.size == 100
+        stats = tree.stats()
+        assert stats["size"] == 100
+        assert stats["height"] == tree.height
+        assert 0 < stats["avg_fill"] <= 1
+
+    def test_node_accesses_counted(self):
+        tree, _ = make_tree(page_size=256)
+        rng = random.Random(1)
+        for rowid in range(400):
+            tree.insert(random_rect(rng), rowid)
+        tree.search(Rect.of(0, 10, 0, 10))
+        assert tree.last_node_accesses >= 1
+        tree.search(Rect.of(0, 1000, 0, 1000))
+        assert tree.last_node_accesses == tree.node_count()
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree, _ = make_tree()
+        rect = Rect.of(1, 2, 1, 2)
+        tree.insert(rect, rowid=7)
+        assert tree.delete(rect, rowid=7)
+        assert tree.size == 0
+        assert tree.search(Rect.of(0, 3, 0, 3)) == []
+
+    def test_delete_missing_returns_false(self):
+        tree, _ = make_tree()
+        tree.insert(Rect.of(1, 2, 1, 2), rowid=7)
+        assert not tree.delete(Rect.of(1, 2, 1, 2), rowid=8)
+        assert not tree.delete(Rect.of(3, 4, 3, 4), rowid=7)
+        assert tree.size == 1
+
+    def test_delete_everything(self):
+        rng = random.Random(7)
+        tree, _ = make_tree(page_size=256)
+        data = [(random_rect(rng), i) for i in range(300)]
+        for rect, rowid in data:
+            tree.insert(rect, rowid)
+        rng.shuffle(data)
+        for rect, rowid in data:
+            assert tree.delete(rect, rowid)
+        assert tree.size == 0
+        assert tree.height == 1
+        assert tree.search(Rect.of(0, 2000, 0, 2000)) == []
+
+    def test_interleaved_inserts_deletes_match_oracle(self):
+        rng = random.Random(99)
+        tree, _ = make_tree(page_size=256)
+        live = {}
+        next_id = 0
+        for step in range(1500):
+            if live and rng.random() < 0.4:
+                rowid = rng.choice(list(live))
+                rect = live.pop(rowid)
+                assert tree.delete(rect, rowid)
+            else:
+                rect = random_rect(rng)
+                live[next_id] = rect
+                tree.insert(rect, next_id)
+                next_id += 1
+        tree.check()
+        query = random_rect(rng, max_side=250.0)
+        expected = sorted(r for r, rect in live.items() if rect.intersects(query))
+        assert sorted(r for r, _ in tree.search(query)) == expected
+
+    def test_condensed_flag(self):
+        tree, _ = make_tree(page_size=256)
+        rng = random.Random(3)
+        data = [(random_rect(rng, extent=100), i) for i in range(300)]
+        for rect, rowid in data:
+            tree.insert(rect, rowid)
+        saw_condense = False
+        for rect, rowid in data:
+            tree.delete(rect, rowid)
+            saw_condense = saw_condense or tree.condensed
+        assert saw_condense
+
+    def test_check_detects_size_corruption(self):
+        tree, _ = make_tree()
+        tree.insert(Rect.of(0, 1, 0, 1), rowid=1)
+        tree.size = 5
+        with pytest.raises(AssertionError):
+            tree.check()
+
+
+class TestGuttman:
+    def test_oracle_equivalence(self):
+        rng = random.Random(5)
+        tree, _ = make_tree(GuttmanRTree, page_size=256)
+        data = []
+        for rowid in range(500):
+            rect = random_rect(rng)
+            tree.insert(rect, rowid)
+            data.append((rect, rowid))
+        tree.check()
+        for _ in range(10):
+            query = random_rect(rng, max_side=150.0)
+            expected = sorted(r for rect, r in data if rect.intersects(query))
+            assert sorted(r for r, _ in tree.search(query)) == expected
+
+    def test_rstar_has_no_more_overlap_than_guttman(self):
+        """The R* split should produce a 'better' tree on clustered data
+        (smaller total sibling overlap) -- the Figure 3 goodness metric."""
+        rng = random.Random(11)
+        rects = []
+        for cluster in range(20):
+            cx, cy = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            for _ in range(30):
+                x, y = cx + rng.uniform(0, 40), cy + rng.uniform(0, 40)
+                rects.append(Rect.of(x, x + 5, y, y + 5))
+
+        def total_leaf_overlap(cls):
+            tree, _ = make_tree(cls, page_size=256)
+            for rowid, rect in enumerate(rects):
+                tree.insert(rect, rowid)
+            leaves = [n for n in tree.iter_nodes() if n.leaf]
+            mbrs = [n.mbr() for n in leaves]
+            return sum(
+                a.overlap_area(b)
+                for i, a in enumerate(mbrs)
+                for b in mbrs[i + 1 :]
+            )
+
+        assert total_leaf_overlap(RStarTree) <= total_leaf_overlap(GuttmanRTree)
+
+    def test_deletes_work_without_reinsertion(self):
+        rng = random.Random(13)
+        tree, _ = make_tree(GuttmanRTree, page_size=256)
+        data = [(random_rect(rng), i) for i in range(200)]
+        for rect, rowid in data:
+            tree.insert(rect, rowid)
+        for rect, rowid in data[:100]:
+            assert tree.delete(rect, rowid)
+        tree.check()
+        assert tree.size == 100

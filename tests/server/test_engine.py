@@ -1,0 +1,145 @@
+"""Integration tests for the SQL engine: DML, plans, transactions."""
+
+import pytest
+
+from repro.server import DatabaseServer
+from repro.server.errors import CatalogError, SqlError, TransactionError
+from repro.server.optimizer import IndexScanPlan, SeqScanPlan
+from repro.storage.locks import IsolationLevel
+
+
+@pytest.fixture
+def server():
+    s = DatabaseServer()
+    s.execute("CREATE TABLE emp (name LVARCHAR, age INTEGER)")
+    for i in range(10):
+        s.execute(f"INSERT INTO emp VALUES ('p{i}', {20 + i})")
+    return s
+
+
+class TestBasicDml:
+    def test_select_star(self, server):
+        rows = server.execute("SELECT * FROM emp")
+        assert len(rows) == 10
+        assert rows[0] == {"name": "p0", "age": 20}
+
+    def test_projection(self, server):
+        rows = server.execute("SELECT age FROM emp WHERE name = 'p3'")
+        assert rows == [{"age": 23}]
+
+    def test_comparisons(self, server):
+        assert len(server.execute("SELECT * FROM emp WHERE age >= 25")) == 5
+        assert len(server.execute("SELECT * FROM emp WHERE age <> 20")) == 9
+        assert len(server.execute("SELECT * FROM emp WHERE age < 22")) == 2
+
+    def test_boolean_combinations(self, server):
+        rows = server.execute(
+            "SELECT * FROM emp WHERE age > 21 AND age < 25 OR name = 'p0'"
+        )
+        assert {r["name"] for r in rows} == {"p0", "p2", "p3", "p4"}
+
+    def test_not(self, server):
+        rows = server.execute("SELECT * FROM emp WHERE NOT age > 21")
+        assert {r["age"] for r in rows} == {20, 21}
+
+    def test_update(self, server):
+        count = server.execute("UPDATE emp SET age = 99 WHERE name = 'p1'")
+        assert count == 1
+        assert server.execute("SELECT age FROM emp WHERE name = 'p1'") == [
+            {"age": 99}
+        ]
+
+    def test_delete(self, server):
+        assert server.execute("DELETE FROM emp WHERE age < 25") == 5
+        assert len(server.execute("SELECT * FROM emp")) == 5
+
+    def test_insert_arity_mismatch(self, server):
+        with pytest.raises(SqlError):
+            server.execute("INSERT INTO emp VALUES (1)")
+
+    def test_unknown_table(self, server):
+        with pytest.raises(CatalogError):
+            server.execute("SELECT * FROM nope")
+
+    def test_plan_is_seqscan_without_index(self, server):
+        server.execute("SELECT * FROM emp WHERE age = 20")
+        assert isinstance(server.last_plan, SeqScanPlan)
+
+
+class TestScripts:
+    def test_run_script_splits_on_semicolons(self):
+        s = DatabaseServer()
+        results = s.run_script(
+            "CREATE TABLE a (x INTEGER);\n"
+            "INSERT INTO a VALUES (1);\n"
+            "SELECT * FROM a;"
+        )
+        assert results[-1] == [{"x": 1}]
+
+    def test_semicolons_inside_strings_preserved(self):
+        s = DatabaseServer()
+        s.execute("CREATE TABLE a (x LVARCHAR)")
+        results = s.run_script("INSERT INTO a VALUES ('a;b'); SELECT * FROM a;")
+        assert results[-1] == [{"x": "a;b"}]
+
+
+class TestTransactions:
+    def test_explicit_commit(self, server):
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        server.execute("INSERT INTO emp VALUES ('tx', 50)", session)
+        server.execute("COMMIT WORK", session)
+        assert len(server.execute("SELECT * FROM emp WHERE age = 50")) == 1
+
+    def test_nested_begin_rejected(self, server):
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        with pytest.raises(TransactionError):
+            server.execute("BEGIN WORK", session)
+
+    def test_commit_without_begin_rejected(self, server):
+        session = server.create_session()
+        with pytest.raises(TransactionError):
+            server.execute("COMMIT WORK", session)
+
+    def test_set_isolation(self, server):
+        session = server.create_session()
+        server.execute("SET ISOLATION TO REPEATABLE READ", session)
+        assert session.isolation is IsolationLevel.REPEATABLE_READ
+        with pytest.raises(SqlError):
+            server.execute("SET ISOLATION TO CHAOS", session)
+
+    def test_transaction_end_callbacks_fire(self, server):
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        observed = []
+        session.register_end_callback(
+            lambda sess, committed: observed.append(committed)
+        )
+        server.execute("COMMIT WORK", session)
+        assert observed == [True]
+
+        server.execute("BEGIN WORK", session)
+        session.register_end_callback(
+            lambda sess, committed: observed.append(committed)
+        )
+        server.execute("ROLLBACK WORK", session)
+        assert observed == [True, False]
+
+
+class TestSbspaceManagement:
+    def test_create_and_get(self):
+        s = DatabaseServer()
+        space = s.create_sbspace("spc")
+        assert s.get_sbspace("SPC") is space
+
+    def test_duplicate_rejected(self):
+        s = DatabaseServer()
+        s.create_sbspace("spc")
+        with pytest.raises(CatalogError):
+            s.create_sbspace("spc")
+
+    def test_missing_space(self):
+        s = DatabaseServer()
+        with pytest.raises(CatalogError):
+            s.get_sbspace("nope")

@@ -1,0 +1,192 @@
+"""Edge cases of the executor and optimizer."""
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.bblade import register_btree_blade
+from repro.server import DatabaseServer
+from repro.server.errors import (
+    CatalogError,
+    DataTypeError,
+    ExecutionError,
+    SqlError,
+)
+from repro.server.optimizer import IndexScanPlan, SeqScanPlan
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def day(c):
+    return format_chronon(c)
+
+
+@pytest.fixture()
+def server():
+    s = DatabaseServer(clock=Clock(now=100))
+    s.create_sbspace("spc")
+    return s
+
+
+class TestSeqScanUdrEvaluation:
+    def test_unknown_function_in_where(self, server):
+        server.execute("CREATE TABLE t (a INTEGER)")
+        server.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ExecutionError):
+            server.execute("SELECT * FROM t WHERE Frobnicate(a, 1)")
+
+    def test_udr_with_wrong_arity(self, server):
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (te GRT_TimeExtent_t)")
+        server.execute(
+            f"INSERT INTO t VALUES ('{day(100)}, UC, {day(95)}, NOW')"
+        )
+        with pytest.raises(ExecutionError):
+            server.execute("SELECT * FROM t WHERE Overlaps(te)")
+
+    def test_function_predicate_without_index_runs_as_udr(self, server):
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (te GRT_TimeExtent_t)")
+        server.execute(
+            f"INSERT INTO t VALUES ('{day(100)}, UC, {day(95)}, NOW')"
+        )
+        rows = server.execute(
+            f"SELECT * FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')"
+        )
+        assert isinstance(server.last_plan, SeqScanPlan)
+        assert len(rows) == 1
+
+    def test_type_coercion_failure_in_literal(self, server):
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (te GRT_TimeExtent_t)")
+        with pytest.raises(DataTypeError):
+            server.execute("INSERT INTO t VALUES ('garbage')")
+
+
+class TestOptimizerChoices:
+    def test_residual_kept_with_index_plan(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (name LVARCHAR, v INTEGER)")
+        server.execute("CREATE INDEX bi ON t(v) USING btree_am IN spc")
+        server.prefer_virtual_index = True
+        for i in range(50):
+            server.execute(f"INSERT INTO t VALUES ('r{i}', {i})")
+        rows = server.execute(
+            "SELECT name FROM t WHERE v > 40 AND name = 'r45'"
+        )
+        assert isinstance(server.last_plan, IndexScanPlan)
+        assert server.last_plan.residual is not None
+        assert [r["name"] for r in rows] == ["r45"]
+
+    def test_or_with_non_strategy_disables_index(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (name LVARCHAR, v INTEGER)")
+        server.execute("CREATE INDEX bi ON t(v) USING btree_am IN spc")
+        server.prefer_virtual_index = True
+        for i in range(30):
+            server.execute(f"INSERT INTO t VALUES ('r{i}', {i})")
+        # The OR mixes an indexable atom with a different column: the
+        # whole disjunct cannot go to the index.
+        rows = server.execute(
+            "SELECT name FROM t WHERE v > 25 OR name = 'r1'"
+        )
+        assert isinstance(server.last_plan, SeqScanPlan)
+        assert {r["name"] for r in rows} == {"r1", "r26", "r27", "r28", "r29"}
+
+    def test_two_indexes_candidate_selection(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        server.execute("CREATE INDEX ia ON t(a) USING btree_am IN spc")
+        server.execute("CREATE INDEX ib ON t(b) USING btree_am IN spc")
+        server.prefer_virtual_index = True
+        for i in range(40):
+            server.execute(f"INSERT INTO t VALUES ({i}, {39 - i})")
+        rows = server.execute("SELECT a FROM t WHERE b = 5")
+        assert isinstance(server.last_plan, IndexScanPlan)
+        assert server.last_plan.index.name == "ib"
+        assert rows == [{"a": 34}]
+
+    def test_not_never_reaches_the_index(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")
+        server.execute("CREATE INDEX bi ON t(v) USING btree_am IN spc")
+        server.prefer_virtual_index = True
+        for i in range(10):
+            server.execute(f"INSERT INTO t VALUES ({i})")
+        rows = server.execute("SELECT v FROM t WHERE NOT v < 8")
+        assert isinstance(server.last_plan, SeqScanPlan)
+        assert sorted(r["v"] for r in rows) == [8, 9]
+
+
+class TestDdlEdges:
+    def test_drop_table_with_index_refused(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")
+        server.execute("CREATE INDEX bi ON t(v) USING btree_am IN spc")
+        with pytest.raises(CatalogError):
+            server.execute("DROP TABLE t")
+        server.execute("DROP INDEX bi")
+        server.execute("DROP TABLE t")
+
+    def test_create_index_on_missing_column(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")
+        with pytest.raises(CatalogError):
+            server.execute("CREATE INDEX bi ON t(nope) USING btree_am IN spc")
+
+    def test_create_index_without_using_clause(self, server):
+        server.execute("CREATE TABLE t (v INTEGER)")
+        with pytest.raises(SqlError):
+            server.execute("CREATE INDEX bi ON t(v)")
+
+    def test_create_index_in_missing_space(self, server):
+        register_btree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")
+        with pytest.raises(CatalogError):
+            server.execute("CREATE INDEX bi ON t(v) USING btree_am IN nowhere")
+
+    def test_opclass_for_wrong_am_rejected(self, server):
+        register_btree_blade(server)
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")
+        with pytest.raises(CatalogError):
+            server.execute(
+                "CREATE INDEX bi ON t(v grt_opclass) USING btree_am IN spc"
+            )
+
+    def test_failed_create_index_rolls_back_catalog(self, server):
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (v INTEGER)")  # wrong column type
+        from repro.server.errors import AccessMethodError
+
+        with pytest.raises(AccessMethodError):
+            server.execute("CREATE INDEX gi ON t(v) USING grtree_am IN spc")
+        assert not server.catalog.has_index("gi")
+
+    def test_autocommit_rolls_back_on_midstatement_error(self, server):
+        register_grtree_blade(server)
+        server.execute("CREATE TABLE t (te GRT_TimeExtent_t)")
+        server.execute("CREATE INDEX gi ON t(te) USING grtree_am IN spc")
+        space = server.get_sbspace("spc")
+        pages_before = {
+            h: dict(b._pages) for h, b in space._objects.items()
+        }
+        # Delete of a rowid the index does not know about: the blade
+        # raises after the table row is gone; autocommit rolls back the
+        # index pages (the table row removal is heap-level and outside
+        # the WAL's scope in this reproduction).
+        info = server.catalog.get_index("gi")
+        from repro.server.errors import AccessMethodError
+        from repro.temporal.extent import TimeExtent
+        from repro.temporal.variables import NOW, UC
+
+        td = server.executor._descriptor(info, server.system_session)
+        session = server.create_session()
+        server.execute("BEGIN WORK", session)
+        am = server.catalog.access_methods.get("grtree_am")
+        server.executor.call_purpose(am, "am_open", td)
+        with pytest.raises(AccessMethodError):
+            server.executor.call_purpose(
+                am, "am_delete", td, (TimeExtent(100, UC, 90, NOW),), 12345
+            )
+        server.execute("ROLLBACK WORK", session)
+        pages_after = {h: dict(b._pages) for h, b in space._objects.items()}
+        assert pages_after == pages_before

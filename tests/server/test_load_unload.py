@@ -1,0 +1,108 @@
+"""Tests for LOAD/UNLOAD: the text-file import/export support functions."""
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.server import DatabaseServer
+from repro.server.errors import ExecutionError, SqlError
+from repro.temporal.chronon import Clock
+
+
+@pytest.fixture()
+def server():
+    s = DatabaseServer(clock=Clock(now=100))
+    s.create_sbspace("spc")
+    register_grtree_blade(s)
+    s.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+    s.execute("CREATE INDEX gi ON t(te) USING grtree_am IN spc")
+    s.prefer_virtual_index = True
+    return s
+
+
+def extent_text(now=100):
+    from repro.temporal.chronon import format_chronon
+
+    return f"{format_chronon(now)}, UC, {format_chronon(now - 5)}, NOW"
+
+
+class TestLoad:
+    def test_load_uses_import_support_function(self, server, tmp_path):
+        """The paper's third type-support category: 'making it possible
+        to use the command LOAD for loading values of a new type from a
+        text file to a table'."""
+        path = tmp_path / "data.unl"
+        path.write_text(
+            "\n".join(f"row{i}|{extent_text()}" for i in range(25)) + "\n"
+        )
+        loaded = server.execute(f"LOAD FROM '{path}' INSERT INTO t")
+        assert loaded == 25
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{extent_text()}')"
+        )
+        assert len(rows) == 25
+        assert "consistent" in server.execute("CHECK INDEX gi")
+
+    def test_load_custom_delimiter(self, server, tmp_path):
+        path = tmp_path / "data.unl"
+        path.write_text(f"a;{extent_text()}\n")
+        assert server.execute(
+            f"LOAD FROM '{path}' DELIMITER ';' INSERT INTO t"
+        ) == 1
+
+    def test_load_skips_blank_lines(self, server, tmp_path):
+        path = tmp_path / "data.unl"
+        path.write_text(f"a|{extent_text()}\n\nb|{extent_text()}\n")
+        assert server.execute(f"LOAD FROM '{path}' INSERT INTO t") == 2
+
+    def test_load_field_count_mismatch(self, server, tmp_path):
+        path = tmp_path / "data.unl"
+        path.write_text("only-one-field\n")
+        with pytest.raises(ExecutionError):
+            server.execute(f"LOAD FROM '{path}' INSERT INTO t")
+
+    def test_load_bad_literal_reports_type_error(self, server, tmp_path):
+        from repro.server.errors import DataTypeError
+
+        path = tmp_path / "data.unl"
+        path.write_text("a|not a time extent\n")
+        with pytest.raises(DataTypeError):
+            server.execute(f"LOAD FROM '{path}' INSERT INTO t")
+
+    def test_parse_errors(self, server):
+        with pytest.raises(SqlError):
+            server.execute("LOAD FROM missing_quotes INSERT INTO t")
+        with pytest.raises(SqlError):
+            server.execute("LOAD FROM 'x' DELIMITER '||' INSERT INTO t")
+
+
+class TestUnload:
+    def test_roundtrip_through_text_files(self, server, tmp_path):
+        for i in range(10):
+            server.execute(
+                f"INSERT INTO t VALUES ('r{i}', '{extent_text()}')"
+            )
+        out = tmp_path / "out.unl"
+        count = server.execute(f"UNLOAD TO '{out}' SELECT * FROM t")
+        assert count == 10
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 10
+        assert all("UC" in line and "NOW" in line for line in lines)
+
+        # Reload into a second table: export and import are inverses.
+        server.execute("CREATE TABLE t2 (name LVARCHAR, te GRT_TimeExtent_t)")
+        assert server.execute(f"LOAD FROM '{out}' INSERT INTO t2") == 10
+        original = server.execute("SELECT name FROM t")
+        reloaded = server.execute("SELECT name FROM t2")
+        assert sorted(r["name"] for r in original) == sorted(
+            r["name"] for r in reloaded
+        )
+
+    def test_unload_with_where(self, server, tmp_path):
+        for i in range(5):
+            server.execute(f"INSERT INTO t VALUES ('r{i}', '{extent_text()}')")
+        out = tmp_path / "subset.unl"
+        count = server.execute(
+            f"UNLOAD TO '{out}' SELECT name FROM t WHERE name = 'r3'"
+        )
+        assert count == 1
+        assert out.read_text().strip() == "r3"

@@ -1,0 +1,81 @@
+"""Odds and ends: trace sinks, empty relations, facade internals."""
+
+import io
+
+import pytest
+
+from repro.server.trace import TraceFacility
+from repro.temporal.chronon import Clock
+from repro.temporal.relation import BitemporalRelation
+from repro.temporal.regions import Region, union_area
+
+
+class TestTraceSink:
+    def test_messages_stream_to_sink(self):
+        sink = io.StringIO()
+        trace = TraceFacility(sink=sink)
+        trace.set_level("grt", 2)
+        trace.emit("grt", 1, "level one")
+        trace.emit("grt", 2, "level two")
+        trace.emit("grt", 3, "too deep")
+        lines = sink.getvalue().strip().splitlines()
+        assert lines == ["[grt:1] level one", "[grt:2] level two"]
+
+
+class TestEmptyRelation:
+    def test_format_table_with_no_rows(self):
+        rel = BitemporalRelation(["who"], clock=Clock(now=10))
+        text = rel.format_table()
+        assert "who" in text and "TTbegin" in text
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_queries_on_empty_relation(self):
+        rel = BitemporalRelation(["who"], clock=Clock(now=10))
+        assert rel.current_state() == []
+        assert rel.timeslice(5, 5) == []
+        assert rel.delete(lambda r: True) == 0
+
+
+class TestRegionOddities:
+    def test_margin(self):
+        region = Region.make(0, 4, 0, 2)
+        assert region.margin() == 5 + 3
+
+    def test_str_renders_shape(self):
+        assert "rect" in str(Region.make(0, 1, 0, 1))
+        assert "stair" in str(Region.make(0, 5, 0, 5, stair=True))
+
+    def test_union_area_empty(self):
+        assert union_area([]) == 0
+
+    def test_union_bounds_shortcut(self):
+        a = Region.make(0, 1, 0, 1)
+        b = Region.make(3, 4, 3, 4)
+        bound = a.union_bounds(b)
+        assert bound.contains(a) and bound.contains(b)
+
+
+class TestFacadeInternals:
+    def test_current_rows_sql_filters_by_column(self):
+        from repro.core import BitemporalDatabase
+
+        db = BitemporalDatabase(["who"])
+        db.clock.set(50)
+        db.insert({"who": "a"}, vt_begin=50)
+        db.insert({"who": "b"}, vt_begin=50)
+        rows = db.current_rows_sql("who", "a")
+        assert [r["who"] for r in rows] == ["a"]
+
+    def test_overlapping_uses_index(self):
+        from repro.core import BitemporalDatabase
+        from repro.server.optimizer import IndexScanPlan
+        from repro.temporal.extent import TimeExtent
+        from repro.temporal.variables import NOW, UC
+
+        db = BitemporalDatabase(["who"])
+        db.clock.set(50)
+        for i in range(80):
+            db.insert({"who": f"p{i}"}, vt_begin=40)
+        rows = db.overlapping(TimeExtent(50, UC, 50, NOW))
+        assert isinstance(db.server.last_plan, IndexScanPlan)
+        assert len(rows) == 80

@@ -1,0 +1,245 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.server import sql as ast
+from repro.server.errors import SqlError
+from repro.server.sql import parse, tokenize
+
+
+class TestTokenizer:
+    def test_words_and_numbers(self):
+        tokens = tokenize("SELECT 42 FROM t")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("word", "SELECT"), ("number", "42"), ("word", "FROM"), ("word", "t"),
+        ]
+
+    def test_single_quoted_string(self):
+        tokens = tokenize("'12/10/95, UC, 12/10/95, NOW'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "12/10/95, UC, 12/10/95, NOW"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"S"')[0].value == "S"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_operators(self):
+        kinds = [t.value for t in tokenize("a <= b >= c <> d != e")]
+        assert kinds == ["a", "<=", "b", ">=", "c", "<>", "d", "!=", "e"]
+
+    def test_path_like_words(self):
+        # External names contain dots and slashes.
+        tokens = tokenize("usr/functions/grtree.bld")
+        assert len(tokens) == 1 and tokens[0].kind == "word"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestDdlParsing:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE emp (name LVARCHAR, age INTEGER);")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.name == "emp"
+        assert stmt.columns == [("name", "LVARCHAR"), ("age", "INTEGER")]
+
+    def test_create_function_paper_example(self):
+        stmt = parse(
+            "CREATE FUNCTION grt_open(pointer) RETURNING int "
+            "EXTERNAL NAME 'usr/functions/grtree.bld(grt_open)' LANGUAGE c"
+        )
+        assert isinstance(stmt, ast.CreateFunction)
+        assert stmt.name == "grt_open"
+        assert stmt.arg_types == ("pointer",)
+        assert stmt.external_name == "usr/functions/grtree.bld(grt_open)"
+        assert stmt.language == "c"
+
+    def test_create_access_method_paper_example(self):
+        stmt = parse(
+            "CREATE SECONDARY ACCESS_METHOD grtree_am ("
+            "am_create = grt_create, am_open = grt_open, "
+            "am_getnext = grt_getnext, am_close = grt_close, "
+            'am_drop = grt_drop, am_sptype = "S")'
+        )
+        assert isinstance(stmt, ast.CreateAccessMethod)
+        assert stmt.name == "grtree_am"
+        assert stmt.slots["am_getnext"] == "grt_getnext"
+        assert stmt.sptype == "S"
+
+    def test_create_opclass_paper_example(self):
+        stmt = parse(
+            "CREATE OPCLASS grt_opclass FOR grtree_am "
+            "STRATEGIES(grt_overlap, grt_contains, grt_containedin, grt_equal) "
+            "SUPPORT(grt_union, grt_size, grt_intersection)"
+        )
+        assert isinstance(stmt, ast.CreateOpclass)
+        assert stmt.am_name == "grtree_am"
+        assert len(stmt.strategies) == 4
+        assert len(stmt.supports) == 3
+        assert not stmt.default
+
+    def test_create_default_opclass(self):
+        stmt = parse("CREATE DEFAULT OPCLASS oc FOR am STRATEGIES(f)")
+        assert stmt.default
+
+    def test_create_index_paper_example(self):
+        stmt = parse(
+            "CREATE INDEX grt_index ON employees(column1 grt_opclass) "
+            "USING grtree_am IN spc"
+        )
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.columns == [("column1", "grt_opclass")]
+        assert stmt.am_name == "grtree_am"
+        assert stmt.space == "spc"
+
+    def test_create_index_without_opclass(self):
+        stmt = parse("CREATE INDEX i ON t(c) USING am")
+        assert stmt.columns == [("c", None)]
+        assert stmt.space is None
+
+    def test_drop_statements(self):
+        assert isinstance(parse("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse("DROP INDEX i"), ast.DropIndex)
+        assert isinstance(parse("DROP FUNCTION f"), ast.DropFunction)
+        assert isinstance(
+            parse("DROP SECONDARY ACCESS_METHOD am"), ast.DropAccessMethod
+        )
+        assert isinstance(parse("DROP OPCLASS oc"), ast.DropOpclass)
+
+
+class TestDmlParsing:
+    def test_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'x')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns is None
+        assert [v.python_value for v in stmt.values] == [1, "x"]
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.columns == ["*"] and stmt.where is None
+
+    def test_select_with_function_where(self):
+        stmt = parse(
+            "SELECT Name FROM Employees "
+            "WHERE Overlaps(Time_Extent, \"12/10/95, UC, 12/10/95, NOW\")"
+        )
+        assert isinstance(stmt.where, ast.FunctionCall)
+        assert stmt.where.name == "Overlaps"
+        assert isinstance(stmt.where.args[0], ast.ColumnRef)
+        assert isinstance(stmt.where.args[1], ast.Literal)
+
+    def test_where_precedence_and_over_or(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.children[1], ast.And)
+
+    def test_where_parentheses(self):
+        stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.children[0], ast.Or)
+
+    def test_where_not(self):
+        stmt = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE a = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE f(c, 'q')")
+        assert isinstance(stmt, ast.Delete)
+        assert isinstance(stmt.where, ast.FunctionCall)
+
+    def test_negative_numbers(self):
+        stmt = parse("SELECT * FROM t WHERE a > -5")
+        assert stmt.where.right.python_value == -5
+
+    def test_float_literal(self):
+        stmt = parse("INSERT INTO t VALUES (1.5)")
+        assert stmt.values[0].python_value == 1.5
+
+
+class TestControlParsing:
+    def test_transactions(self):
+        assert isinstance(parse("BEGIN WORK"), ast.BeginWork)
+        assert isinstance(parse("COMMIT WORK"), ast.CommitWork)
+        assert isinstance(parse("ROLLBACK WORK"), ast.RollbackWork)
+        assert isinstance(parse("COMMIT"), ast.CommitWork)
+
+    def test_set_isolation(self):
+        stmt = parse("SET ISOLATION TO REPEATABLE READ")
+        assert isinstance(stmt, ast.SetIsolation)
+        assert stmt.level == "REPEATABLE READ"
+
+    def test_check_index(self):
+        stmt = parse("CHECK INDEX grt_index")
+        assert isinstance(stmt, ast.CheckIndex)
+
+    def test_update_statistics(self):
+        stmt = parse("UPDATE STATISTICS FOR INDEX gi")
+        assert isinstance(stmt, ast.UpdateStatistics)
+        assert stmt.index_name == "gi"
+
+
+class TestErrors:
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlError):
+            parse("DROP TABLE t garbage")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlError):
+            parse("GRANT ALL TO nobody")
+
+    def test_truncated_statement(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a")
+
+    def test_missing_comparison(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t WHERE a")
+
+
+class TestFunctionHints:
+    """Section 5.2: NEGATOR and COMMUTATOR are the only inter-routine
+    associations a developer can declare."""
+
+    def test_with_clause_parsed(self):
+        stmt = parse(
+            "CREATE FUNCTION Contains(Box, Box) RETURNING boolean "
+            "EXTERNAL NAME 'lib.bld(f)' LANGUAGE c "
+            "WITH (COMMUTATOR = Within, NEGATOR = NotContains)"
+        )
+        assert stmt.commutator == "Within"
+        assert stmt.negator == "NotContains"
+
+    def test_unknown_hint_rejected(self):
+        with pytest.raises(SqlError):
+            parse(
+                "CREATE FUNCTION f(Box) RETURNING boolean "
+                "EXTERNAL NAME 'lib.bld(f)' LANGUAGE c "
+                "WITH (IMPLIES = g)"
+            )
+
+    def test_hints_reach_the_registry(self):
+        from repro.server import DatabaseServer
+
+        server = DatabaseServer()
+        server.library.register("lib.bld", "f", lambda a, b: True)
+        server.execute(
+            "CREATE FUNCTION Touches(INTEGER, INTEGER) RETURNING boolean "
+            "EXTERNAL NAME 'lib.bld(f)' LANGUAGE c "
+            "WITH (COMMUTATOR = Touches)"
+        )
+        routine = server.catalog.routines.resolve(
+            "Touches", ("INTEGER", "INTEGER")
+        )
+        assert routine.commutator == "Touches"

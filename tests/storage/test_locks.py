@@ -1,0 +1,102 @@
+"""Tests for the lock manager (two-phase, S/X, isolation levels)."""
+
+import pytest
+
+from repro.storage.locks import (
+    LockConflictError,
+    LockManager,
+    LockMode,
+)
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestBasicLocking:
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(2, "lo", LockMode.SHARED)
+        assert locks.holders("lo") == {1, 2}
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError) as exc:
+            locks.acquire(2, "lo", LockMode.SHARED)
+        assert exc.value.holders == {1}
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "lo", LockMode.EXCLUSIVE)
+
+    def test_exclusive_blocks_exclusive(self, locks):
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, "lo", LockMode.EXCLUSIVE)
+
+    def test_reacquisition_is_noop(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(1, "lo2", LockMode.EXCLUSIVE)
+        locks.acquire(1, "lo2", LockMode.EXCLUSIVE)
+
+    def test_upgrade_by_sole_holder(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        assert locks.mode_held(1, "lo") is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(2, "lo", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+
+    def test_exclusive_holder_may_read(self, locks):
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        locks.acquire(1, "lo", LockMode.SHARED)
+        assert locks.mode_held(1, "lo") is LockMode.EXCLUSIVE
+
+
+class TestRelease:
+    def test_release_frees_resource(self, locks):
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        locks.release(1, "lo")
+        locks.acquire(2, "lo", LockMode.EXCLUSIVE)
+
+    def test_release_is_idempotent(self, locks):
+        locks.release(1, "never-locked")
+
+    def test_release_all_two_phase(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.SHARED)
+        assert locks.release_all(1) == 2
+        assert locks.holders("a") == {2}
+        assert locks.holders("b") == set()
+
+    def test_release_keeps_other_holders(self, locks):
+        locks.acquire(1, "lo", LockMode.SHARED)
+        locks.acquire(2, "lo", LockMode.SHARED)
+        locks.release(1, "lo")
+        assert locks.holders("lo") == {2}
+
+
+class TestAccounting:
+    def test_conflicts_counted(self, locks):
+        locks.acquire(1, "lo", LockMode.EXCLUSIVE)
+        for _ in range(3):
+            with pytest.raises(LockConflictError):
+                locks.acquire(2, "lo", LockMode.SHARED)
+        assert locks.conflicts == 3
+
+    def test_locked_resources(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(1, "b", LockMode.SHARED)
+        assert locks.locked_resources == 2
+        locks.release_all(1)
+        assert locks.locked_resources == 0
+
+    def test_mode_held_none(self, locks):
+        assert locks.mode_held(1, "lo") is None

@@ -1,0 +1,109 @@
+"""Tests for the in-between (several-nodes-per-LO) storage design."""
+
+import pytest
+
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.multiblob import MultiBlobPageStore
+from repro.storage.sbspace import Sbspace
+from repro.temporal.chronon import Clock
+from repro.temporal.extent import TimeExtent
+from repro.temporal.variables import NOW, UC
+from repro.workloads import BitemporalWorkload, WorkloadConfig
+
+
+@pytest.fixture()
+def store():
+    return MultiBlobPageStore(Sbspace(page_size=512), pages_per_lo=4)
+
+
+class TestMultiBlobPageStore:
+    def test_basic_page_io(self, store):
+        pid = store.allocate_page()
+        store.write_page(pid, b"hello")
+        assert store.read_page(pid).startswith(b"hello")
+        assert len(store.read_page(pid)) == 512
+
+    def test_groups_materialize_on_demand(self, store):
+        assert store.group_count() == 0
+        ids = [store.allocate_page() for _ in range(4)]
+        assert store.group_count() == 1
+        store.allocate_page()
+        assert store.group_count() == 2
+        assert store.page_count == 5
+
+    def test_pages_map_to_distinct_handles_across_groups(self, store):
+        a = store.allocate_page()          # group 0
+        for _ in range(4):
+            last = store.allocate_page()
+        assert store.handle_for_page(a) != store.handle_for_page(last)
+
+    def test_free_and_reuse(self, store):
+        a = store.allocate_page()
+        store.free_page(a)
+        with pytest.raises(KeyError):
+            store.read_page(a)
+        assert store.allocate_page() == a
+
+    def test_unallocated_access_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.read_page(99)
+        with pytest.raises(KeyError):
+            store.write_page(99, b"x")
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            MultiBlobPageStore(Sbspace(page_size=512), pages_per_lo=0)
+
+    def test_handle_overhead_amortizes(self, store):
+        store.allocate_page()
+        # One ~56-byte handle shared by 4 node pages.
+        assert 0 < store.handle_bytes_per_child_pointer < 56
+
+    def test_drop_releases_large_objects(self, store):
+        for _ in range(9):
+            store.allocate_page()
+        assert store.space.object_count == 3
+        store.drop()
+        assert store.space.object_count == 0
+
+
+class TestGRTreeOverMultiBlob:
+    def test_full_tree_lifecycle(self):
+        """The GR-tree runs unchanged over the in-between design -- the
+        storage choice is invisible above the PageStore interface."""
+        clock = Clock(now=100)
+        space = Sbspace(page_size=512)
+        store = MultiBlobPageStore(space, pages_per_lo=4)
+        pool = BufferPool(store, capacity=32)
+        tree = GRTree.create(GRNodeStore(pool), clock)
+        workload = BitemporalWorkload(clock, WorkloadConfig(seed=87))
+        workload.run(tree, 400)
+        tree.check()
+        query = workload.window_query(15, 15)
+        got = sorted(r for r, _ in tree.search_all(query))
+        assert got == workload.oracle_overlapping(query)
+        # Several groups exist: the index is spread over multiple LOs,
+        # each a separate locking unit.
+        assert store.group_count() > 3
+
+    def test_lock_granularity_is_per_group(self):
+        from repro.storage.locks import (
+            LockConflictError,
+            LockManager,
+            LockMode,
+        )
+
+        locks = LockManager()
+        space = Sbspace(page_size=512, lock_manager=locks)
+        store = MultiBlobPageStore(space, pages_per_lo=2)
+        pages = [store.allocate_page() for _ in range(4)]
+        h0 = store.handle_for_page(pages[0]).value
+        h2 = store.handle_for_page(pages[2]).value
+        locks.acquire(1, ("lo", h0), LockMode.EXCLUSIVE)
+        # A different group is a different lock: no conflict.
+        locks.acquire(2, ("lo", h2), LockMode.SHARED)
+        # The same group conflicts.
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, ("lo", h0), LockMode.SHARED)

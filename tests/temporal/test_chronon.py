@@ -1,0 +1,103 @@
+"""Tests for chronons, granularities, and the clock."""
+
+import pytest
+
+from repro.temporal.chronon import (
+    Clock,
+    Granularity,
+    format_chronon,
+    parse_chronon,
+)
+
+
+class TestDayGranularity:
+    def test_paper_query_constant_roundtrips(self):
+        value = parse_chronon("12/10/95", Granularity.DAY)
+        assert format_chronon(value, Granularity.DAY) == "12/10/1995"
+
+    def test_epoch_is_day_zero(self):
+        assert parse_chronon("01/01/1900", Granularity.DAY) == 0
+
+    def test_days_are_consecutive(self):
+        jan1 = parse_chronon("01/01/1995", Granularity.DAY)
+        jan2 = parse_chronon("01/02/1995", Granularity.DAY)
+        assert jan2 == jan1 + 1
+
+    def test_four_digit_years_accepted(self):
+        assert parse_chronon("12/10/1995", Granularity.DAY) == parse_chronon(
+            "12/10/95", Granularity.DAY
+        )
+
+    def test_two_digit_year_pivot(self):
+        y69 = parse_chronon("01/01/69", Granularity.DAY)
+        y70 = parse_chronon("01/01/70", Granularity.DAY)
+        assert format_chronon(y69, Granularity.DAY).endswith("2069")
+        assert format_chronon(y70, Granularity.DAY).endswith("1970")
+
+    def test_rejects_month_format(self):
+        with pytest.raises(ValueError):
+            parse_chronon("4/97", Granularity.DAY)
+
+    def test_rejects_bad_date(self):
+        with pytest.raises(ValueError):
+            parse_chronon("02/30/97", Granularity.DAY)
+
+
+class TestMonthGranularity:
+    def test_empdep_timestamps(self):
+        assert parse_chronon("4/97", Granularity.MONTH) - parse_chronon(
+            "3/97", Granularity.MONTH
+        ) == 1
+
+    def test_year_boundary(self):
+        dec = parse_chronon("12/96", Granularity.MONTH)
+        jan = parse_chronon("1/97", Granularity.MONTH)
+        assert jan == dec + 1
+
+    def test_roundtrip(self):
+        value = parse_chronon("9/97", Granularity.MONTH)
+        assert format_chronon(value, Granularity.MONTH) == "9/1997"
+
+    def test_rejects_day_format(self):
+        with pytest.raises(ValueError):
+            parse_chronon("12/10/95", Granularity.MONTH)
+
+    def test_rejects_month_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_chronon("13/97", Granularity.MONTH)
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock(now=10)
+        assert clock.advance(5) == 15
+        assert clock.now == 15
+
+    def test_advance_default_is_one(self):
+        clock = Clock(now=0)
+        clock.advance()
+        assert clock.now == 1
+
+    def test_time_never_moves_backwards(self):
+        clock = Clock(now=10)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(9)
+
+    def test_set_to_current_time_is_noop(self):
+        clock = Clock(now=10)
+        assert clock.set(10) == 10
+
+    def test_set_text(self):
+        clock = Clock(granularity=Granularity.MONTH)
+        clock.set_text("9/97")
+        assert clock.format() == "9/1997"
+
+    def test_observers_fire_on_advance(self):
+        clock = Clock(now=0)
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(2)
+        clock.set(5)
+        assert seen == [2, 5]

@@ -1,0 +1,177 @@
+"""Tests for the 4TS time extent: cases, constraints, text I/O."""
+
+import pytest
+
+from repro.temporal.chronon import Granularity
+from repro.temporal.extent import Case, ExtentError, TimeExtent
+from repro.temporal.variables import NOW, UC
+
+
+class TestCaseClassification:
+    """The six combinations of the paper's Figure 2."""
+
+    def test_case1_growing_rectangle(self):
+        assert TimeExtent(10, UC, 5, 20).case is Case.GROWING_RECTANGLE
+
+    def test_case2_static_rectangle(self):
+        assert TimeExtent(10, 15, 5, 20).case is Case.STATIC_RECTANGLE
+
+    def test_case3_growing_stair(self):
+        assert TimeExtent(10, UC, 10, NOW).case is Case.GROWING_STAIR
+
+    def test_case4_static_stair(self):
+        assert TimeExtent(10, 15, 10, NOW).case is Case.STATIC_STAIR
+
+    def test_case5_growing_stair_high_step(self):
+        assert TimeExtent(10, UC, 5, NOW).case is Case.GROWING_STAIR_HIGH_STEP
+
+    def test_case6_static_stair_high_step(self):
+        assert TimeExtent(10, 15, 5, NOW).case is Case.STATIC_STAIR_HIGH_STEP
+
+    def test_growing_property(self):
+        assert Case.GROWING_RECTANGLE.growing
+        assert Case.GROWING_STAIR.growing
+        assert Case.GROWING_STAIR_HIGH_STEP.growing
+        assert not Case.STATIC_RECTANGLE.growing
+        assert not Case.STATIC_STAIR.growing
+        assert not Case.STATIC_STAIR_HIGH_STEP.growing
+
+    def test_stair_shaped_property(self):
+        assert not Case.GROWING_RECTANGLE.stair_shaped
+        assert Case.STATIC_STAIR_HIGH_STEP.stair_shaped
+
+
+class TestWellFormedness:
+    def test_tt_interval_ordering(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, 5, 0, 20)
+
+    def test_vt_interval_ordering(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, 20, 15, 12)
+
+    def test_variables_only_in_their_slot(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, NOW, 0, 20)
+        with pytest.raises(ExtentError):
+            TimeExtent(10, 20, 0, UC)
+        with pytest.raises(ExtentError):
+            TimeExtent(UC, 20, 0, 20)
+
+    def test_now_relative_vt_needs_vtbegin_at_or_before_ttbegin(self):
+        # A NOW valid-time end that starts after the insertion time would
+        # make the region initially empty (the paper's second valid-time
+        # insertion constraint).
+        with pytest.raises(ExtentError):
+            TimeExtent(10, UC, 12, NOW)
+
+    def test_future_fixed_valid_time_is_allowed(self):
+        # Tom's tuple: recorded before it becomes true (Case 2 example).
+        TimeExtent(10, UC, 20, 25)
+
+
+class TestInsertionConstraints:
+    def test_fresh_insert_must_be_current(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, 15, 5, 12).validate_insertion(10)
+
+    def test_ttbegin_must_equal_current_time(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(9, UC, 5, 12).validate_insertion(10)
+
+    def test_valid_insert(self):
+        TimeExtent(10, UC, 5, NOW).validate_insertion(10)
+        TimeExtent(10, UC, 20, 25).validate_insertion(10)
+
+
+class TestLogicalDeletion:
+    def test_deletion_freezes_transaction_time(self):
+        ext = TimeExtent(10, UC, 5, NOW)
+        deleted = ext.logically_deleted(15)
+        assert deleted.tt_end == 14
+        assert deleted.vt_end is NOW
+        assert deleted.case is Case.STATIC_STAIR_HIGH_STEP
+
+    def test_cannot_delete_closed_tuple(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, 14, 5, 12).logically_deleted(15)
+
+    def test_cannot_delete_at_insertion_chronon(self):
+        with pytest.raises(ExtentError):
+            TimeExtent(10, UC, 5, NOW).logically_deleted(10)
+
+
+class TestResolution:
+    def test_uc_resolves_to_current_time(self):
+        assert TimeExtent(10, UC, 5, 20).resolve(30) == (30, 20)
+
+    def test_now_resolves_to_resolved_ttend(self):
+        # The paper's algorithm sets VTend to TTend, not to the clock.
+        assert TimeExtent(10, 15, 10, NOW).resolve(30) == (15, 15)
+        assert TimeExtent(10, UC, 10, NOW).resolve(30) == (30, 30)
+
+    def test_ground_extent_ignores_clock(self):
+        assert TimeExtent(10, 15, 5, 20).resolve(99) == (15, 20)
+
+
+class TestRegions:
+    def test_growing_rectangle_grows_in_tt_only(self):
+        ext = TimeExtent(10, UC, 5, 20)
+        r1, r2 = ext.region(15), ext.region(25)
+        assert (r1.tt_hi, r2.tt_hi) == (15, 25)
+        assert r1.vt_hi == r2.vt_hi == 20
+        assert not r1.stair
+
+    def test_growing_stair_grows_in_both(self):
+        ext = TimeExtent(10, UC, 10, NOW)
+        r = ext.region(25)
+        assert r.stair
+        assert r.tt_hi == r.vt_hi == 25
+
+    def test_static_region_does_not_grow(self):
+        ext = TimeExtent(10, 15, 10, NOW)
+        assert ext.region(20) == ext.region(99)
+
+    def test_area_grows_over_time(self):
+        ext = TimeExtent(10, UC, 10, NOW)
+        assert ext.region(20).area() < ext.region(30).area()
+
+
+class TestTextIO:
+    def test_paper_query_literal(self):
+        ext = TimeExtent.from_text("12/10/95, UC, 12/10/95, NOW")
+        assert ext.tt_end is UC
+        assert ext.vt_end is NOW
+        assert ext.tt_begin == ext.vt_begin
+
+    def test_roundtrip_day(self):
+        ext = TimeExtent.from_text("12/10/95, UC, 12/10/95, NOW")
+        again = TimeExtent.from_text(ext.to_text())
+        assert again == ext
+
+    def test_roundtrip_month(self):
+        ext = TimeExtent.from_text("3/97, 7/97, 3/97, NOW", Granularity.MONTH)
+        assert TimeExtent.from_text(
+            ext.to_text(Granularity.MONTH), Granularity.MONTH
+        ) == ext
+
+    def test_case_insensitive_variables(self):
+        ext = TimeExtent.from_text("12/10/95, uc, 12/10/95, now")
+        assert ext.tt_end is UC and ext.vt_end is NOW
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ExtentError):
+            TimeExtent.from_text("12/10/95, UC, 12/10/95")
+
+    def test_rejects_variables_in_wrong_slot(self):
+        with pytest.raises(Exception):
+            TimeExtent.from_text("NOW, UC, 12/10/95, NOW")
+
+
+class TestEquality:
+    def test_frozen_and_hashable(self):
+        a = TimeExtent(10, UC, 5, NOW)
+        b = TimeExtent(10, UC, 5, NOW)
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(Exception):
+            a.tt_begin = 11  # type: ignore[misc]

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the temporal substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.chronon import Granularity, format_chronon, parse_chronon
+from repro.temporal.extent import TimeExtent
+from repro.temporal.regions import Region, bounding_region
+from repro.temporal.variables import NOW, UC
+
+chronons = st.integers(min_value=0, max_value=200)
+
+
+@st.composite
+def regions(draw):
+    tt_lo = draw(chronons)
+    tt_hi = draw(st.integers(min_value=tt_lo, max_value=tt_lo + 60))
+    vt_lo = draw(chronons)
+    vt_hi = draw(st.integers(min_value=vt_lo, max_value=vt_lo + 60))
+    stair = draw(st.booleans())
+    region = Region.make(tt_lo, tt_hi, vt_lo, vt_hi, stair)
+    if region is None:
+        # Retry with a shape guaranteed non-empty.
+        region = Region.make(tt_lo, tt_hi, min(vt_lo, tt_hi), vt_hi, stair)
+    assert region is not None
+    return region
+
+
+@st.composite
+def extents(draw):
+    tt_begin = draw(chronons)
+    now_relative_tt = draw(st.booleans())
+    now_relative_vt = draw(st.booleans())
+    tt_end = UC if now_relative_tt else draw(
+        st.integers(min_value=tt_begin, max_value=tt_begin + 50)
+    )
+    if now_relative_vt:
+        vt_begin = draw(st.integers(min_value=max(0, tt_begin - 50), max_value=tt_begin))
+        vt_end = NOW
+    else:
+        vt_begin = draw(chronons)
+        vt_end = draw(st.integers(min_value=vt_begin, max_value=vt_begin + 50))
+    return TimeExtent(tt_begin, tt_end, vt_begin, vt_end)
+
+
+class TestRegionAlgebra:
+    @given(regions(), regions())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(regions())
+    def test_overlap_is_reflexive(self, a):
+        assert a.overlaps(a)
+
+    @given(regions(), regions())
+    def test_containment_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+
+    @given(regions(), regions())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains(inter)
+            assert b.contains(inter)
+            assert a.overlaps(b)
+        else:
+            assert not a.overlaps(b)
+
+    @given(regions(), regions())
+    def test_bounding_contains_both(self, a, b):
+        bound = bounding_region([a, b])
+        assert bound.contains(a)
+        assert bound.contains(b)
+
+    @given(regions(), regions())
+    def test_bounding_area_at_least_max_member(self, a, b):
+        bound = bounding_region([a, b])
+        assert bound.area() >= max(a.area(), b.area())
+
+    @given(regions())
+    def test_area_positive(self, a):
+        assert a.area() >= 1
+
+    @given(regions())
+    def test_bounding_rectangle_contains_region(self, a):
+        assert a.bounding_rectangle().contains(a)
+
+    @given(regions(), regions())
+    def test_mutual_containment_is_equality(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a.equal(b)
+
+    @given(regions(), regions())
+    def test_intersection_area_bounded(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert inter.area() <= min(a.area(), b.area())
+
+
+class TestExtentProperties:
+    @given(extents(), st.integers(min_value=300, max_value=400))
+    def test_region_nonempty_after_insertion(self, ext, now):
+        region = ext.region(now)
+        assert region.area() >= 1
+
+    @given(extents(), st.integers(min_value=300, max_value=350))
+    def test_growth_is_monotone(self, ext, now):
+        earlier = ext.region(now)
+        later = ext.region(now + 25)
+        assert later.contains(earlier)
+        assert later.area() >= earlier.area()
+
+    @given(extents())
+    def test_static_extents_never_grow(self, ext):
+        if not ext.case.growing:
+            assert ext.region(300) == ext.region(400)
+
+    @given(extents())
+    def test_case_roundtrips_through_text(self, ext):
+        text = ext.to_text()
+        again = TimeExtent.from_text(text)
+        assert again == ext
+        assert again.case is ext.case
+
+    @given(extents(), st.integers(min_value=201, max_value=300))
+    def test_logical_deletion_freezes_region(self, ext, delete_time):
+        if ext.tt_end is UC and delete_time > ext.tt_begin:
+            deleted = ext.logically_deleted(delete_time)
+            assert deleted.region(delete_time + 10) == deleted.region(
+                delete_time + 100
+            )
+            # The frozen region is what the live one was one chronon ago.
+            assert deleted.region(delete_time + 10) == ext.region(delete_time - 1)
+
+
+class TestChrononProperties:
+    @given(st.integers(min_value=0, max_value=80000))
+    def test_day_roundtrip(self, value):
+        text = format_chronon(value, Granularity.DAY)
+        assert parse_chronon(text, Granularity.DAY) == value
+
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_month_roundtrip(self, value):
+        text = format_chronon(value, Granularity.MONTH)
+        assert parse_chronon(text, Granularity.MONTH) == value

@@ -1,0 +1,235 @@
+"""Tests for bitemporal region geometry (rectangles and stair shapes)."""
+
+import pytest
+
+from repro.temporal.regions import Region, bounding_region, union_area
+
+
+def rect(tt_lo, tt_hi, vt_lo, vt_hi):
+    region = Region.make(tt_lo, tt_hi, vt_lo, vt_hi, stair=False)
+    assert region is not None
+    return region
+
+
+def stair(tt_lo, tt_hi, vt_lo, vt_hi=None):
+    region = Region.make(
+        tt_lo, tt_hi, vt_lo, tt_hi if vt_hi is None else vt_hi, stair=True
+    )
+    assert region is not None
+    return region
+
+
+class TestCanonicalisation:
+    def test_empty_intervals_return_none(self):
+        assert Region.make(5, 4, 0, 10) is None
+        assert Region.make(0, 10, 5, 4) is None
+
+    def test_stair_fully_above_diagonal_is_empty(self):
+        # vt_lo beyond tt_hi: every column lies above the diagonal.
+        assert Region.make(0, 5, 6, 10, stair=True) is None
+
+    def test_stair_vt_hi_clipped_to_tt_hi(self):
+        region = Region.make(0, 5, 0, 100, stair=True)
+        assert region == Region(0, 5, 0, 5, True)
+
+    def test_stair_that_never_touches_diagonal_becomes_rect(self):
+        # Diagonal at t >= 10 is above vt_hi = 4: plain rectangle.
+        region = Region.make(10, 20, 0, 4, stair=True)
+        assert region is not None and not region.stair
+
+
+class TestAreaAndPoints:
+    def test_rect_area(self):
+        assert rect(0, 4, 0, 2).area() == 15
+
+    def test_unit_region_area(self):
+        assert rect(3, 3, 7, 7).area() == 1
+
+    def test_full_stair_area_is_triangular(self):
+        # Columns t=0..5 hold t+1 cells each: 1+2+...+6 = 21.
+        assert stair(0, 5, 0).area() == 21
+
+    def test_stair_with_high_first_step(self):
+        # vt_lo=0, tt 3..5: columns hold 4, 5, 6 cells.
+        assert stair(3, 5, 0).area() == 15
+
+    def test_stair_with_clipped_top(self):
+        region = Region.make(0, 10, 0, 4, stair=True)
+        assert region is not None
+        assert region.area() == 1 + 2 + 3 + 4 + 5 * 7
+
+    def test_stair_with_raised_floor(self):
+        assert stair(0, 5, 3).area() == 1 + 2 + 3
+
+    def test_area_equals_point_count(self):
+        for region in [
+            rect(2, 6, 1, 4),
+            stair(0, 6, 0),
+            stair(4, 9, 2),
+            Region.make(0, 9, 1, 5, stair=True),
+        ]:
+            count = sum(
+                region.contains_point(t, v)
+                for t in range(-1, 12)
+                for v in range(-1, 12)
+            )
+            assert count == region.area(), str(region)
+
+    def test_contains_point_respects_diagonal(self):
+        region = stair(0, 10, 0)
+        assert region.contains_point(5, 5)
+        assert not region.contains_point(5, 6)
+
+
+class TestOverlap:
+    def test_disjoint_rects(self):
+        assert not rect(0, 4, 0, 4).overlaps(rect(5, 9, 0, 4))
+
+    def test_touching_rects_overlap(self):
+        # Closed intervals: sharing an edge counts as overlap.
+        assert rect(0, 4, 0, 4).overlaps(rect(4, 9, 4, 9))
+
+    def test_stair_blocks_rect_above_diagonal(self):
+        # Rectangle sits above the stair's diagonal within the tt range.
+        assert not stair(0, 5, 0).overlaps(rect(0, 0, 3, 4))
+
+    def test_stair_meets_rect_at_right_edge(self):
+        assert stair(0, 5, 0).overlaps(rect(0, 5, 3, 4))
+
+    def test_stair_stair(self):
+        assert stair(0, 10, 0).overlaps(stair(5, 15, 2))
+        assert not stair(0, 3, 0).overlaps(stair(6, 9, 5))
+
+    def test_overlap_is_exact(self):
+        """Closed-form overlap agrees with brute-force point enumeration."""
+        shapes = [
+            rect(0, 6, 0, 6),
+            rect(2, 4, 5, 8),
+            stair(0, 8, 0),
+            stair(3, 7, 1),
+            Region.make(0, 9, 0, 4, stair=True),
+            rect(7, 9, 0, 1),
+        ]
+        for a in shapes:
+            for b in shapes:
+                brute = any(
+                    a.contains_point(t, v) and b.contains_point(t, v)
+                    for t in range(0, 11)
+                    for v in range(0, 11)
+                )
+                assert a.overlaps(b) == brute, f"{a} vs {b}"
+
+
+class TestContainment:
+    def test_rect_in_rect(self):
+        assert rect(0, 9, 0, 9).contains(rect(2, 4, 3, 5))
+        assert not rect(2, 4, 3, 5).contains(rect(0, 9, 0, 9))
+
+    def test_stair_contains_smaller_stair(self):
+        assert stair(0, 10, 0).contains(stair(2, 8, 2))
+
+    def test_stair_does_not_contain_rect_above_diagonal(self):
+        assert not stair(0, 10, 0).contains(rect(2, 4, 3, 5))
+
+    def test_stair_contains_rect_below_diagonal(self):
+        assert stair(0, 10, 0).contains(rect(5, 8, 0, 4))
+
+    def test_containment_is_exact(self):
+        shapes = [
+            rect(0, 6, 0, 6),
+            rect(2, 4, 5, 8),
+            stair(0, 8, 0),
+            stair(3, 7, 1),
+            Region.make(0, 9, 0, 4, stair=True),
+        ]
+        for a in shapes:
+            for b in shapes:
+                brute = all(
+                    a.contains_point(t, v)
+                    for t in range(0, 11)
+                    for v in range(0, 11)
+                    if b.contains_point(t, v)
+                )
+                assert a.contains(b) == brute, f"{a} contains {b}"
+
+    def test_contained_in_mirrors_contains(self):
+        inner, outer = rect(1, 2, 1, 2), rect(0, 5, 0, 5)
+        assert inner.contained_in(outer)
+        assert not outer.contained_in(inner)
+
+    def test_every_region_contains_itself(self):
+        for region in [rect(0, 5, 0, 5), stair(0, 5, 0)]:
+            assert region.contains(region)
+            assert region.equal(region)
+
+
+class TestIntersection:
+    def test_rect_rect(self):
+        assert rect(0, 5, 0, 5).intersection(rect(3, 9, 3, 9)) == rect(3, 5, 3, 5)
+
+    def test_disjoint_is_none(self):
+        assert rect(0, 2, 0, 2).intersection(rect(5, 9, 5, 9)) is None
+
+    def test_rect_stair(self):
+        result = stair(0, 10, 0).intersection(rect(2, 6, 1, 8))
+        assert result == Region.make(2, 6, 1, 8, stair=True)
+
+    def test_intersection_is_exact(self):
+        shapes = [
+            rect(0, 6, 0, 6),
+            stair(0, 8, 0),
+            Region.make(0, 9, 0, 4, stair=True),
+            rect(2, 4, 5, 8),
+        ]
+        for a in shapes:
+            for b in shapes:
+                inter = a.intersection(b)
+                for t in range(0, 11):
+                    for v in range(0, 11):
+                        expected = a.contains_point(t, v) and b.contains_point(t, v)
+                        actual = inter is not None and inter.contains_point(t, v)
+                        assert actual == expected, f"{a} ^ {b} at ({t},{v})"
+
+
+class TestBounding:
+    def test_rect_bounding(self):
+        bound = bounding_region([rect(0, 2, 0, 2), rect(5, 9, 4, 8)])
+        assert bound == rect(0, 9, 0, 8)
+
+    def test_stair_bounding_when_all_under_diagonal(self):
+        # Figure 4(b): all members on/below vt = tt, so a stair bounds.
+        bound = bounding_region([stair(0, 5, 0), rect(4, 9, 0, 3)])
+        assert bound.stair
+        assert bound == stair(0, 9, 0)
+
+    def test_rect_bounding_when_one_member_crosses_diagonal(self):
+        # Figure 4(a): a rectangle above the diagonal forces a rectangle.
+        bound = bounding_region([stair(0, 5, 0), rect(1, 3, 2, 6)])
+        assert not bound.stair
+
+    def test_bound_contains_members(self):
+        members = [stair(0, 5, 0), rect(4, 9, 0, 3), rect(1, 3, 2, 6)]
+        bound = bounding_region(members)
+        for m in members:
+            assert bound.contains(m)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_region([])
+
+
+class TestUnionArea:
+    def test_disjoint(self):
+        assert union_area([rect(0, 1, 0, 1), rect(5, 6, 5, 6)]) == 8
+
+    def test_overlapping_counts_once(self):
+        assert union_area([rect(0, 2, 0, 2), rect(1, 3, 1, 3)]) == 9 + 9 - 4
+
+    def test_stair_union(self):
+        assert union_area([stair(0, 5, 0)]) == 21
+
+    def test_dead_space_example(self):
+        members = [rect(0, 1, 0, 1), rect(8, 9, 8, 9)]
+        bound = bounding_region(members)
+        dead = bound.area() - union_area(members)
+        assert dead == 100 - 8

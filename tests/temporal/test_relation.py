@@ -1,0 +1,161 @@
+"""Tests for bitemporal relation semantics and the EmpDep example."""
+
+import pytest
+
+from repro.temporal.chronon import Clock, Granularity, parse_chronon
+from repro.temporal.extent import ExtentError
+from repro.temporal.relation import BitemporalRelation, build_empdep
+from repro.temporal.variables import NOW, UC
+
+
+def month(text):
+    return parse_chronon(text, Granularity.MONTH)
+
+
+@pytest.fixture
+def rel():
+    clock = Clock(now=100)
+    return BitemporalRelation(["name"], clock=clock)
+
+
+class TestUpdates:
+    def test_insert_sets_transaction_time(self, rel):
+        row = rel.insert({"name": "a"}, vt_begin=90)
+        assert row.extent.tt_begin == 100
+        assert row.extent.tt_end is UC
+        assert row.extent.vt_end is NOW
+
+    def test_insert_rejects_unknown_column(self, rel):
+        with pytest.raises(KeyError):
+            rel.insert({"oops": 1}, vt_begin=90)
+
+    def test_insert_rejects_future_now_relative_vt(self, rel):
+        with pytest.raises(ExtentError):
+            rel.insert({"name": "a"}, vt_begin=150)
+
+    def test_future_fixed_valid_time_ok(self, rel):
+        row = rel.insert({"name": "a"}, vt_begin=150, vt_end=160)
+        assert row.extent.vt_end == 160
+
+    def test_delete_is_logical(self, rel):
+        rel.insert({"name": "a"}, vt_begin=90)
+        rel.clock.advance(5)
+        assert rel.delete(lambda r: r.values["name"] == "a") == 1
+        assert len(rel) == 1  # never physically removed
+        assert rel._tuples[0].extent.tt_end == 104
+
+    def test_delete_skips_non_current(self, rel):
+        rel.insert({"name": "a"}, vt_begin=90)
+        rel.clock.advance(5)
+        rel.delete(lambda r: True)
+        rel.clock.advance(5)
+        assert rel.delete(lambda r: True) == 0
+
+    def test_modify_is_delete_plus_insert(self, rel):
+        rel.insert({"name": "a"}, vt_begin=90)
+        rel.clock.advance(10)
+        rel.modify(lambda r: r.values["name"] == "a", {"name": "a2"}, vt_begin=95)
+        assert len(rel) == 2
+        old, new = rel._tuples
+        assert old.extent.tt_end == 109
+        assert new.extent.tt_begin == 110
+        assert new.values["name"] == "a2"
+
+    def test_current_state(self, rel):
+        rel.insert({"name": "a"}, vt_begin=90)
+        rel.insert({"name": "b"}, vt_begin=90)
+        rel.clock.advance(1)
+        rel.delete(lambda r: r.values["name"] == "a")
+        current = rel.current_state()
+        assert [r.values["name"] for r in current] == ["b"]
+
+
+class TestEmpDep:
+    """Reproduction of the paper's Table 1."""
+
+    def test_table1_contents(self):
+        rel = build_empdep()
+        rows = {
+            (
+                r["Employee"],
+                r["TTbegin"],
+                r["TTend"],
+                r["VTbegin"],
+                r["VTend"],
+            )
+            for r in rel.to_table()
+        }
+        expected = {
+            ("John", "4/1997", "UC", "3/1997", "5/1997"),
+            ("Tom", "3/1997", "7/1997", "6/1997", "8/1997"),
+            ("Jane", "5/1997", "UC", "5/1997", "NOW"),
+            ("Julie", "3/1997", "7/1997", "3/1997", "NOW"),
+            ("Julie", "8/1997", "UC", "3/1997", "7/1997"),
+            ("Michelle", "5/1997", "UC", "3/1997", "NOW"),
+        }
+        assert rows == expected
+
+    def test_current_time_is_997(self):
+        rel = build_empdep()
+        assert rel.clock.format() == "9/1997"
+
+    def test_cases_match_figure1(self):
+        # Tuple (1) John: case 1; (2) Tom: case 2; (3) Jane: case 3;
+        # (4) old Julie: case 4; (6) Michelle: case 5.
+        rel = build_empdep()
+        by_key = {
+            (r.values["Employee"], str(r.extent.tt_begin)): r.extent.case.value
+            for r in rel
+        }
+        john = next(r for r in rel if r.values["Employee"] == "John")
+        tom = next(r for r in rel if r.values["Employee"] == "Tom")
+        jane = next(r for r in rel if r.values["Employee"] == "Jane")
+        michelle = next(r for r in rel if r.values["Employee"] == "Michelle")
+        julies = sorted(
+            (r for r in rel if r.values["Employee"] == "Julie"),
+            key=lambda r: r.extent.tt_begin,
+        )
+        assert john.extent.case.value == 1
+        assert tom.extent.case.value == 2
+        assert jane.extent.case.value == 3
+        assert julies[0].extent.case.value == 4
+        assert julies[1].extent.case.value == 1
+        assert michelle.extent.case.value == 5
+        assert by_key  # sanity
+
+
+class TestJulieAnomaly:
+    """Section 5.1 / Table 3 / Figure 8: the separate-interval anomaly."""
+
+    def test_naive_timeslice_wrongly_includes_julie(self):
+        rel = build_empdep()
+        vt, tt = month("7/97"), month("5/97")
+        naive = {r.values["Employee"] for r in rel.timeslice_naive(vt, tt)}
+        correct = {r.values["Employee"] for r in rel.timeslice(vt, tt)}
+        assert "Julie" in naive
+        assert "Julie" not in correct
+
+    def test_correct_timeslice_for_julies_region(self):
+        # Julie's stair does contain (tt=6/97, vt=5/97).
+        rel = build_empdep()
+        result = {r.values["Employee"] for r in rel.timeslice(month("5/97"), month("6/97"))}
+        assert "Julie" in result
+
+
+class TestQueries:
+    def test_overlapping_matches_region_algebra(self):
+        from repro.temporal.extent import TimeExtent
+
+        rel = build_empdep()
+        query = TimeExtent.from_text("5/97, UC, 5/97, NOW", Granularity.MONTH)
+        hits = rel.overlapping(query)
+        now = rel.now
+        q_region = query.region(now)
+        for row in rel:
+            assert (row in hits) == row.region(now).overlaps(q_region)
+
+    def test_format_table_has_all_rows(self):
+        text = build_empdep().format_table()
+        assert text.count("\n") == 7  # header + rule + 6 tuples
+        for name in ("John", "Tom", "Jane", "Julie", "Michelle"):
+            assert name in text
