@@ -27,6 +27,17 @@ from repro.workloads import (
 PAGE_SIZE = 1024
 
 
+def pages_touched(io) -> int:
+    """Total page accesses in an ``IOStats`` delta.
+
+    Goes through ``IOStats.to_dict()`` -- the same export the
+    observability layer uses -- so the benchmarks and ``SHOW STATS``
+    count I/O identically.
+    """
+    counters = io.to_dict()
+    return counters["logical_reads"] + counters["logical_writes"]
+
+
 @dataclass
 class Setup:
     clock: Clock

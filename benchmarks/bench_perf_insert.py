@@ -9,7 +9,7 @@ the GR-tree buys its query advantage without a write penalty.
 
 import pytest
 
-from _perf import PAGE_SIZE, build_setup
+from _perf import PAGE_SIZE, build_setup, pages_touched
 from repro.grtree.node import GRNodeStore
 from repro.grtree.tree import GRTree
 from repro.storage.buffer import BufferPool
@@ -31,8 +31,7 @@ def grtree_insert_io(fraction, steps=STEPS, horizon=20):
     before = pool.stats.snapshot()
     workload.populate(tree, steps)
     tree.check()
-    io = pool.stats - before
-    return (io.logical_reads + io.logical_writes) / steps
+    return pages_touched(pool.stats - before) / steps
 
 
 def rstar_insert_io(fraction, steps=STEPS):
@@ -43,8 +42,7 @@ def rstar_insert_io(fraction, steps=STEPS):
     )
     before = baseline.pool.stats.snapshot()
     workload.populate(baseline, steps)
-    io = baseline.pool.stats - before
-    return (io.logical_reads + io.logical_writes) / steps
+    return pages_touched(baseline.pool.stats - before) / steps
 
 
 @pytest.mark.parametrize("fraction", FRACTIONS)

@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.cli                 # interactive
-    python -m repro.cli -f script.sql   # run a script and exit
+    python -m repro.cli                        # interactive
+    python -m repro.cli -f script.sql          # run a script and exit
+    python -m repro.cli stats -f script.sql    # run a script, dump
+                                               # observability data (JSON)
 
 Besides SQL, the shell accepts backslash commands:
 
@@ -13,6 +15,8 @@ Besides SQL, the shell accepts backslash commands:
 ``\\clock +N`` / ``\\clock set TEXT``  advance / set the clock
 ``\\trace CLASS LEVEL``                set a trace level (e.g. ``am 1``)
 ``\\messages [CLASS]``                 dump collected trace messages
+``\\stats [json]``                     onstat-style metrics report
+``\\spans [json]``                     recorded statement span trees
 ``\\catalog``                          list tables, indices, AMs, opclasses
 ``\\prefer on|off``                    toggle the virtual-index directive
 ``\\quit``                             leave
@@ -21,6 +25,7 @@ Besides SQL, the shell accepts backslash commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, List, Optional
 
@@ -106,6 +111,32 @@ class Shell:
         elif command == "messages":
             for message in self.server.trace.messages(args[0] if args else None):
                 print(str(message), file=out)
+        elif command == "stats":
+            if args and args[0].lower() == "json":
+                print(
+                    json.dumps(
+                        self.server.obs.to_dict(),
+                        indent=2,
+                        sort_keys=True,
+                        default=str,
+                    ),
+                    file=out,
+                )
+            else:
+                print(self.server.obs.report(), file=out)
+        elif command == "spans":
+            if args and args[0].lower() == "json":
+                print(
+                    json.dumps(
+                        self.server.obs.spans.to_dicts(),
+                        indent=2,
+                        sort_keys=True,
+                        default=str,
+                    ),
+                    file=out,
+                )
+            else:
+                print(self.server.obs.spans.format_trees(), file=out)
         elif command == "catalog":
             self._catalog(out)
         elif command == "prefer":
@@ -206,7 +237,58 @@ class Shell:
                 self.run_line(" ".join(buffer))
 
 
+def _granularity(name: str) -> Granularity:
+    return Granularity.DAY if name == "day" else Granularity.MONTH
+
+
+def stats_main(argv: List[str], out=None) -> int:
+    """The ``stats`` subcommand: run a workload, dump observability data.
+
+    The ``onstat`` analogue for scripts and CI: the JSON output is the
+    same data ``SHOW STATS JSON`` returns inside SQL.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli stats",
+        description="run a SQL script and dump the observability registry",
+    )
+    parser.add_argument("-f", "--file", help="SQL script to run first")
+    parser.add_argument(
+        "--format",
+        choices=["json", "text"],
+        default="json",
+        help="output format (default: json)",
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="include/print span trees instead of just the registry",
+    )
+    parser.add_argument(
+        "--granularity", choices=["day", "month"], default="day"
+    )
+    options = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+    shell = Shell(_granularity(options.granularity))
+    if options.file:
+        shell.run_script(options.file)
+    obs = shell.server.obs
+    if options.format == "json":
+        payload = obs.to_dict()
+        if not options.spans:
+            payload.pop("spans", None)
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str), file=out)
+    else:
+        print(obs.report(), file=out)
+        if options.spans:
+            print(obs.spans.format_trees(), file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro SQL shell")
     parser.add_argument("-f", "--file", help="run a SQL script and exit")
     parser.add_argument(
@@ -216,9 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="chronon granularity of the server clock",
     )
     options = parser.parse_args(argv)
-    shell = Shell(
-        Granularity.DAY if options.granularity == "day" else Granularity.MONTH
-    )
+    shell = Shell(_granularity(options.granularity))
     if options.file:
         shell.run_script(options.file)
         return 0

@@ -134,6 +134,12 @@ class GRTreeDataBlade:
             )
         else:
             tree = GRTree.open(store, self.server.clock, meta_page=meta_page)
+        obs = getattr(self.server, "obs", None)
+        if obs is not None:
+            # Reopening replaces the previous pool under the same name, so
+            # ``SHOW STATS`` always shows the live pool of each index.
+            obs.attach_buffer_pool(f"index.{td.index_name}", pool)
+            tree.obs = obs
         td.user_data["tree"] = tree
         td.user_data["blob"] = blob
         td.user_data["pool"] = pool

@@ -35,9 +35,11 @@ class NodeLockingProtocol:
     the caller decides when an operation's locks can go.
     """
 
-    def __init__(self, locks: LockManager, index_name: str) -> None:
+    def __init__(self, locks: LockManager, index_name: str, obs=None) -> None:
         self.locks = locks
         self.index_name = index_name
+        #: Optional observability hub; ``None`` costs one attribute test.
+        self.obs = obs
         self._held: dict[int, Set[Tuple[str, str, int]]] = {}
 
     def _resource(self, page_id: int) -> Tuple[str, str, int]:
@@ -47,17 +49,23 @@ class NodeLockingProtocol:
         resource = self._resource(page_id)
         self.locks.acquire(txn_id, resource, mode)
         self._held.setdefault(txn_id, set()).add(resource)
+        if self.obs is not None:
+            self.obs.inc("grtree.node_locks.acquired")
 
     def release(self, txn_id: int, page_id: int) -> None:
         resource = self._resource(page_id)
         self.locks.release(txn_id, resource)
         self._held.get(txn_id, set()).discard(resource)
+        if self.obs is not None:
+            self.obs.inc("grtree.node_locks.released")
 
     def finish(self, txn_id: int) -> int:
         """Release every node lock the operation still holds."""
         held = self._held.pop(txn_id, set())
         for resource in held:
             self.locks.release(txn_id, resource)
+        if self.obs is not None and held:
+            self.obs.inc("grtree.node_locks.released", len(held))
         return len(held)
 
     def held_count(self, txn_id: int) -> int:

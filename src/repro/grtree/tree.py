@@ -61,9 +61,13 @@ class GRTree:
         root_id: Optional[int] = None,
         height: int = 1,
         size: int = 0,
+        obs=None,
     ) -> None:
         self.store = store
         self.clock = clock
+        #: Optional observability hub; ``None`` keeps the hot paths at a
+        #: single attribute test (the benchmarked configuration).
+        self.obs = obs
         self.time_horizon = time_horizon
         self.max_entries = store.capacity
         self.min_entries = max(2, math.ceil(store.capacity * min_fill))
@@ -138,6 +142,8 @@ class GRTree:
 
     def insert(self, extent: TimeExtent, rowid: int, fragid: int = 0) -> None:
         """Index a data tuple's time extent."""
+        if self.obs is not None:
+            self.obs.inc("grtree.inserts")
         self._reinserted_levels = set()
         self._insert_entry(GREntry.from_extent(extent, rowid, fragid), level=0)
         self.size += 1
@@ -330,6 +336,8 @@ class GRTree:
 
     def delete(self, extent: TimeExtent, rowid: int, fragid: int = 0) -> bool:
         """Remove a leaf entry; condense underfull nodes."""
+        if self.obs is not None:
+            self.obs.inc("grtree.deletes")
         self.condensed = False
         target = GREntry.from_extent(extent, rowid, fragid)
         found = self._find_leaf_path(
@@ -386,6 +394,8 @@ class GRTree:
         self.store.write(path[0])
         if self.condensed:
             self.condense_version += 1
+            if self.obs is not None:
+                self.obs.inc("grtree.condenses")
         for entry, level in sorted(orphans, key=lambda pair: pair[1]):
             self._reinserted_levels = set()
             self._insert_entry(entry, level)
@@ -419,6 +429,8 @@ class GRTree:
         *now* defaults to the clock; the server layer passes the time it
         sampled when the index was opened (Section 5.4).
         """
+        if self.obs is not None:
+            self.obs.inc("grtree.searches")
         at = self.now if now is None else now
         return Cursor(self, query.region(at), predicate, at)
 

@@ -1,0 +1,319 @@
+"""The unified observability layer (metrics, spans, inspection).
+
+The paper (Section 6.4) found trace classes/levels to be the single most
+effective debugging instrument while developing the GR-tree DataBlade.
+This package grows that facility into the three pillars a production
+server needs:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms that the buffer pools, sbspaces, WAL, lock
+  manager, and executor report into (storage components are *pulled* via
+  collectors, so their hot paths carry no new code);
+* hierarchical :mod:`~repro.obs.spans` giving each SQL statement an
+  EXPLAIN-ANALYZE-style tree (parse -> plan -> purpose-function calls)
+  annotated with per-span metric deltas;
+* an ``onstat``-style inspection surface: :meth:`Observability.report`
+  (text) and :meth:`Observability.to_dict` (JSON), reachable through the
+  ``SHOW STATS`` / ``SHOW SPANS`` SQL statements and the ``repro.cli
+  stats`` subcommand.
+
+Everything is gated by :attr:`Observability.enabled`; with the hub
+disabled (or simply not attached -- raw index structures default to
+``obs=None``) the instrumented paths cost one attribute test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanRecorder",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Observability:
+    """The hub: one registry + one span recorder + attachment points."""
+
+    def __init__(
+        self,
+        trace=None,
+        timer: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        max_span_roots: int = 128,
+    ) -> None:
+        self.trace = trace
+        self.metrics = MetricsRegistry(timer=timer)
+        self.spans = SpanRecorder(self.metrics, max_roots=max_span_roots)
+        self.enabled = enabled
+        #: Buffer pools attached by name (inspection convenience).
+        self.pools: Dict[str, Any] = {}
+        #: Counters carried over from replaced pools, keyed by pool name.
+        #: An index reopen creates a fresh pool; folding the old pool's
+        #: final counters in here keeps ``buffer.<name>.*`` monotonic, so
+        #: span deltas stay correct across the reopen.
+        self._pool_bases: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Guarded push API (the hot-path entry points)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        if self.enabled:
+            self.metrics.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float, boundaries=None) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value, boundaries)
+
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return _NOOP_SPAN
+        return self.spans.span(name, **attrs)
+
+    # ------------------------------------------------------------------
+    # Attachment points (pull-based collectors)
+    # ------------------------------------------------------------------
+
+    def attach_buffer_pool(self, name: str, pool) -> None:
+        """Export a buffer pool's I/O counters as ``buffer.<name>.*``.
+
+        Attaching a different pool under an existing name (an index
+        reopen) folds the old pool's counters into a base so the
+        exported values never go backwards.
+        """
+        base = self._pool_bases.setdefault(name, {})
+        previous = self.pools.get(name)
+        if previous is not None and previous is not pool:
+            for key, value in previous.stats.to_dict().items():
+                if key != "hit_ratio":
+                    base[key] = base.get(key, 0) + value
+        self.pools[name] = pool
+
+        def collect() -> Dict[str, float]:
+            stats = {
+                key: value + base.get(key, 0)
+                for key, value in pool.stats.to_dict().items()
+                if key != "hit_ratio"  # ratios make noisy span deltas
+            }
+            stats["resident_pages"] = pool.resident_pages
+            return stats
+
+        self.metrics.register_collector(f"buffer.{name}", collect)
+
+    def detach_buffer_pool(self, name: str) -> None:
+        self.pools.pop(name, None)
+        self._pool_bases.pop(name, None)
+        self.metrics.unregister_collector(f"buffer.{name}")
+
+    def attach_lock_manager(self, locks) -> None:
+        self.metrics.register_collector(
+            "locks",
+            lambda: {
+                "acquires": locks.acquires,
+                "releases": locks.releases,
+                "conflicts": locks.conflicts,
+                "held_resources": locks.locked_resources,
+            },
+        )
+
+    def attach_wal(self, wal) -> None:
+        self.metrics.register_collector("wal", wal.stats)
+
+    def attach_sbspace(self, space) -> None:
+        self.metrics.register_collector(f"sbspace.{space.name}", space.stats)
+
+    # ------------------------------------------------------------------
+    # Aggregation and export
+    # ------------------------------------------------------------------
+
+    def pool_counters(self, name: str) -> Dict[str, float]:
+        """Lifetime I/O counters for one pool name (reopen-cumulative)."""
+        base = self._pool_bases.get(name, {})
+        counters = {
+            key: value + base.get(key, 0)
+            for key, value in self.pools[name].stats.to_dict().items()
+            if key != "hit_ratio"
+        }
+        reads = counters["logical_reads"]
+        counters["hit_ratio"] = (
+            1.0 - counters["physical_reads"] / reads if reads else 1.0
+        )
+        return counters
+
+    def buffer_totals(self) -> Dict[str, float]:
+        """Summed I/O counters (plus hit ratio) across attached pools."""
+        totals = {
+            "logical_reads": 0,
+            "physical_reads": 0,
+            "logical_writes": 0,
+            "physical_writes": 0,
+        }
+        for name in self.pools:
+            counters = self.pool_counters(name)
+            for key in totals:
+                totals[key] += counters[key]
+        reads = totals["logical_reads"]
+        totals["hit_ratio"] = (
+            1.0 - totals["physical_reads"] / reads if reads else 1.0
+        )
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable export: registry, spans, trace levels."""
+        result: Dict[str, Any] = {
+            "enabled": self.enabled,
+            "metrics": self.metrics.to_dict(),
+            "buffer_totals": self.buffer_totals(),
+            "spans": self.spans.to_dicts(),
+        }
+        if self.trace is not None:
+            result["trace_levels"] = self.trace.levels()
+        return result
+
+    def report(self) -> str:
+        """The ``onstat``-style text dump (the ``SHOW STATS`` body)."""
+        lines: List[str] = ["repro observability -- onstat-style report", ""]
+        snapshot = self.metrics.snapshot()
+
+        def section(title: str) -> None:
+            lines.append(f"== {title} ==")
+
+        section("counters")
+        counters = {
+            name: value
+            for name, value in sorted(snapshot.items())
+            if not name.startswith(("buffer.", "locks.", "wal.", "sbspace."))
+        }
+        if counters:
+            width = max(len(name) for name in counters)
+            for name, value in counters.items():
+                lines.append(f"{name:<{width}}  {value:g}")
+        else:
+            lines.append("(none)")
+
+        lines.append("")
+        section("buffer pools")
+        if self.pools:
+            header = (
+                f"{'pool':<24} {'lreads':>8} {'preads':>8} "
+                f"{'lwrites':>8} {'pwrites':>8} {'hit%':>7} {'resident':>9}"
+            )
+            lines.append(header)
+            for name in sorted(self.pools):
+                stats = self.pool_counters(name)
+                lines.append(
+                    f"{name:<24} {stats['logical_reads']:>8} "
+                    f"{stats['physical_reads']:>8} {stats['logical_writes']:>8} "
+                    f"{stats['physical_writes']:>8} "
+                    f"{stats['hit_ratio'] * 100:>6.1f}% "
+                    f"{self.pools[name].resident_pages:>9}"
+                )
+            totals = self.buffer_totals()
+            lines.append(
+                f"{'(total)':<24} {totals['logical_reads']:>8} "
+                f"{totals['physical_reads']:>8} {totals['logical_writes']:>8} "
+                f"{totals['physical_writes']:>8} "
+                f"{totals['hit_ratio'] * 100:>6.1f}%"
+            )
+            lines.append(f"buffer hit ratio: {totals['hit_ratio']:.4f}")
+        else:
+            lines.append("(no buffer pools attached)")
+
+        lines.append("")
+        section("locks")
+        lines.append(
+            "acquires {0:g}  releases {1:g}  conflicts {2:g}  held {3:g}".format(
+                snapshot.get("locks.acquires", 0),
+                snapshot.get("locks.releases", 0),
+                snapshot.get("locks.conflicts", 0),
+                snapshot.get("locks.held_resources", 0),
+            )
+        )
+
+        lines.append("")
+        section("write-ahead log")
+        lines.append(
+            "records {0:g}  commits {1:g}  aborts {2:g}  active {3:g}".format(
+                snapshot.get("wal.records", 0),
+                snapshot.get("wal.commits", 0),
+                snapshot.get("wal.aborts", 0),
+                snapshot.get("wal.active", 0),
+            )
+        )
+
+        sbspace_keys = sorted(
+            {
+                name.split(".", 2)[1]
+                for name in snapshot
+                if name.startswith("sbspace.")
+            }
+        )
+        if sbspace_keys:
+            lines.append("")
+            section("sbspaces")
+            for space in sbspace_keys:
+                prefix = f"sbspace.{space}."
+                fields = "  ".join(
+                    f"{name[len(prefix):]} {value:g}"
+                    for name, value in sorted(snapshot.items())
+                    if name.startswith(prefix)
+                )
+                lines.append(f"{space}: {fields}")
+
+        if self.trace is not None:
+            lines.append("")
+            section("trace classes")
+            levels = self.trace.levels()
+            lines.append(
+                "  ".join(
+                    f"{cls}={lvl}" for cls, lvl in sorted(levels.items())
+                )
+                or "(all disabled)"
+            )
+
+        lines.append("")
+        finished = sum(1 for span in self.spans.roots if span.finished)
+        lines.append(f"spans recorded: {finished} (SHOW SPANS to display)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Clear push metrics and span history (collectors stay)."""
+        self.metrics.reset()
+        self.spans.clear()

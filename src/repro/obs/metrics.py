@@ -1,0 +1,181 @@
+"""The metrics registry: counters, gauges, histograms, and collectors.
+
+Counters and gauges are plain name -> number maps so the hot-path cost
+of an increment is one dict update.  Histograms use *fixed* bucket
+boundaries, so two runs over the same workload produce byte-identical
+exports.  Nothing in this module reads the wall clock on its own: the
+registry is constructed with an injected monotonic ``timer`` (defaulting
+to :func:`time.perf_counter`) that tests replace with a deterministic
+counter, exactly like the paper's trace facility keeps its Figure 6
+sequence numbers deterministic.
+
+Besides *push* metrics, the registry supports pull-based *collectors*:
+callables returning a flat ``{name: number}`` mapping that are read at
+snapshot time.  Storage components (buffer pools, the lock manager, the
+WAL, sbspaces) already keep their own plain-int statistics, so they are
+exported by registering a collector -- their hot paths stay untouched.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+#: Default latency buckets (seconds).  Fixed, so exports are stable.
+DEFAULT_BUCKETS: Sequence[float] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Histogram:
+    """A fixed-boundary histogram: counts, total, and per-bucket tallies.
+
+    ``boundaries`` are upper-inclusive bucket edges; one extra overflow
+    bucket collects everything above the last edge.
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total")
+
+    def __init__(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket boundaries must ascend: {edges}")
+        self.name = name
+        self.boundaries = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and pull-based collectors."""
+
+    def __init__(self, timer: Optional[Callable[[], float]] = None) -> None:
+        #: Monotonic time source; injected so tests are deterministic.
+        self.timer: Callable[[], float] = (
+            time.perf_counter if timer is None else timer
+        )
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: Dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- push metrics ---------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        return self._gauges.get(name, 0)
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(
+                name, DEFAULT_BUCKETS if boundaries is None else boundaries
+            )
+            self._histograms[name] = histogram
+        return histogram
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.histogram(name, boundaries).observe(value)
+
+    # -- pull metrics ---------------------------------------------------
+
+    def register_collector(
+        self, prefix: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Register *fn*; its values appear in snapshots as ``prefix.key``.
+
+        Re-registering a prefix replaces the previous collector (an index
+        reopened with a fresh buffer pool keeps a single entry).
+        """
+        self._collectors[prefix] = fn
+
+    def unregister_collector(self, prefix: str) -> None:
+        self._collectors.pop(prefix, None)
+
+    def collector_prefixes(self) -> List[str]:
+        return sorted(self._collectors)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat name -> value map of counters, gauges, and collectors."""
+        values = dict(self._counters)
+        values.update(self._gauges)
+        for prefix, fn in self._collectors.items():
+            for key, value in fn().items():
+                values[f"{prefix}.{key}"] = value
+        return values
+
+    @staticmethod
+    def delta(
+        before: Mapping[str, float], after: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Nonzero differences ``after - before`` (missing keys read 0)."""
+        changed = {}
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                changed[key] = diff
+        return changed
+
+    def to_dict(self) -> Dict[str, object]:
+        """Structured export (JSON-serializable)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "collected": {
+                key: value
+                for key, value in sorted(self.snapshot().items())
+                if key not in self._counters and key not in self._gauges
+            },
+            "histograms": {
+                name: h.to_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero push metrics; collectors stay registered (their sources
+        own their own counters)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,168 @@
+"""Hierarchical query spans: the EXPLAIN-ANALYZE view of a statement.
+
+Every SQL statement the server executes opens a *root span*; nested
+operations (parse, plan choice, each purpose-function call) open child
+spans, producing a tree.  A span records its duration (from the
+registry's injected timer) and -- the part the paper's flat trace
+messages cannot express -- the *metric deltas* that occurred while it
+was open: a metrics snapshot is taken when the span starts and again
+when it finishes, so each span shows exactly the page I/O, lock traffic,
+and purpose-function calls it caused.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Span:
+    """One node of a span tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "start_time",
+        "end_time",
+        "metric_deltas",
+        "_metrics_before",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.children: List["Span"] = []
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.metric_deltas: Dict[str, float] = {}
+        self._metrics_before: Optional[Dict[str, float]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant (or self) named *name*."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration": self.duration,
+            "metric_deltas": dict(sorted(self.metric_deltas.items())),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def format(self, indent: int = 0) -> List[str]:
+        pad = "  " * indent
+        attrs = "".join(
+            f" {key}={value!r}" for key, value in sorted(self.attrs.items())
+        )
+        timing = (
+            f" [{self.duration * 1000.0:.3f} ms]" if self.finished else " [open]"
+        )
+        lines = [f"{pad}{self.name}{timing}{attrs}"]
+        for key, value in sorted(self.metric_deltas.items()):
+            rendered = f"{value:+g}" if isinstance(value, (int, float)) else value
+            lines.append(f"{pad}  . {key} {rendered}")
+        for child in self.children:
+            lines.extend(child.format(indent + 1))
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+class SpanRecorder:
+    """Builds span trees; keeps the most recent *max_roots* root spans."""
+
+    def __init__(self, registry: MetricsRegistry, max_roots: int = 128) -> None:
+        self.registry = registry
+        self.max_roots = max_roots
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = Span(name, attrs)
+        span.start_time = self.registry.timer()
+        span._metrics_before = self.registry.snapshot()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+            if len(self.roots) > self.max_roots:
+                del self.roots[: len(self.roots) - self.max_roots]
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end_time = self.registry.timer()
+            span.metric_deltas = self.registry.delta(
+                span._metrics_before, self.registry.snapshot()
+            )
+            span._metrics_before = None
+
+    def add_completed_child(
+        self, name: str, start_time: float, end_time: float, **attrs
+    ) -> Span:
+        """Attach an already-measured interval as a child of the current
+        span (used for work timed before its parent span existed, e.g.
+        parsing, which decides whether the statement is traced at all)."""
+        span = Span(name, attrs)
+        span.start_time = start_time
+        span.end_time = end_time
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+
+    def last_root(self, name: Optional[str] = None) -> Optional[Span]:
+        """The most recent finished root span (optionally by name)."""
+        for span in reversed(self.roots):
+            if not span.finished:
+                continue
+            if name is None or span.name == name:
+                return span
+        return None
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.roots if span.finished]
+
+    def format_trees(self, limit: Optional[int] = None) -> str:
+        finished = [span for span in self.roots if span.finished]
+        if limit is not None:
+            finished = finished[-limit:]
+        if not finished:
+            return "(no spans recorded)"
+        lines: List[str] = []
+        for span in finished:
+            lines.extend(span.format())
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.roots.clear()

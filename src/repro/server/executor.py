@@ -14,6 +14,7 @@ functions run as ordinary UDRs against every row.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.server import sql as ast
@@ -74,7 +75,13 @@ class Executor:
         routine = self.server.catalog.routines.resolve_any(name)
         self.server.trace.emit(TRACE_AM, 1, f"{am.name}.{slot}")
         self.server.catalog.routines.invocations += 1
-        return routine(*args)
+        obs = self.server.obs
+        if not obs.enabled:
+            return routine(*args)
+        obs.metrics.inc("am.calls")
+        obs.metrics.inc("am.calls." + slot)
+        with obs.span("am." + slot, am=am.name):
+            return routine(*args)
 
     def _descriptor(self, info: IndexInfo, session) -> IndexDescriptor:
         """The per-index ``td``; created once, refreshed per call."""
@@ -300,7 +307,20 @@ class Executor:
         self, table: Table, where: Optional[ast.Expr], session
     ) -> List[Tuple[int, Dict[str, Any]]]:
         """Produce qualifying (rowid, row) pairs via the chosen plan."""
-        plan = choose_plan(self.server, table, where)
+        obs = self.server.obs
+        if obs.enabled:
+            with obs.span("plan.choose", table=table.name) as span:
+                plan = choose_plan(self.server, table, where)
+                span.attrs["plan"] = type(plan).__name__
+                if not isinstance(plan, SeqScanPlan):
+                    span.attrs["index"] = plan.index.name
+            obs.metrics.inc(
+                "plan.seqscan"
+                if isinstance(plan, SeqScanPlan)
+                else "plan.indexscan"
+            )
+        else:
+            plan = choose_plan(self.server, table, where)
         self.server.last_plan = plan
         results: List[Tuple[int, Dict[str, Any]]] = []
         if isinstance(plan, SeqScanPlan):
@@ -502,6 +522,30 @@ class Executor:
                 self.call_purpose(am, "am_close", td)
 
     # ------------------------------------------------------------------
+    # Observability inspection (the onstat-style SQL surface)
+    # ------------------------------------------------------------------
+
+    def _show_stats(self, stmt: ast.ShowStats, session) -> str:
+        obs = self.server.obs
+        if stmt.format == "json":
+            return json.dumps(
+                obs.to_dict(), indent=2, sort_keys=True, default=str
+            )
+        return obs.report()
+
+    def _show_spans(self, stmt: ast.ShowSpans, session) -> str:
+        obs = self.server.obs
+        if stmt.format == "json":
+            return json.dumps(
+                obs.spans.to_dicts(), indent=2, sort_keys=True, default=str
+            )
+        return obs.spans.format_trees()
+
+    def _set_trace_class(self, stmt: ast.SetTraceClass, session) -> str:
+        self.server.trace.set_level(stmt.trace_class, stmt.level)
+        return f"trace class {stmt.trace_class} set to level {stmt.level}"
+
+    # ------------------------------------------------------------------
     # Expression evaluation on rows (seqscan and residual filters)
     # ------------------------------------------------------------------
 
@@ -611,4 +655,7 @@ class Executor:
         ast.UpdateStatistics: _update_statistics,
         ast.Load: _load,
         ast.Unload: _unload,
+        ast.ShowStats: _show_stats,
+        ast.ShowSpans: _show_spans,
+        ast.SetTraceClass: _set_trace_class,
     }

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional
 
+from repro.obs import Observability
 from repro.server import sql as ast
 from repro.server.access_method import SecondaryAccessMethod, SpaceType
 from repro.server.catalog import SystemCatalog
@@ -47,6 +48,10 @@ class DatabaseServer:
         self.trace = TraceFacility()
         self.locks = LockManager()
         self.wal = WriteAheadLog()
+        #: The observability hub (metrics registry + span recorder).
+        self.obs = Observability(trace=self.trace)
+        self.obs.attach_lock_manager(self.locks)
+        self.obs.attach_wal(self.wal)
         self.sbspaces: Dict[str, Sbspace] = {}
         self.executor = Executor(self)
         self._txn_ids = itertools.count(1)
@@ -94,6 +99,7 @@ class DatabaseServer:
             name, page_size=self.page_size, lock_manager=self.locks, wal=self.wal
         )
         self.sbspaces[key] = space
+        self.obs.attach_sbspace(space)
         return space
 
     onspaces = create_sbspace
@@ -119,14 +125,38 @@ class DatabaseServer:
     # SQL entry points
     # ------------------------------------------------------------------
 
+    #: Statements that inspect observability state; they run unspanned so
+    #: ``SHOW SPANS`` never renders its own half-open root span.
+    _INTROSPECTION = (ast.ShowStats, ast.ShowSpans, ast.SetTraceClass)
+
     def execute(self, sql_text: str, session: Optional[Session] = None) -> Any:
-        """Parse and execute one SQL statement."""
+        """Parse and execute one SQL statement.
+
+        With observability enabled, the statement runs under a root span
+        (``sql.<kind>``) whose children are the parse step, the plan
+        choice, and every purpose-function call -- the EXPLAIN-ANALYZE
+        view ``SHOW SPANS`` displays.
+        """
         if session is None:
             session = self.system_session
         if session.in_transaction:
             self.bind_transaction(session, session.transaction.txn_id)
+        obs = self.obs
+        if not obs.enabled:
+            return self.executor.execute(ast.parse(sql_text), session)
+        parse_start = obs.metrics.timer()
         statement = ast.parse(sql_text)
-        return self.executor.execute(statement, session)
+        parse_end = obs.metrics.timer()
+        if isinstance(statement, self._INTROSPECTION):
+            return self.executor.execute(statement, session)
+        kind = type(statement).__name__.lower()
+        obs.metrics.inc("sql.statements")
+        obs.metrics.inc("sql.statements." + kind)
+        with obs.span("sql." + kind, sql=sql_text) as root:
+            obs.spans.add_completed_child("sql.parse", parse_start, parse_end)
+            result = self.executor.execute(statement, session)
+        obs.metrics.observe("sql.statement_seconds", root.duration)
+        return result
 
     def run_script(self, script: str, session: Optional[Session] = None) -> List[Any]:
         """Execute a semicolon-separated script (BladeManager-style

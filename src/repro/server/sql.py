@@ -8,7 +8,9 @@ and the matching ``DROP`` statements.  DML: ``INSERT``, ``SELECT``,
 predicates and comparisons with AND/OR/NOT.  Transactions: ``BEGIN WORK``,
 ``COMMIT WORK``, ``ROLLBACK WORK``, ``SET ISOLATION TO ...``.  Utility:
 ``CHECK INDEX`` and ``UPDATE STATISTICS FOR INDEX`` map onto ``am_check``
-and ``am_stats``.
+and ``am_stats``.  Observability: ``SHOW STATS [JSON]`` and ``SHOW SPANS
+[JSON]`` dump the metrics registry and span trees, and ``SET TRACE CLASS
+<class> LEVEL <n>`` is the SQL face of the Section 6.4 trace facility.
 """
 
 from __future__ import annotations
@@ -223,11 +225,34 @@ class UpdateStatistics:
     index_name: str
 
 
+@dataclass
+class ShowStats:
+    """``SHOW STATS [JSON]`` -- dump the observability metrics registry."""
+
+    format: str = "text"  # 'text' | 'json'
+
+
+@dataclass
+class ShowSpans:
+    """``SHOW SPANS [JSON]`` -- dump recorded statement span trees."""
+
+    format: str = "text"  # 'text' | 'json'
+
+
+@dataclass
+class SetTraceClass:
+    """``SET TRACE CLASS <class> LEVEL <n>`` (Section 6.4, as SQL)."""
+
+    trace_class: str
+    level: int
+
+
 Statement = Union[
     CreateTable, DropTable, CreateFunction, DropFunction, CreateAccessMethod,
     DropAccessMethod, CreateOpclass, DropOpclass, CreateIndex, DropIndex,
     Insert, Select, Delete, Update, BeginWork, CommitWork, RollbackWork,
     SetIsolation, CheckIndex, UpdateStatistics, Load, Unload,
+    ShowStats, ShowSpans, SetTraceClass,
 ]
 
 # ----------------------------------------------------------------------
@@ -366,6 +391,8 @@ class _Parser:
             return RollbackWork()
         if self.at_keyword("SET"):
             self.next()
+            if self.at_keyword("TRACE"):
+                return self._set_trace_class()
             self.expect_keyword("ISOLATION")
             self.expect_keyword("TO")
             words = []
@@ -373,6 +400,8 @@ class _Parser:
                 words.append(self.next().value)
             self.done()
             return SetIsolation(" ".join(words))
+        if self.at_keyword("SHOW"):
+            return self._show()
         if self.at_keyword("CHECK"):
             self.next()
             self.expect_keyword("INDEX")
@@ -384,6 +413,35 @@ class _Parser:
         if self.at_keyword("UNLOAD"):
             return self._unload()
         raise SqlError(f"unsupported statement start: {self.peek().value!r}")
+
+    def _set_trace_class(self) -> SetTraceClass:
+        self.expect_keyword("TRACE")
+        self.expect_keyword("CLASS")
+        trace_class = self.identifier()
+        self.expect_keyword("LEVEL")
+        token = self.next()
+        if token.kind != "number":
+            raise SqlError(
+                f"SET TRACE CLASS ... LEVEL needs a number, got {token.value!r}"
+            )
+        self.done()
+        return SetTraceClass(trace_class, int(float(token.value)))
+
+    def _show(self) -> Statement:
+        self.expect_keyword("SHOW")
+        if self.accept_keyword("STATS"):
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            self.done()
+            return ShowStats(fmt)
+        if self.accept_keyword("SPANS"):
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            self.done()
+            return ShowSpans(fmt)
+        raise SqlError(
+            f"SHOW supports STATS and SPANS, got {self.peek().value!r}"
+            if self.peek() is not None
+            else "SHOW supports STATS and SPANS"
+        )
 
     def _load(self) -> Load:
         self.expect_keyword("LOAD")

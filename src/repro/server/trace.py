@@ -67,4 +67,12 @@ class TraceFacility:
         return [m.text for m in self.messages(trace_class)]
 
     def clear(self) -> None:
+        """Forget collected messages and restart sequence numbering, so
+        repeated benchmark runs in one process reproduce identical
+        Figure 6 call-sequence numbers."""
         self._messages.clear()
+        self._sequence = 0
+
+    def levels(self) -> Dict[str, int]:
+        """The currently enabled trace classes and their levels."""
+        return dict(self._levels)

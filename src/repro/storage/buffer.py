@@ -43,13 +43,36 @@ class IOStats:
             self.physical_writes,
         )
 
+    def to_dict(self) -> dict:
+        """Flat export used by the observability metrics collectors."""
+        return {
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+            "logical_writes": self.logical_writes,
+            "physical_writes": self.physical_writes,
+            "hit_ratio": self.hit_ratio,
+        }
+
     def __sub__(self, other: "IOStats") -> "IOStats":
-        return IOStats(
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        diff = IOStats(
             self.logical_reads - other.logical_reads,
             self.physical_reads - other.physical_reads,
             self.logical_writes - other.logical_writes,
             self.physical_writes - other.physical_writes,
         )
+        if min(
+            diff.logical_reads,
+            diff.physical_reads,
+            diff.logical_writes,
+            diff.physical_writes,
+        ) < 0:
+            raise ValueError(
+                "IOStats subtraction went negative: the snapshot is newer "
+                "than these counters (or belongs to a different pool)"
+            )
+        return diff
 
 
 class BufferPool:

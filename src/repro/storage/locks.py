@@ -61,6 +61,10 @@ class LockManager:
         self._locks: Dict[Hashable, _LockState] = defaultdict(_LockState)
         #: Total number of conflicts observed (for the benchmarks).
         self.conflicts = 0
+        #: Grants and actual releases; plain ints so the hot path pays
+        #: one increment, pulled by the observability collectors.
+        self.acquires = 0
+        self.releases = 0
 
     # ------------------------------------------------------------------
 
@@ -75,6 +79,7 @@ class LockManager:
                 self.conflicts += 1
                 raise LockConflictError(resource, mode, {state.exclusive})
             state.shared.add(txn_id)
+            self.acquires += 1
             return
         # Exclusive request.
         others = (state.shared - {txn_id}) | (
@@ -85,12 +90,15 @@ class LockManager:
             raise LockConflictError(resource, mode, others)
         state.shared.discard(txn_id)
         state.exclusive = txn_id
+        self.acquires += 1
 
     def release(self, txn_id: int, resource: Hashable) -> None:
         """Release this transaction's lock on *resource* (idempotent)."""
         state = self._locks.get(resource)
         if state is None:
             return
+        if txn_id in state.shared or state.exclusive == txn_id:
+            self.releases += 1
         state.shared.discard(txn_id)
         if state.exclusive == txn_id:
             state.exclusive = None

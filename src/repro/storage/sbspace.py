@@ -243,6 +243,16 @@ class Sbspace:
     def object_count(self) -> int:
         return len(self._objects)
 
+    def stats(self) -> Dict[str, int]:
+        """Counters pulled by the observability metrics collectors."""
+        return {
+            "opens": self.stats_opens,
+            "closes": self.stats_closes,
+            "page_reads": self.stats_page_reads,
+            "page_writes": self.stats_page_writes,
+            "large_objects": len(self._objects),
+        }
+
     # ------------------------------------------------------------------
     # Open/close with automatic locking (the paper's sbspace semantics)
     # ------------------------------------------------------------------

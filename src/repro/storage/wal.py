@@ -136,6 +136,15 @@ class WriteAheadLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    def stats(self) -> dict:
+        """Counters pulled by the observability metrics collectors."""
+        return {
+            "records": len(self._records),
+            "commits": len(self._committed),
+            "aborts": len(self._aborted),
+            "active": len(self._active),
+        }
+
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms,
+pull collectors, snapshot deltas, deterministic timer injection)."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class FakeTimer:
+    """A deterministic monotonic clock: ticks by a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("am.calls")
+        registry.inc("am.calls")
+        registry.inc("am.calls", 3)
+        assert registry.counter("am.calls") == 5
+        assert registry.counter("never.touched") == 0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pool.resident", 10)
+        registry.set_gauge("pool.resident", 7)
+        assert registry.gauge("pool.resident") == 7
+        assert registry.gauge("missing") == 0
+
+    def test_snapshot_merges_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 4)
+        assert registry.snapshot() == {"c": 2, "g": 4}
+
+
+class TestHistogram:
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=[1.0, 0.5])
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=[])
+
+    def test_bucket_assignment_and_overflow(self):
+        h = Histogram("h", boundaries=[0.001, 0.01, 0.1])
+        h.observe(0.0005)   # first bucket
+        h.observe(0.005)    # second
+        h.observe(0.05)     # third
+        h.observe(99.0)     # overflow
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(0.0005 + 0.005 + 0.05 + 99.0)
+        assert h.mean == pytest.approx(h.total / 4)
+
+    def test_registry_observe_creates_and_reuses(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.002)
+        registry.observe("lat", 0.002)
+        h = registry.histogram("lat")
+        assert h.count == 2
+        assert h.boundaries == tuple(DEFAULT_BUCKETS)
+
+    def test_to_dict_is_stable(self):
+        h = Histogram("h", boundaries=[1.0])
+        h.observe(0.5)
+        assert h.to_dict() == {
+            "boundaries": [1.0],
+            "bucket_counts": [1, 0],
+            "count": 1,
+            "sum": 0.5,
+        }
+
+
+class TestCollectors:
+    def test_collector_values_are_prefixed(self):
+        registry = MetricsRegistry()
+        registry.register_collector("buffer.gi", lambda: {"reads": 3})
+        assert registry.snapshot()["buffer.gi.reads"] == 3
+
+    def test_reregistering_replaces(self):
+        registry = MetricsRegistry()
+        registry.register_collector("p", lambda: {"x": 1})
+        registry.register_collector("p", lambda: {"x": 2})
+        assert registry.snapshot() == {"p.x": 2}
+        assert registry.collector_prefixes() == ["p"]
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.register_collector("p", lambda: {"x": 1})
+        registry.unregister_collector("p")
+        registry.unregister_collector("never-there")  # no error
+        assert registry.snapshot() == {}
+
+    def test_collectors_survive_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("pushed")
+        registry.observe("lat", 0.1)
+        registry.register_collector("p", lambda: {"x": 1})
+        registry.reset()
+        assert registry.counter("pushed") == 0
+        assert registry.snapshot() == {"p.x": 1}
+        assert registry.to_dict()["histograms"] == {}
+
+
+class TestDelta:
+    def test_nonzero_differences_only(self):
+        before = {"a": 1, "b": 5}
+        after = {"a": 4, "b": 5, "c": 2}
+        assert MetricsRegistry.delta(before, after) == {"a": 3, "c": 2}
+
+    def test_missing_keys_read_zero(self):
+        assert MetricsRegistry.delta({}, {"new": 7}) == {"new": 7}
+
+
+class TestTimerInjection:
+    def test_default_timer_is_monotonic(self):
+        registry = MetricsRegistry()
+        assert registry.timer() <= registry.timer()
+
+    def test_injected_timer_is_used(self):
+        timer = FakeTimer(step=0.5)
+        registry = MetricsRegistry(timer=timer)
+        assert registry.timer() == 0.5
+        assert registry.timer() == 1.0
