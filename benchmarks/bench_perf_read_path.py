@@ -1,0 +1,245 @@
+"""Perf read-path: the three cache layers must actually pay rent.
+
+Layer by layer (see ``docs/performance.md``):
+
+* the **node cache** (deserialized ``GRNode`` LRU in ``GRNodeStore``) is
+  the tentpole: warm-read query throughput on the Perf-1 workload must
+  be at least ``SPEEDUP_FLOOR`` times the cache-off baseline, with
+  *identical* ``search_all`` answers and a passing ``check()`` under
+  every cache configuration (off, tiny-with-evictions, default);
+* the **serialization fast path** (``pack_into``/``iter_unpack`` over a
+  reusable scratch page) is timed through the insert workload;
+* the **server-side caches** (parsed-statement LRU + the blade's handle
+  cache) are timed end to end through repeated SQL statements.
+
+Timing uses the interleaved-round methodology of
+``bench_perf_obs_overhead``: every round times all variants back to
+back with the GC off, and the reported speedup is the *median of
+per-round ratios*, so interpreter drift cancels.  Machine-readable
+results land in ``benchmarks/out/BENCH_read_path.json`` (uploaded as a
+CI artifact; CI fails if the warm-read gate fails, because it fails
+this test).
+"""
+
+import gc
+import json
+import statistics
+import time
+
+from _perf import PAGE_SIZE
+from repro.datablade import register_grtree_blade
+from repro.grtree.node import GRNodeStore
+from repro.grtree.tree import GRTree
+from repro.server import DatabaseServer
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import InMemoryPageStore
+from repro.temporal.chronon import Clock
+from repro.workloads import BitemporalWorkload, WorkloadConfig
+
+STEPS = 500           # Perf-1-style mixed history
+QUERIES = 30          # window queries per timed batch
+ROUNDS = 9
+SPEEDUP_FLOOR = 1.3   # the CI gate: warm reads vs node-cache-off
+NODE_CACHE_CONFIGS = (0, 8, 128)  # off / eviction-heavy / default
+
+SQL_ROUNDS = 5
+SQL_STATEMENTS = 60
+
+EXTENT = "'01/01/98, UC, 01/01/98, NOW'"
+
+
+def build_tree(node_cache_size: int):
+    """The Perf-1 mixed workload over a fresh GR-tree; same seed for
+    every configuration, so trees and query lists are identical."""
+    clock = Clock(now=100)
+    pool = BufferPool(InMemoryPageStore(page_size=PAGE_SIZE), capacity=96)
+    store = GRNodeStore(pool, node_cache_size=node_cache_size)
+    tree = GRTree.create(store, clock, time_horizon=20)
+    workload = BitemporalWorkload(
+        clock,
+        WorkloadConfig(
+            seed=101,
+            now_relative_fraction=0.5,
+            delete_fraction=0.1,
+            update_fraction=0.1,
+        ),
+    )
+    start = time.perf_counter()
+    workload.run(tree, STEPS)
+    build_seconds = time.perf_counter() - start
+    queries = [workload.window_query(10, 10) for _ in range(QUERIES)]
+    return tree, store, workload, queries, build_seconds
+
+
+def query_batch(tree, queries) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        tree.search_all(query)
+    return time.perf_counter() - start
+
+
+def measure_tree_layer() -> dict:
+    """Build one tree per cache config, verify equivalence, time warm
+    query batches in interleaved rounds."""
+    setups = {}
+    for size in NODE_CACHE_CONFIGS:
+        tree, store, workload, queries, build_seconds = build_tree(size)
+        setups[size] = {
+            "tree": tree,
+            "store": store,
+            "queries": queries,
+            "build_seconds": build_seconds,
+        }
+
+    # Correctness first: identical answers under every configuration,
+    # matching the workload oracle, and a consistent tree.
+    reference = None
+    for size, setup in setups.items():
+        tree, queries = setup["tree"], setup["queries"]
+        answers = [sorted(r for r, _ in tree.search_all(q)) for q in queries]
+        if reference is None:
+            reference = answers
+        assert answers == reference, (
+            f"node_cache_size={size} changed query answers"
+        )
+        tree.check()
+
+    rounds = {size: [] for size in NODE_CACHE_CONFIGS}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for size, setup in setups.items():  # warm every cache, untimed
+            query_batch(setup["tree"], setup["queries"])
+        for round_no in range(ROUNDS):
+            order = list(NODE_CACHE_CONFIGS)
+            rotation = round_no % len(order)
+            order = order[rotation:] + order[:rotation]
+            for size in order:
+                setup = setups[size]
+                rounds[size].append(query_batch(setup["tree"], setup["queries"]))
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    def median_speedup(size: int) -> float:
+        return statistics.median(
+            base / with_cache
+            for base, with_cache in zip(rounds[0], rounds[size])
+        )
+
+    default_size = NODE_CACHE_CONFIGS[-1]
+    cache_stats = setups[default_size]["store"].cache_stats.to_dict()
+    return {
+        "workload": {
+            "steps": STEPS,
+            "queries_per_batch": QUERIES,
+            "rounds": ROUNDS,
+            "page_size": PAGE_SIZE,
+            "seed": 101,
+        },
+        "configs": {
+            str(size): {
+                "build_seconds": setups[size]["build_seconds"],
+                "batch_seconds_best": min(rounds[size]),
+                "batch_seconds_median": statistics.median(rounds[size]),
+            }
+            for size in NODE_CACHE_CONFIGS
+        },
+        "warm_read_speedup": median_speedup(default_size),
+        "warm_read_speedup_small_cache": median_speedup(8),
+        "node_cache_stats": cache_stats,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+
+
+def build_server(cached: bool) -> DatabaseServer:
+    server = DatabaseServer(
+        statement_cache_size=64 if cached else 0,
+        node_cache_size=128 if cached else 0,
+    )
+    server.create_sbspace("spc")
+    register_grtree_blade(server, handle_cache=cached)
+    server.prefer_virtual_index = True
+    server.obs.disable()  # measure the caches, not the instrumentation
+    server.execute("CREATE TABLE e (n LVARCHAR, te GRT_TimeExtent_t)")
+    server.execute("CREATE INDEX gi ON e(te) USING grtree_am IN spc")
+    server.clock.set_text("01/01/98")
+    for i in range(50):
+        server.execute(f"INSERT INTO e VALUES ('r{i}', {EXTENT})")
+    return server
+
+
+def statement_batch(server) -> float:
+    sql = f"SELECT n FROM e WHERE Overlaps(te, {EXTENT})"
+    start = time.perf_counter()
+    for _ in range(SQL_STATEMENTS):
+        rows = server.execute(sql)
+    elapsed = time.perf_counter() - start
+    assert len(rows) == 50
+    return elapsed
+
+
+def measure_server_layer() -> dict:
+    """Repeated identical SELECTs: all server caches on vs all off."""
+    servers = {"cached": build_server(True), "uncached": build_server(False)}
+    ratios = []
+    times = {name: [] for name in servers}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for server in servers.values():
+            statement_batch(server)  # warm-up, untimed
+        for round_no in range(SQL_ROUNDS):
+            order = ["cached", "uncached"]
+            if round_no % 2:
+                order.reverse()
+            round_times = {}
+            for name in order:
+                round_times[name] = statement_batch(servers[name])
+            for name, elapsed in round_times.items():
+                times[name].append(elapsed)
+            ratios.append(round_times["uncached"] / round_times["cached"])
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "statements_per_batch": SQL_STATEMENTS,
+        "rounds": SQL_ROUNDS,
+        "batch_seconds_cached_best": min(times["cached"]),
+        "batch_seconds_uncached_best": min(times["uncached"]),
+        "statement_speedup": statistics.median(ratios),
+    }
+
+
+def test_read_path_speedups(write_artifact):
+    tree_results = measure_tree_layer()
+    server_results = measure_server_layer()
+    payload = {
+        "benchmark": "read_path",
+        "tree_layer": tree_results,
+        "server_layer": server_results,
+    }
+    write_artifact(
+        "BENCH_read_path.json", json.dumps(payload, indent=2, sort_keys=True)
+    )
+    speedup = tree_results["warm_read_speedup"]
+    stmt_speedup = server_results["statement_speedup"]
+    write_artifact(
+        "perf_read_path.txt",
+        "Perf read-path: three cache layers, median of "
+        f"{ROUNDS} interleaved rounds\n"
+        f"  warm-read speedup (node cache 128 vs off): {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)\n"
+        "  warm-read speedup (node cache 8 vs off):   "
+        f"{tree_results['warm_read_speedup_small_cache']:.2f}x\n"
+        f"  statement speedup (all server caches):     {stmt_speedup:.2f}x\n"
+        f"  node cache stats: {tree_results['node_cache_stats']}\n",
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-read speedup {speedup:.2f}x is below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )
+    # The server-side caches must at least not slow statements down.
+    assert stmt_speedup > 0.95

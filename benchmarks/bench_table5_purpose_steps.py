@@ -22,7 +22,10 @@ def day(chronon):
 def server():
     server = DatabaseServer(clock=Clock(now=100))
     server.create_sbspace("spc")
-    register_grtree_blade(server)
+    # This benchmark asserts the paper's literal "long way" grt_open
+    # step list, so the handle cache (which skips those steps on a
+    # reopen) is turned off here.
+    register_grtree_blade(server, handle_cache=False)
     server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
     server.prefer_virtual_index = True
     server.trace.set_level("grt", 2)

@@ -52,12 +52,31 @@ class GRTreeDataBlade:
     def __init__(
         self,
         server,
-        buffer_capacity: int = 64,
+        buffer_capacity: Optional[int] = None,
         time_horizon: int = 20,
+        node_cache_size: Optional[int] = None,
+        handle_cache: bool = True,
     ) -> None:
         self.server = server
-        self.buffer_capacity = buffer_capacity
+        # ``None`` means "use the server-wide default"; a ``CREATE INDEX
+        # ... WITH (...)`` clause can still override per index.
+        self.buffer_capacity = (
+            buffer_capacity
+            if buffer_capacity is not None
+            else getattr(server, "buffer_capacity", 64)
+        )
+        self.node_cache_size = (
+            node_cache_size
+            if node_cache_size is not None
+            else getattr(server, "node_cache_size", 128)
+        )
         self.time_horizon = time_horizon
+        #: Keep Tree/pool/BLOB objects of closed indices for the next
+        #: ``grt_open`` instead of rebuilding them per statement.  The
+        #: BLOB is still opened and closed per statement (locks follow
+        #: the paper's protocol); only the object rebuild is skipped.
+        self.handle_cache = handle_cache
+        self._handles: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # Current time and transactions (Section 5.4)
@@ -125,9 +144,19 @@ class GRTreeDataBlade:
             raise AccessMethodError(f"index {td.index_name} has no open BLOB")
         return blob
 
+    def _cache_sizes(self, td: IndexDescriptor) -> Tuple[int, int]:
+        """Resolve (buffer capacity, node-cache size) for one index:
+        ``CREATE INDEX ... WITH (...)`` parameters win over blade/server
+        defaults."""
+        params = td.parameters or {}
+        capacity = int(params.get("buffer_capacity", self.buffer_capacity))
+        node_cache = int(params.get("node_cache", self.node_cache_size))
+        return capacity, node_cache
+
     def _attach_tree(self, td: IndexDescriptor, blob: BladeBlob, meta_page, create):
-        pool = BufferPool(blob.page_store(), capacity=self.buffer_capacity)
-        store = GRNodeStore(pool)
+        capacity, node_cache = self._cache_sizes(td)
+        pool = BufferPool(blob.page_store(), capacity=capacity)
+        store = GRNodeStore(pool, node_cache_size=node_cache)
         if create:
             tree = GRTree.create(
                 store, self.server.clock, time_horizon=self.time_horizon
@@ -139,10 +168,12 @@ class GRTreeDataBlade:
             # Reopening replaces the previous pool under the same name, so
             # ``SHOW STATS`` always shows the live pool of each index.
             obs.attach_buffer_pool(f"index.{td.index_name}", pool)
+            obs.attach_node_cache(f"index.{td.index_name}", store)
             tree.obs = obs
         td.user_data["tree"] = tree
         td.user_data["blob"] = blob
         td.user_data["pool"] = pool
+        td.user_data["store"] = store
         return tree
 
     # ------------------------------------------------------------------
@@ -189,6 +220,9 @@ class GRTreeDataBlade:
                 f"{duplicate[0].name}"
             )
         self._trace("grt_create", 4, "no equivalent index exists")
+        # A cached handle under the same name (dropped + recreated
+        # index) must never shadow the fresh BLOB.
+        self._handles.pop(td.index_name.lower(), None)
         space = self.server.get_sbspace(td.space_name)
         blob = BladeBlob.create(space)
         self._trace("grt_create", 5, f"created BLOB {blob.handle}")
@@ -220,14 +254,50 @@ class GRTreeDataBlade:
         blob.drop()
         self._trace("grt_drop", 3, "delete Tree object")
         td.user_data.clear()
+        self._handles.pop(td.index_name.lower(), None)
         rowid, _ = self._metadata_row(td.index_name)
         self._metadata_table().delete_row(rowid)
         self._trace("grt_drop", 4, "deleted record from grtree_indexdata")
         return 0
 
+    def _revive_handle(self, td: IndexDescriptor) -> bool:
+        """Reattach a cached Tree/pool/BLOB from a previous close, if it
+        is still safe: the BLOB must still be the same live object in
+        its sbspace (recovery and DROP replace it) and storage must not
+        have been rewritten underneath the pool (transaction rollback
+        restores pages directly, bumping ``server.storage_epoch``)."""
+        key = td.index_name.lower()
+        entry = self._handles.get(key)
+        if entry is None:
+            return False
+        blob: BladeBlob = entry["blob"]
+        pool: BufferPool = entry["pool"]
+        try:
+            same_store = blob.page_store() is pool.store
+        except Exception:
+            same_store = False  # BLOB dropped or sbspace re-initialised
+        if not same_store or entry["epoch"] != self.server.storage_epoch:
+            del self._handles[key]
+            return False
+        self._trace("grt_open", 2, "reuse cached Tree object")
+        blob.open(td.session, OpenMode.READ)
+        self._trace("grt_open", 4, "opened the BLOB")
+        obs = getattr(self.server, "obs", None)
+        if obs is not None:
+            obs.attach_buffer_pool(f"index.{td.index_name}", pool)
+            obs.attach_node_cache(f"index.{td.index_name}", entry["store"])
+        td.user_data["tree"] = entry["tree"]
+        td.user_data["blob"] = blob
+        td.user_data["pool"] = pool
+        td.user_data["store"] = entry["store"]
+        return True
+
     def grt_open(self, td: IndexDescriptor) -> int:
         if "tree" in td.user_data:
             self._trace("grt_open", 1, "invoked right after grt_create; exit")
+            self._sample_current_time(td.session)
+            return 0
+        if self.handle_cache and self._revive_handle(td):
             self._sample_current_time(td.session)
             return 0
         self._trace("grt_open", 2, "create Tree object")
@@ -249,10 +319,21 @@ class GRTreeDataBlade:
             pool.flush()  # write dirty index pages into the BLOB
         blob.close()
         self._trace("grt_close", 2, "closed the BLOB")
+        if self.handle_cache and pool is not None:
+            self._handles[td.index_name.lower()] = {
+                "tree": td.user_data.get("tree"),
+                "blob": blob,
+                "pool": pool,
+                "store": td.user_data.get("store"),
+                "epoch": self.server.storage_epoch,
+            }
+            self._trace("grt_close", 3, "cached Tree object for reuse")
+        else:
+            self._trace("grt_close", 3, "deleted Tree object")
         td.user_data.pop("tree", None)
         td.user_data.pop("blob", None)
         td.user_data.pop("pool", None)
-        self._trace("grt_close", 3, "deleted Tree object")
+        td.user_data.pop("store", None)
         return 0
 
     # -- scanning ---------------------------------------------------------

@@ -21,12 +21,24 @@ from repro.datablade.time_extent import TYPE_NAME, make_time_extent_type
 
 def register_grtree_blade(
     server,
-    buffer_capacity: int = 64,
+    buffer_capacity: Optional[int] = None,
     time_horizon: int = 20,
+    node_cache_size: Optional[int] = None,
+    handle_cache: bool = True,
 ) -> GRTreeDataBlade:
-    """Install the GR-tree DataBlade into *server*; returns the blade."""
+    """Install the GR-tree DataBlade into *server*; returns the blade.
+
+    ``buffer_capacity``/``node_cache_size`` default to the server-wide
+    settings (``DatabaseServer(buffer_capacity=..., node_cache_size=...)``);
+    ``handle_cache=False`` restores the paper's literal behaviour of
+    rebuilding the Tree object on every ``grt_open``.
+    """
     blade = GRTreeDataBlade(
-        server, buffer_capacity=buffer_capacity, time_horizon=time_horizon
+        server,
+        buffer_capacity=buffer_capacity,
+        time_horizon=time_horizon,
+        node_cache_size=node_cache_size,
+        handle_cache=handle_cache,
     )
 
     # Step 1 (Section 4): the new data type and its support functions.

@@ -75,6 +75,10 @@ class Observability:
         #: final counters in here keeps ``buffer.<name>.*`` monotonic, so
         #: span deltas stay correct across the reopen.
         self._pool_bases: Dict[str, Dict[str, float]] = {}
+        #: Deserialized-node caches attached by name (usually one per
+        #: open GR-tree index, mirroring :attr:`pools`).
+        self.node_caches: Dict[str, Any] = {}
+        self._node_cache_bases: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Gating
@@ -141,6 +145,44 @@ class Observability:
         self.pools.pop(name, None)
         self._pool_bases.pop(name, None)
         self.metrics.unregister_collector(f"buffer.{name}")
+
+    def attach_node_cache(self, name: str, store) -> None:
+        """Export a :class:`GRNodeStore`'s cache counters as ``nodecache.<name>.*``.
+
+        Same reopen-folding contract as :meth:`attach_buffer_pool`: the
+        exported counters never go backwards when an index reopen swaps
+        in a fresh store.
+        """
+        base = self._node_cache_bases.setdefault(name, {})
+        previous = self.node_caches.get(name)
+        if previous is not None and previous is not store:
+            for key, value in previous.cache_stats.to_dict().items():
+                base[key] = base.get(key, 0) + value
+        self.node_caches[name] = store
+
+        def collect() -> Dict[str, float]:
+            stats = {
+                key: value + base.get(key, 0)
+                for key, value in store.cache_stats.to_dict().items()
+            }
+            stats["cached_nodes"] = store.cached_nodes
+            stats["size"] = store.node_cache_size
+            return stats
+
+        self.metrics.register_collector(f"nodecache.{name}", collect)
+
+    def detach_node_cache(self, name: str) -> None:
+        self.node_caches.pop(name, None)
+        self._node_cache_bases.pop(name, None)
+        self.metrics.unregister_collector(f"nodecache.{name}")
+
+    def node_cache_counters(self, name: str) -> Dict[str, float]:
+        """Lifetime node-cache counters for one name (reopen-cumulative)."""
+        base = self._node_cache_bases.get(name, {})
+        return {
+            key: value + base.get(key, 0)
+            for key, value in self.node_caches[name].cache_stats.to_dict().items()
+        }
 
     def attach_lock_manager(self, locks) -> None:
         self.metrics.register_collector(
@@ -219,7 +261,9 @@ class Observability:
         counters = {
             name: value
             for name, value in sorted(snapshot.items())
-            if not name.startswith(("buffer.", "locks.", "wal.", "sbspace."))
+            if not name.startswith(
+                ("buffer.", "locks.", "wal.", "sbspace.", "nodecache.")
+            )
         }
         if counters:
             width = max(len(name) for name in counters)
@@ -233,7 +277,8 @@ class Observability:
         if self.pools:
             header = (
                 f"{'pool':<24} {'lreads':>8} {'preads':>8} "
-                f"{'lwrites':>8} {'pwrites':>8} {'hit%':>7} {'resident':>9}"
+                f"{'lwrites':>8} {'pwrites':>8} {'hit%':>7} {'resident':>9} "
+                f"{'frames':>7}"
             )
             lines.append(header)
             for name in sorted(self.pools):
@@ -243,7 +288,8 @@ class Observability:
                     f"{stats['physical_reads']:>8} {stats['logical_writes']:>8} "
                     f"{stats['physical_writes']:>8} "
                     f"{stats['hit_ratio'] * 100:>6.1f}% "
-                    f"{self.pools[name].resident_pages:>9}"
+                    f"{self.pools[name].resident_pages:>9} "
+                    f"{self.pools[name].capacity:>7}"
                 )
             totals = self.buffer_totals()
             lines.append(
@@ -255,6 +301,23 @@ class Observability:
             lines.append(f"buffer hit ratio: {totals['hit_ratio']:.4f}")
         else:
             lines.append("(no buffer pools attached)")
+
+        if self.node_caches:
+            lines.append("")
+            section("node caches")
+            header = (
+                f"{'cache':<24} {'hits':>8} {'misses':>8} "
+                f"{'evicts':>8} {'invals':>8} {'cached':>7} {'size':>6}"
+            )
+            lines.append(header)
+            for name in sorted(self.node_caches):
+                stats = self.node_cache_counters(name)
+                store = self.node_caches[name]
+                lines.append(
+                    f"{name:<24} {stats['hits']:>8} {stats['misses']:>8} "
+                    f"{stats['evictions']:>8} {stats['invalidations']:>8} "
+                    f"{store.cached_nodes:>7} {store.node_cache_size:>6}"
+                )
 
         lines.append("")
         section("locks")

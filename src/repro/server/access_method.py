@@ -74,6 +74,10 @@ class SecondaryAccessMethod:
     purpose_functions: Dict[str, str]  # slot -> registered UDR name
     sptype: SpaceType = SpaceType.SBSPACE
     default_opclass: Optional[str] = None
+    #: Resolved purpose routines, keyed by slot.  Purpose-function names
+    #: never overload, so the first resolution holds until the routine
+    #: registry changes (CREATE/DROP FUNCTION clears this).
+    routine_cache: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = set(self.purpose_functions) - set(PURPOSE_SLOTS)
@@ -225,3 +229,9 @@ class AccessMethodRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._methods)
+
+    def clear_resolution_caches(self) -> None:
+        """Drop every cached purpose-routine resolution (the routine
+        registry changed underneath the caches)."""
+        for am in self._methods.values():
+            am.routine_cache.clear()

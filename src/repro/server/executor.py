@@ -71,8 +71,11 @@ class Executor:
             raise AccessMethodError(
                 f"access method {am.name} does not provide {slot}"
             )
-        name = am.purpose_functions[slot]
-        routine = self.server.catalog.routines.resolve_any(name)
+        routine = am.routine_cache.get(slot)
+        if routine is None:
+            name = am.purpose_functions[slot]
+            routine = self.server.catalog.routines.resolve_any(name)
+            am.routine_cache[slot] = routine
         self.server.trace.emit(TRACE_AM, 1, f"{am.name}.{slot}")
         self.server.catalog.routines.invocations += 1
         obs = self.server.obs
@@ -148,12 +151,15 @@ class Executor:
                 commutator=stmt.commutator,
             )
         )
+        # A new overload may shadow a cached purpose-routine resolution.
+        self.server.catalog.access_methods.clear_resolution_caches()
         return f"function {stmt.name} created"
 
     def _drop_function(self, stmt: ast.DropFunction, session) -> str:
         removed = self.server.catalog.routines.unregister(stmt.name)
         if not removed:
             raise CatalogError(f"no function {stmt.name}")
+        self.server.catalog.access_methods.clear_resolution_caches()
         return f"function {stmt.name} dropped"
 
     def _create_access_method(self, stmt: ast.CreateAccessMethod, session) -> str:
@@ -226,6 +232,7 @@ class Executor:
             am_name=am.name,
             opclass_names=tuple(opclasses),
             space_name=space,
+            parameters=dict(stmt.parameters),
         )
         self.server.catalog.create_index(info)
         td = self._descriptor(info, session)

@@ -11,6 +11,7 @@ messages, and register transaction-end callbacks.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
 from repro.obs import Observability
@@ -38,9 +39,18 @@ class DatabaseServer:
         clock: Optional[Clock] = None,
         granularity: Granularity = Granularity.DAY,
         page_size: int = 2048,
+        buffer_capacity: int = 64,
+        node_cache_size: int = 128,
+        statement_cache_size: int = 64,
     ) -> None:
         self.clock = clock if clock is not None else Clock(granularity=granularity)
         self.page_size = page_size
+        #: Server-wide defaults for per-index caches; ``CREATE INDEX ...
+        #: WITH (buffer_capacity = N, node_cache = M)`` overrides them.
+        self.buffer_capacity = buffer_capacity
+        self.node_cache_size = node_cache_size
+        #: Parsed-statement cache bound (0 disables caching).
+        self.statement_cache_size = statement_cache_size
         self.types = TypeRegistry(self.clock.granularity)
         self.catalog = SystemCatalog(self.types)
         self.library = SharedLibraryRegistry()
@@ -54,6 +64,22 @@ class DatabaseServer:
         self.obs.attach_wal(self.wal)
         self.sbspaces: Dict[str, Sbspace] = {}
         self.executor = Executor(self)
+        self._statement_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
+        self._stmt_cache_hits = 0
+        self._stmt_cache_misses = 0
+        self.obs.metrics.register_collector(
+            "sql.stmtcache",
+            lambda: {
+                "hits": self._stmt_cache_hits,
+                "misses": self._stmt_cache_misses,
+                "entries": len(self._statement_cache),
+                "size": self.statement_cache_size,
+            },
+        )
+        #: Bumped whenever storage is mutated behind the buffer pools
+        #: (transaction rollback restores sbspace pages directly); cached
+        #: index handles compare epochs and invalidate their pools.
+        self.storage_epoch = 0
         self._txn_ids = itertools.count(1)
         #: The session internal work runs under (cost estimation etc.).
         self.system_session = Session(self)
@@ -83,6 +109,9 @@ class DatabaseServer:
             space.set_transaction(None)
 
     def rollback_storage(self, txn_id: int) -> None:
+        # Rollback rewrites sbspace pages underneath any open buffer
+        # pool; bump the epoch so cached index handles invalidate.
+        self.storage_epoch += 1
         for space in self.sbspaces.values():
             space.rollback(txn_id)
 
@@ -129,6 +158,34 @@ class DatabaseServer:
     #: ``SHOW SPANS`` never renders its own half-open root span.
     _INTROSPECTION = (ast.ShowStats, ast.ShowSpans, ast.SetTraceClass)
 
+    def _parse(self, sql_text: str) -> ast.Statement:
+        """Parse through the LRU statement cache, keyed by SQL text.
+
+        Statement objects are never mutated after parsing (the executor
+        and optimizer treat them as read-only), so the same parse tree
+        can be re-executed.  Introspection statements bypass the cache:
+        they are cheap, rare, and keeping them out means cache counters
+        reflect only real workload statements.
+        """
+        if not self.statement_cache_size:
+            return ast.parse(sql_text)
+        cached = self._statement_cache.get(sql_text)
+        if cached is not None:
+            self._statement_cache.move_to_end(sql_text)
+            self._stmt_cache_hits += 1
+            return cached
+        statement = ast.parse(sql_text)
+        if isinstance(statement, self._INTROSPECTION):
+            return statement
+        self._stmt_cache_misses += 1
+        self._statement_cache[sql_text] = statement
+        if len(self._statement_cache) > self.statement_cache_size:
+            self._statement_cache.popitem(last=False)
+        return statement
+
+    def clear_statement_cache(self) -> None:
+        self._statement_cache.clear()
+
     def execute(self, sql_text: str, session: Optional[Session] = None) -> Any:
         """Parse and execute one SQL statement.
 
@@ -143,9 +200,9 @@ class DatabaseServer:
             self.bind_transaction(session, session.transaction.txn_id)
         obs = self.obs
         if not obs.enabled:
-            return self.executor.execute(ast.parse(sql_text), session)
+            return self.executor.execute(self._parse(sql_text), session)
         parse_start = obs.metrics.timer()
-        statement = ast.parse(sql_text)
+        statement = self._parse(sql_text)
         parse_end = obs.metrics.timer()
         if isinstance(statement, self._INTROSPECTION):
             return self.executor.execute(statement, session)

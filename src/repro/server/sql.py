@@ -16,7 +16,7 @@ and ``am_stats``.  Observability: ``SHOW STATS [JSON]`` and ``SHOW SPANS
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.server.errors import SqlError
@@ -141,6 +141,9 @@ class CreateIndex:
     columns: List[Tuple[str, Optional[str]]]  # (column, opclass or None)
     am_name: Optional[str]
     space: Optional[str]
+    #: ``WITH (key = value, ...)`` tuning parameters, e.g. the per-index
+    #: ``buffer_capacity`` and ``node_cache`` sizes.
+    parameters: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -625,8 +628,29 @@ class _Parser:
         space = None
         if self.accept_keyword("IN"):
             space = self.identifier()
+        parameters: Dict[str, Any] = {}
+        if self.accept_keyword("WITH"):
+            self.expect_op("(")
+            while True:
+                key = self.identifier().lower()
+                self.expect_op("=")
+                token = self.next()
+                if token.kind == "number":
+                    number = float(token.value)
+                    value: Any = int(number) if number.is_integer() else number
+                elif token.kind in ("string", "word"):
+                    value = token.value
+                else:
+                    raise SqlError(
+                        f"CREATE INDEX WITH needs a literal value for "
+                        f"{key!r}, got {token.value!r}"
+                    )
+                parameters[key] = value
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
         self.done()
-        return CreateIndex(name, table, columns, am_name, space)
+        return CreateIndex(name, table, columns, am_name, space, parameters)
 
     # -- DROP family --------------------------------------------------------
 

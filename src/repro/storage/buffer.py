@@ -86,6 +86,13 @@ class BufferPool:
         self.stats = IOStats()
         # page_id -> (data, dirty); insertion order == recency order.
         self._frames: "OrderedDict[int, tuple[bytes, bool]]" = OrderedDict()
+        # Caches layered above the pool (deserialized-node caches) register
+        # here so a wholesale drop of the frames also drops their state.
+        self._invalidation_listeners: list = []
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Call *listener* whenever :meth:`invalidate` drops all frames."""
+        self._invalidation_listeners.append(listener)
 
     # ------------------------------------------------------------------
 
@@ -110,7 +117,11 @@ class BufferPool:
         self._admit(page_id, data, dirty=True)
 
     def allocate(self) -> int:
-        return self.store.allocate_page()
+        page_id = self.store.allocate_page()
+        # The store recycles freed ids (LIFO free lists); a frame for a
+        # previous incarnation of this page must not be resurrected.
+        self._frames.pop(page_id, None)
+        return page_id
 
     def free(self, page_id: int) -> None:
         """Discard any cached copy and release the page."""
@@ -128,6 +139,8 @@ class BufferPool:
     def invalidate(self) -> None:
         """Drop all frames without writing back (crash simulation)."""
         self._frames.clear()
+        for listener in self._invalidation_listeners:
+            listener()
 
     # ------------------------------------------------------------------
 

@@ -46,11 +46,16 @@ class PageStore(abc.ABC):
         """Number of live (allocated, not freed) pages."""
 
     def _check_data(self, data: bytes) -> bytes:
-        if len(data) > self.page_size:
+        size = len(data)
+        if size > self.page_size:
             raise ValueError(
-                f"page overflow: {len(data)} bytes > page size {self.page_size}"
+                f"page overflow: {size} bytes > page size {self.page_size}"
             )
-        return data.ljust(self.page_size, b"\x00")
+        if size == self.page_size:
+            # Already exactly one page: skip the redundant ljust copy
+            # (the GR-tree serializer emits full pages on the hot path).
+            return data if isinstance(data, bytes) else bytes(data)
+        return bytes(data).ljust(self.page_size, b"\x00")
 
 
 class InMemoryPageStore(PageStore):

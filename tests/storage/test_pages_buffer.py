@@ -147,6 +147,50 @@ class TestBufferPool:
         with pytest.raises(KeyError):
             store.read_page(pid)
 
+    def test_recycled_page_id_does_not_resurrect_stale_frame(self):
+        """Regression: free() + reallocate of the same page id (the
+        store's LIFO free list) must not serve the old frame's bytes."""
+        store, pool = self.make()
+        pid = pool.allocate()
+        pool.write(pid, b"old incarnation")
+        pool.read(pid)  # frame is resident
+        pool.free(pid)
+        recycled = pool.allocate()
+        assert recycled == pid  # LIFO recycling really happened
+        assert pool.read(recycled) == b"\x00" * 64
+
+    def test_recycled_id_drops_frame_even_if_freed_elsewhere(self):
+        """Even when the free bypasses the pool (another pool over the
+        same store), allocate() must not trust a stale resident frame."""
+        store, pool = self.make()
+        pid = pool.allocate()
+        pool.write(pid, b"stale")
+        pool.flush()
+        pool.read(pid)
+        store.free_page(pid)  # freed behind the pool's back
+        recycled = pool.allocate()
+        assert recycled == pid
+        assert pool.read(recycled) == b"\x00" * 64
+
+    def test_invalidation_listeners_fire(self):
+        store, pool = self.make()
+        dropped = []
+        pool.add_invalidation_listener(lambda: dropped.append(True))
+        pool.invalidate()
+        pool.invalidate()
+        assert dropped == [True, True]
+
+    def test_full_page_write_preserved_verbatim(self):
+        """_check_data must pass exactly-page-sized bytes through
+        unchanged (the serializer fast path emits full pages)."""
+        store, pool = self.make()
+        pid = pool.allocate()
+        payload = bytes(range(64))
+        pool.write(pid, payload)
+        pool.flush()
+        assert store.read_page(pid) == payload
+        assert pool.read(pid) == payload
+
     def test_stats_snapshot_and_diff(self):
         store, pool = self.make()
         pid = pool.allocate()
