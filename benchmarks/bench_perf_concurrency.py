@@ -1,0 +1,247 @@
+"""Perf concurrency: the serving layer must turn clients into throughput.
+
+Closed-loop clients with think time, TPC-style: each client issues a
+scan+update round, then "thinks" for ``THINK_SECONDS`` before the next
+one (``time.sleep`` releases the GIL, so think time is genuinely idle).
+A single such client leaves the engine idle most of the wall clock;
+concurrent clients overlap their think time against each other's
+statements, so aggregate throughput must rise until the serialized
+engine saturates.  (Without think time an in-process benchmark cannot
+scale at all: clients, readers, and workers share one GIL, so the
+engine's CPU-bound statement work is serialized no matter how many
+clients pile on.)  The benchmark drives 1, 4, and 8 concurrent wire
+clients on *disjoint* keys and gates on:
+
+* **scaling**: 4 clients deliver at least ``SCALING_FLOOR`` times the
+  single-client throughput;
+* **zero lost updates**: every client's inserts land exactly once and
+  its final counter value is the last one it wrote;
+* **lock hygiene**: a client killed mid-transaction releases its locks
+  and never blocks the others longer than the lock-acquire timeout.
+
+Per-statement latency is reported as p50/p99.  Machine-readable results
+land in ``benchmarks/out/BENCH_net_concurrency.json`` (a CI artifact;
+the gates fail this test, and therefore CI, on regression).
+"""
+
+import json
+import threading
+import time
+from collections import Counter
+
+from repro.datablade import register_grtree_blade
+from repro.net import NetServer, ReproClient
+from repro.server import DatabaseServer
+from repro.temporal.chronon import Clock, format_chronon
+
+CLIENT_COUNTS = (1, 4, 8)
+OPS_PER_CLIENT = 80          # each op is one scan + one update + one insert
+SCALING_FLOOR = 2.0          # 4 clients vs 1, the CI gate
+LOCK_TIMEOUT = 2.0
+SCAN_EVERY = 4               # 1 scan per SCAN_EVERY update+insert pairs
+THINK_SECONDS = 0.003        # closed-loop client think time per op
+
+
+def build_served():
+    db = DatabaseServer(clock=Clock(now=100))
+    db.create_sbspace("spc")
+    register_grtree_blade(db)
+    net = NetServer(
+        db, workers=8, queue_depth=64, lock_timeout=LOCK_TIMEOUT
+    ).start()
+    with ReproClient(net.host, net.port).connect() as setup:
+        setup.execute("CREATE TABLE counters (k INTEGER, val INTEGER)")
+        setup.execute("CREATE TABLE journal (k INTEGER, seq INTEGER)")
+        for key in range(max(CLIENT_COUNTS)):
+            setup.execute(f"INSERT INTO counters VALUES ({key}, 0)")
+    return db, net
+
+
+def run_client(net, client_key, ops, latencies, failures):
+    """The scan+update workload for one client, all on its own key."""
+    try:
+        with ReproClient(net.host, net.port, read_timeout=30.0) as client:
+            for i in range(ops):
+                start = time.perf_counter()
+                if i % SCAN_EVERY == 0:
+                    client.execute("SELECT * FROM counters")
+                client.execute(
+                    f"UPDATE counters SET val = {i + 1} "
+                    f"WHERE k = {client_key}"
+                )
+                client.execute(
+                    f"INSERT INTO journal VALUES ({client_key}, {i})"
+                )
+                latencies.append(time.perf_counter() - start)
+                time.sleep(THINK_SECONDS)
+    except Exception as exc:  # pragma: no cover
+        failures.append((client_key, exc))
+
+
+def drive(net, clients):
+    latencies = []
+    failures = []
+    threads = [
+        threading.Thread(
+            target=run_client,
+            args=(net, key, OPS_PER_CLIENT, latencies, failures),
+        )
+        for key in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    wall = time.perf_counter() - start
+    assert not any(thread.is_alive() for thread in threads), (
+        f"{clients}-client run hung"
+    )
+    assert failures == [], f"client workers failed: {failures!r}"
+    ordered = sorted(latencies)
+    return {
+        "clients": clients,
+        "ops": clients * OPS_PER_CLIENT,
+        "wall_seconds": wall,
+        "throughput_ops_per_s": clients * OPS_PER_CLIENT / wall,
+        "latency_p50_ms": 1000 * ordered[len(ordered) // 2],
+        "latency_p99_ms": 1000 * ordered[min(
+            len(ordered) - 1, int(len(ordered) * 0.99)
+        )],
+    }
+
+
+def verify_no_lost_updates(net, max_clients):
+    """Disjoint keys: every insert landed exactly once, every counter
+    holds the last value its owner wrote."""
+    with ReproClient(net.host, net.port).connect() as checker:
+        rows = checker.execute("SELECT * FROM journal")
+        counters = checker.execute("SELECT * FROM counters")
+    seen = [(row["k"], row["seq"]) for row in rows]
+    expected = {
+        (key, seq)
+        for clients in CLIENT_COUNTS
+        for key in range(clients)
+        for seq in range(OPS_PER_CLIENT)
+    }
+    # A key used in R of the runs journals each seq exactly R times.
+    multiplicity = Counter(seen)
+    for key, seq in expected:
+        runs_touching = sum(1 for c in CLIENT_COUNTS if key < c)
+        assert multiplicity[(key, seq)] == runs_touching, (
+            f"journal entry ({key}, {seq}) appeared "
+            f"{multiplicity[(key, seq)]} times, wanted {runs_touching}"
+        )
+    assert len(seen) == sum(
+        c * OPS_PER_CLIENT for c in CLIENT_COUNTS
+    ), "journal row count disagrees with operations issued"
+    final = {row["k"]: row["val"] for row in counters}
+    for key in range(max_clients):
+        assert final[key] == OPS_PER_CLIENT, (
+            f"counter {key} lost updates: {final[key]} != {OPS_PER_CLIENT}"
+        )
+
+
+def measure_killed_client(db, net):
+    """A client dies holding an index X lock; a waiter must get through
+    within the lock-acquire timeout."""
+    day = format_chronon
+    with ReproClient(net.host, net.port).connect() as setup:
+        setup.execute("CREATE TABLE emp (name LVARCHAR, te GRT_TimeExtent_t)")
+        setup.execute("CREATE INDEX e_te ON emp(te) USING grtree_am IN spc")
+    extent = f"'{day(100)}, UC, {day(95)}, NOW'"
+    holder = ReproClient(net.host, net.port).connect()
+    holder.execute("BEGIN WORK")
+    holder.execute(f"INSERT INTO emp VALUES ('holder', {extent})")
+    assert db.locks.locked_resources > 0
+
+    blocked_for = []
+
+    def waiter():
+        with ReproClient(net.host, net.port, read_timeout=30.0) as client:
+            start = time.perf_counter()
+            client.execute(f"INSERT INTO emp VALUES ('waiter', {extent})")
+            blocked_for.append(time.perf_counter() - start)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.1)
+    holder._sock.close()  # die without COMMIT/ROLLBACK/QUIT
+    thread.join(timeout=LOCK_TIMEOUT + 10)
+    assert blocked_for, "waiter never completed after the holder died"
+    assert blocked_for[0] <= LOCK_TIMEOUT + 1.0, (
+        f"waiter blocked {blocked_for[0]:.2f}s, past the "
+        f"{LOCK_TIMEOUT}s lock timeout"
+    )
+    deadline = time.monotonic() + 5
+    while db.locks.locked_resources and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert db.locks.locked_resources == 0, "killed client leaked locks"
+    return {
+        "lock_timeout_seconds": LOCK_TIMEOUT,
+        "waiter_blocked_seconds": blocked_for[0],
+        "locks_after_disconnect": db.locks.locked_resources,
+    }
+
+
+def test_concurrent_serving_throughput(write_artifact):
+    db, net = build_served()
+    try:
+        runs = {}
+        for clients in CLIENT_COUNTS:
+            runs[clients] = drive(net, clients)
+        verify_no_lost_updates(net, max_clients=max(CLIENT_COUNTS))
+        lock_results = measure_killed_client(db, net)
+        scaling_4 = (
+            runs[4]["throughput_ops_per_s"] / runs[1]["throughput_ops_per_s"]
+        )
+        scaling_8 = (
+            runs[8]["throughput_ops_per_s"] / runs[1]["throughput_ops_per_s"]
+        )
+        snapshot = db.obs.metrics.snapshot()
+        payload = {
+            "benchmark": "net_concurrency",
+            "ops_per_client": OPS_PER_CLIENT,
+            "runs": {str(c): runs[c] for c in CLIENT_COUNTS},
+            "scaling_4_vs_1": scaling_4,
+            "scaling_8_vs_1": scaling_8,
+            "scaling_floor": SCALING_FLOOR,
+            "killed_client": lock_results,
+            "server": {
+                "busy_rejections": snapshot.get("net.busy_rejections", 0),
+                "aborted_on_disconnect": snapshot.get(
+                    "net.aborted_on_disconnect", 0
+                ),
+                "statements": snapshot.get("net.statements", 0),
+            },
+        }
+        write_artifact(
+            "BENCH_net_concurrency.json",
+            json.dumps(payload, indent=2, sort_keys=True),
+        )
+        lines = ["Perf concurrency: wire clients vs aggregate throughput"]
+        for clients in CLIENT_COUNTS:
+            r = runs[clients]
+            lines.append(
+                f"  {clients} client(s): "
+                f"{r['throughput_ops_per_s']:8.1f} ops/s   "
+                f"p50 {r['latency_p50_ms']:6.2f} ms   "
+                f"p99 {r['latency_p99_ms']:6.2f} ms"
+            )
+        lines.append(
+            f"  scaling: 4 clients {scaling_4:.2f}x, 8 clients "
+            f"{scaling_8:.2f}x vs single (floor {SCALING_FLOOR}x at 4)"
+        )
+        lines.append(
+            "  killed client: waiter unblocked in "
+            f"{lock_results['waiter_blocked_seconds']:.2f}s "
+            f"(timeout {LOCK_TIMEOUT}s), locks leaked: "
+            f"{lock_results['locks_after_disconnect']}"
+        )
+        write_artifact("perf_net_concurrency.txt", "\n".join(lines) + "\n")
+        assert scaling_4 >= SCALING_FLOOR, (
+            f"4-client scaling {scaling_4:.2f}x is below the "
+            f"{SCALING_FLOOR}x floor"
+        )
+    finally:
+        net.shutdown()

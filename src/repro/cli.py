@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli -f script.sql          # run a script and exit
     python -m repro.cli stats -f script.sql    # run a script, dump
                                                # observability data (JSON)
+    python -m repro.cli serve --port 7478      # serve concurrent clients
+    python -m repro.cli connect --port 7478    # remote shell over TCP
 
 Besides SQL, the shell accepts backslash commands:
 
@@ -285,10 +287,172 @@ def stats_main(argv: List[str], out=None) -> int:
     return 0
 
 
+def serve_main(argv: List[str], out=None) -> int:
+    """The ``serve`` subcommand: run the concurrent serving layer.
+
+    Boots a :class:`DatabaseServer`, optionally installs DataBlades and
+    creates sbspaces, then serves TCP clients until interrupted.
+    """
+    from repro.net import NetServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="serve the repro engine to concurrent TCP clients",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7478)
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission-control queue bound (overflow => SERVER_BUSY)",
+    )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=2.0,
+        help="seconds a statement may wait for a conflicting lock",
+    )
+    parser.add_argument(
+        "--install",
+        action="append",
+        default=[],
+        choices=["grtree", "rtree", "btree", "gist"],
+        help="register a DataBlade at boot (repeatable)",
+    )
+    parser.add_argument(
+        "--sbspace",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="create a smart-blob space at boot (repeatable)",
+    )
+    parser.add_argument("-f", "--file", help="SQL script to run at boot")
+    parser.add_argument(
+        "--granularity", choices=["day", "month"], default="day"
+    )
+    options = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+    shell = Shell(_granularity(options.granularity))
+    for name in options.sbspace:
+        shell.server.create_sbspace(name)
+    for blade in options.install:
+        shell._install(blade, out)
+    if options.file:
+        shell.run_script(options.file)
+    server = NetServer(
+        shell.server,
+        host=options.host,
+        port=options.port,
+        workers=options.workers,
+        queue_depth=options.queue_depth,
+        lock_timeout=options.lock_timeout,
+    ).start()
+    print(
+        f"repro serving on {server.host}:{server.port} "
+        f"({server.workers} workers, queue {server.queue_depth}); "
+        f"Ctrl-C to stop",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+        print("server stopped", file=out)
+    return 0
+
+
+def connect_main(argv: List[str], out=None) -> int:
+    """The ``connect`` subcommand: a remote SQL shell over the driver."""
+    from repro.net import ReproClient, ReproClientError
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli connect",
+        description="interactive SQL shell against a served repro engine",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7478)
+    parser.add_argument("-e", "--execute", help="run one statement and exit")
+    parser.add_argument("-f", "--file", help="run a SQL script and exit")
+    options = parser.parse_args(argv)
+    if out is None:
+        out = sys.stdout
+    client = ReproClient(options.host, options.port)
+    try:
+        client.connect()
+    except ReproClientError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+    def run(statement: str) -> None:
+        statement = statement.strip().rstrip(";")
+        if not statement:
+            return
+        try:
+            _render_plain(client.execute(statement), out)
+        except ReproClientError as exc:
+            print(f"error: {exc}", file=out)
+
+    with client:
+        if options.execute:
+            run(options.execute)
+            return 0
+        if options.file:
+            with open(options.file, "r", encoding="utf-8") as handle:
+                for statement in DatabaseServer._split_statements(handle.read()):
+                    run(statement)
+            return 0
+        print(
+            f"connected to {options.host}:{options.port} "
+            f"(connection {client.connection_id}); \\quit to leave",
+            file=out,
+        )
+        while True:
+            try:
+                line = input(f"repro@{options.port}> ")
+            except (EOFError, KeyboardInterrupt):
+                print(file=out)
+                return 0
+            if line.strip().lower() in ("\\q", "\\quit", "\\exit"):
+                return 0
+            run(line)
+    return 0
+
+
+def _render_plain(result: Any, out) -> None:
+    """Render a wire-decoded result (all cells already text-safe)."""
+    if isinstance(result, list):
+        if not result:
+            print("(no rows)", file=out)
+            return
+        columns = list(result[0].keys())
+        rendered = [{c: str(row[c]) for c in columns} for row in result]
+        widths = {
+            c: max(len(c), *(len(r[c]) for r in rendered)) for c in columns
+        }
+        print(" | ".join(c.ljust(widths[c]) for c in columns), file=out)
+        print("-+-".join("-" * widths[c] for c in columns), file=out)
+        for row in rendered:
+            print(
+                " | ".join(row[c].ljust(widths[c]) for c in columns), file=out
+            )
+        print(f"({len(result)} row(s))", file=out)
+    else:
+        print(result, file=out)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        return connect_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro SQL shell")
     parser.add_argument("-f", "--file", help="run a SQL script and exit")
     parser.add_argument(

@@ -26,6 +26,7 @@ Two read-path optimisations live here:
 from __future__ import annotations
 
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -105,6 +106,12 @@ class GRNodeStore:
         self.node_cache_size = node_cache_size
         self.cache_stats = NodeCacheStats()
         self._cache: "OrderedDict[int, GRNode]" = OrderedDict()
+        #: Serializes page I/O, the LRU bookkeeping, and the scratch
+        #: buffer: the serving layer's worker threads share one store per
+        #: open index, and an unguarded ``move_to_end`` racing a ``pop``
+        #: corrupts the OrderedDict.  Re-entrant because ``allocate`` may
+        #: recycle a page while a caller already holds the lock.
+        self._lock = threading.RLock()
         buffer.add_invalidation_listener(self._drop_cache)
         self._page_size = buffer.store.page_size
         # Reusable serialization scratch; only the prefix written by the
@@ -118,12 +125,14 @@ class GRNodeStore:
 
     @property
     def cached_nodes(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def _drop_cache(self) -> None:
         """Forget every cached node (buffer invalidation / crash sim)."""
-        self.cache_stats.invalidations += len(self._cache)
-        self._cache.clear()
+        with self._lock:
+            self.cache_stats.invalidations += len(self._cache)
+            self._cache.clear()
 
     def _cache_put(self, page_id: int, node: GRNode) -> None:
         cache = self._cache
@@ -138,14 +147,19 @@ class GRNodeStore:
     # ------------------------------------------------------------------
 
     def allocate(self, leaf: bool, level: int = 0) -> GRNode:
-        page_id = self.buffer.allocate()
-        # Freed ids recycle LIFO: a cached node for the page's previous
-        # incarnation must not shadow the fresh (empty) node.
-        if self._cache.pop(page_id, None) is not None:
-            self.cache_stats.invalidations += 1
-        return GRNode(page_id, leaf, level)
+        with self._lock:
+            page_id = self.buffer.allocate()
+            # Freed ids recycle LIFO: a cached node for the page's previous
+            # incarnation must not shadow the fresh (empty) node.
+            if self._cache.pop(page_id, None) is not None:
+                self.cache_stats.invalidations += 1
+            return GRNode(page_id, leaf, level)
 
     def read(self, page_id: int) -> GRNode:
+        with self._lock:
+            return self._read_locked(page_id)
+
+    def _read_locked(self, page_id: int) -> GRNode:
         if self.node_cache_size:
             node = self._cache.get(page_id)
             if node is not None:
@@ -197,6 +211,10 @@ class GRNodeStore:
         return node
 
     def write(self, node: GRNode) -> None:
+        with self._lock:
+            self._write_locked(node)
+
+    def _write_locked(self, node: GRNode) -> None:
         entries = node.entries
         if len(entries) > self.capacity:
             raise ValueError(
@@ -234,6 +252,7 @@ class GRNodeStore:
             self._cache_put(node.page_id, node)
 
     def free(self, page_id: int) -> None:
-        if self._cache.pop(page_id, None) is not None:
-            self.cache_stats.invalidations += 1
-        self.buffer.free(page_id)
+        with self._lock:
+            if self._cache.pop(page_id, None) is not None:
+                self.cache_stats.invalidations += 1
+            self.buffer.free(page_id)

@@ -1,0 +1,58 @@
+"""``repro.net``: the concurrent multi-client serving layer.
+
+The paper's Section 5.3/5.4 machinery (LO-granularity two-phase locking,
+isolation-dependent lock release, per-transaction current-time pinning)
+only means anything under *concurrent sessions*; this package provides
+them:
+
+* :mod:`repro.net.protocol` -- the length-prefixed JSON wire format and
+  the typed error codes that define the retry contract;
+* :mod:`repro.net.server` -- a threaded TCP server binding each
+  connection to its own session, with a bounded worker pool, admission
+  control (``SERVER_BUSY`` instead of unbounded queueing), lock-wait
+  with deadlock-by-timeout abort, dropped-connection rollback, and
+  graceful drain shutdown;
+* :mod:`repro.net.client` -- a driver with connect/read timeouts,
+  exponential backoff with jitter, and transaction-level lock-conflict
+  retry.
+
+See ``docs/serving.md`` for the frame layout and the knobs.
+"""
+
+from repro.net.client import (
+    ConnectionLostInTransaction,
+    RemoteStatementError,
+    ReproClient,
+    ReproClientError,
+    RetryExhaustedError,
+    ServerBusyError,
+    TransientNetworkError,
+    connect,
+)
+from repro.net.protocol import (
+    LOCK_TIMEOUT,
+    PROTOCOL_VERSION,
+    SERVER_BUSY,
+    SHUTTING_DOWN,
+    SQL_ERROR,
+    ProtocolError,
+)
+from repro.net.server import NetServer
+
+__all__ = [
+    "ConnectionLostInTransaction",
+    "LOCK_TIMEOUT",
+    "NetServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteStatementError",
+    "ReproClient",
+    "ReproClientError",
+    "RetryExhaustedError",
+    "SERVER_BUSY",
+    "SHUTTING_DOWN",
+    "SQL_ERROR",
+    "ServerBusyError",
+    "TransientNetworkError",
+    "connect",
+]

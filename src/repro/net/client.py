@@ -1,0 +1,319 @@
+"""The retrying client driver for the serving layer.
+
+Retry policy (the driver half of the contract in ``docs/serving.md``):
+
+* **transient socket failures** (refused connect, reset, timeout) and
+  ``SERVER_BUSY`` rejections retry the *statement* with exponential
+  backoff plus full jitter, up to ``max_retries`` attempts -- unless an
+  explicit transaction is open, in which case the server-side session
+  (and its locks, and its pinned current time) is gone and only the
+  whole transaction can be retried;
+* ``LOCK_TIMEOUT`` aborts the server-side transaction, so
+  :meth:`ReproClient.run_transaction` retries the *transaction*: it is
+  the client-side loop the paper's Section 5.3 discussion implies for
+  serializable (repeatable-read) sessions whose lock conflicts cannot
+  be prevented at the DataBlade level;
+* ``SQL_ERROR`` never retries -- the statement itself is wrong.
+
+The driver tracks transaction state by sniffing ``BEGIN`` / ``COMMIT`` /
+``ROLLBACK`` statements, the same trick every SQL driver with implicit
+reconnects uses.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.net import protocol
+
+
+class ReproClientError(Exception):
+    """Base class for driver-side failures."""
+
+
+class TransientNetworkError(ReproClientError):
+    """Connect/read failed at the socket level; possibly retryable."""
+
+
+class ServerBusyError(ReproClientError):
+    """Admission control rejected the statement and retries ran out."""
+
+
+class ConnectionLostInTransaction(ReproClientError):
+    """The link died inside an explicit transaction; its server-side
+    session, locks, and pinned current time are gone.  Retry the whole
+    transaction (``run_transaction`` does)."""
+
+
+class RemoteStatementError(ReproClientError):
+    """The server answered with a typed error frame."""
+
+    def __init__(self, message: Dict[str, Any]) -> None:
+        self.code: str = message.get("code", protocol.INTERNAL_ERROR)
+        self.remote_message: str = message.get("message", "")
+        self.error_type: Optional[str] = message.get("error_type")
+        self.retryable: bool = bool(message.get("retryable"))
+        self.aborted_transaction: bool = bool(message.get("aborted_transaction"))
+        super().__init__(f"{self.code}: {self.remote_message}")
+
+
+class RetryExhaustedError(ReproClientError):
+    """``run_transaction`` gave up after its attempt budget."""
+
+
+def _is_begin(sql: str) -> bool:
+    return sql.lstrip().upper().startswith("BEGIN")
+
+
+def _is_end(sql: str) -> bool:
+    head = sql.lstrip().upper()
+    return head.startswith("COMMIT") or head.startswith("ROLLBACK")
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.net.server.NetServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 30.0,
+        max_retries: int = 6,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 1.0,
+        client_name: str = "repro-client",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.client_name = client_name
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self.connection_id: Optional[int] = None
+        self.in_transaction = False
+        #: Driver-side telemetry, mostly for the tests and benchmarks.
+        self.stats: Dict[str, int] = {
+            "connects": 0,
+            "statements": 0,
+            "busy_retries": 0,
+            "network_retries": 0,
+            "transaction_retries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ReproClient":
+        """(Re)connect, with backoff across transient connect failures."""
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                break
+            except OSError as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise TransientNetworkError(
+                        f"cannot connect to {self.host}:{self.port}: {exc}"
+                    ) from exc
+                self.stats["network_retries"] += 1
+                time.sleep(self._backoff(attempt))
+        sock.settimeout(self.read_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self.in_transaction = False
+        self.stats["connects"] += 1
+        protocol.write_frame(sock, protocol.hello(self.client_name))
+        reply = protocol.read_frame(sock)
+        if reply is None or reply.get("kind") != "welcome":
+            self._teardown()
+            raise TransientNetworkError(f"handshake failed: {reply!r}")
+        self.connection_id = reply.get("connection_id")
+        return self
+
+    def close(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        try:
+            protocol.write_frame(sock, protocol.quit_())
+            protocol.read_frame(sock)  # best-effort "bye"
+        except (OSError, protocol.ProtocolError):
+            pass
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self.connection_id = None
+
+    def __enter__(self) -> "ReproClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with full jitter (attempts are 1-based)."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return self._rng.uniform(self.backoff_base / 4, ceiling)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Run one statement, retrying what is safe to retry.
+
+        Returns the statement's value (rows come back as a list of
+        dicts with engine objects rendered to text).
+        """
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self.connect()
+                assert self._sock is not None
+                protocol.write_frame(self._sock, protocol.execute(sql))
+                reply = protocol.read_frame(self._sock)
+                if reply is None:
+                    raise protocol.ProtocolError("server closed the connection")
+            except (OSError, protocol.ProtocolError) as exc:
+                was_in_transaction = self.in_transaction
+                self._teardown()
+                self.in_transaction = False
+                if was_in_transaction:
+                    raise ConnectionLostInTransaction(
+                        f"connection lost mid-transaction running {sql!r}: {exc}"
+                    ) from exc
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise TransientNetworkError(
+                        f"giving up on {sql!r} after {self.max_retries} "
+                        f"network retries: {exc}"
+                    ) from exc
+                self.stats["network_retries"] += 1
+                time.sleep(self._backoff(attempt))
+                continue
+            kind = reply.get("kind")
+            if kind == "result":
+                self.stats["statements"] += 1
+                if _is_begin(sql):
+                    self.in_transaction = True
+                elif _is_end(sql):
+                    self.in_transaction = False
+                return reply.get("value")
+            if kind != "error":
+                raise ReproClientError(f"unexpected reply {reply!r}")
+            code = reply.get("code")
+            if code in (protocol.SERVER_BUSY, protocol.SHUTTING_DOWN) and not (
+                self.in_transaction and code == protocol.SHUTTING_DOWN
+            ):
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ServerBusyError(
+                        f"{code} after {self.max_retries} retries: "
+                        f"{reply.get('message')}"
+                    )
+                self.stats["busy_retries"] += 1
+                time.sleep(self._backoff(attempt))
+                continue
+            error = RemoteStatementError(reply)
+            if error.aborted_transaction:
+                self.in_transaction = False
+            raise error
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def run_transaction(
+        self,
+        body: Callable[["ReproClient"], Any],
+        *,
+        isolation: Optional[str] = None,
+        attempts: int = 8,
+    ) -> Any:
+        """Run ``body`` inside BEGIN/COMMIT, retrying lock casualties.
+
+        ``body`` receives this client and issues statements through it;
+        it must be idempotent up to its own reads (it is re-executed
+        from scratch on retry).  Retried failures: ``LOCK_TIMEOUT``
+        (the server already aborted us as a deadlock-by-timeout victim),
+        ``SERVER_BUSY`` exhaustion, and a connection lost mid-flight.
+        With ``isolation="REPEATABLE READ"`` this is the serializable
+        retry loop the Section 5.3 lock discussion calls for.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                if isolation is not None:
+                    self.execute(f"SET ISOLATION TO {isolation}")
+                self.execute("BEGIN WORK")
+                value = body(self)
+                self.execute("COMMIT WORK")
+                return value
+            except RemoteStatementError as error:
+                if error.code not in protocol.TRANSACTION_RETRYABLE:
+                    self._rollback_quietly()
+                    raise
+                last_error = error
+            except (
+                ConnectionLostInTransaction,
+                ServerBusyError,
+                TransientNetworkError,
+            ) as error:
+                last_error = error
+            self._rollback_quietly()
+            self.stats["transaction_retries"] += 1
+            time.sleep(self._backoff(attempt))
+        raise RetryExhaustedError(
+            f"transaction failed after {attempts} attempts: {last_error}"
+        ) from last_error
+
+    def _rollback_quietly(self) -> None:
+        """Best-effort ROLLBACK; the transaction may already be gone."""
+        if not self.in_transaction:
+            return
+        try:
+            self.execute("ROLLBACK WORK")
+        except ReproClientError:
+            self.in_transaction = False
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            if self._sock is None:
+                self.connect()
+            assert self._sock is not None
+            protocol.write_frame(self._sock, protocol.ping())
+            reply = protocol.read_frame(self._sock)
+            return bool(reply) and reply.get("kind") == "pong"
+        except (OSError, protocol.ProtocolError):
+            self._teardown()
+            return False
+
+
+def connect(host: str, port: int, **kwargs: Any) -> ReproClient:
+    """Convenience: build a :class:`ReproClient` and connect it."""
+    return ReproClient(host, port, **kwargs).connect()

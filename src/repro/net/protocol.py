@@ -1,0 +1,198 @@
+"""The length-prefixed wire protocol of the serving layer.
+
+A *frame* is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Every message is a JSON object with a ``kind``
+discriminator::
+
+    +----------------+---------------------------+
+    | length (4B BE) | UTF-8 JSON body (<= 16MiB)|
+    +----------------+---------------------------+
+
+Client -> server kinds:
+
+``hello``    ``{kind, protocol, client}`` -- opens the conversation
+``execute``  ``{kind, sql}``              -- run one SQL statement
+``ping``     ``{kind}``                   -- liveness probe
+``quit``     ``{kind}``                   -- orderly goodbye
+
+Server -> client kinds:
+
+``welcome``  ``{kind, protocol, server, connection_id}``
+``result``   ``{kind, value, elapsed}``   -- statement succeeded
+``error``    ``{kind, code, message, retryable, error_type,
+              aborted_transaction}``
+``pong`` / ``bye``
+
+Error *codes* are the retry contract (see ``docs/serving.md``):
+
+* ``SERVER_BUSY``     -- admission control rejected the statement; the
+  connection is fine, retry the statement after backing off;
+* ``LOCK_TIMEOUT``    -- the statement waited the server's lock-acquire
+  timeout and gave up; if it ran inside an explicit transaction the
+  server has aborted it (``aborted_transaction`` is true) and the whole
+  transaction should be retried;
+* ``SHUTTING_DOWN``   -- the server is draining; reconnect elsewhere;
+* ``SQL_ERROR``       -- the statement itself is wrong; do not retry;
+* ``PROTOCOL_ERROR`` / ``INTERNAL_ERROR`` -- framing or server bugs.
+
+Values cross the wire as JSON: rows stay dicts, and any engine-side
+object (``TimeExtent``, chronons, ...) is rendered through ``str`` --
+the serving layer is a text surface, like the CLI shell.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+PROTOCOL_VERSION = 1
+
+#: Frames above this size are refused on both sides (a corrupt length
+#: prefix must not make the reader allocate gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# -- error codes --------------------------------------------------------
+
+SERVER_BUSY = "SERVER_BUSY"
+LOCK_TIMEOUT = "LOCK_TIMEOUT"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+SQL_ERROR = "SQL_ERROR"
+PROTOCOL_ERROR = "PROTOCOL_ERROR"
+INTERNAL_ERROR = "INTERNAL_ERROR"
+
+#: Codes a driver may retry at *statement* granularity.
+STATEMENT_RETRYABLE = frozenset({SERVER_BUSY})
+#: Codes a driver may retry at *transaction* granularity.
+TRANSACTION_RETRYABLE = frozenset({SERVER_BUSY, LOCK_TIMEOUT})
+
+
+class ProtocolError(Exception):
+    """Malformed frame: bad length prefix, truncated body, or bad JSON."""
+
+
+# -- value conversion ----------------------------------------------------
+
+
+def jsonable(value: Any) -> Any:
+    """Convert an engine result into a JSON-serializable shape.
+
+    Containers are walked; scalars JSON knows pass through; everything
+    else (``TimeExtent``, enum members, ...) becomes ``str(value)``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return str(value)
+
+
+# -- framing -------------------------------------------------------------
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize *message* and send it as one frame."""
+    body = json.dumps(message, separators=(",", ":"), default=str).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the maximum")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes; ``None`` on EOF before the first byte."""
+    chunks = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({received}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError(f"frame is not a tagged object: {message!r}")
+    return message
+
+
+# -- message builders ----------------------------------------------------
+
+
+def hello(client: str = "repro-client") -> Dict[str, Any]:
+    return {"kind": "hello", "protocol": PROTOCOL_VERSION, "client": client}
+
+
+def welcome(connection_id: int, server: str = "repro-server") -> Dict[str, Any]:
+    return {
+        "kind": "welcome",
+        "protocol": PROTOCOL_VERSION,
+        "server": server,
+        "connection_id": connection_id,
+    }
+
+
+def execute(sql: str) -> Dict[str, Any]:
+    return {"kind": "execute", "sql": sql}
+
+
+def result(value: Any, elapsed: float) -> Dict[str, Any]:
+    return {"kind": "result", "value": jsonable(value), "elapsed": elapsed}
+
+
+def error(
+    code: str,
+    message: str,
+    *,
+    retryable: bool = False,
+    error_type: Optional[str] = None,
+    aborted_transaction: bool = False,
+) -> Dict[str, Any]:
+    return {
+        "kind": "error",
+        "code": code,
+        "message": message,
+        "retryable": retryable,
+        "error_type": error_type,
+        "aborted_transaction": aborted_transaction,
+    }
+
+
+def ping() -> Dict[str, Any]:
+    return {"kind": "ping"}
+
+
+def pong() -> Dict[str, Any]:
+    return {"kind": "pong"}
+
+
+def quit_() -> Dict[str, Any]:
+    return {"kind": "quit"}
+
+
+def bye() -> Dict[str, Any]:
+    return {"kind": "bye"}

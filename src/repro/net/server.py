@@ -1,0 +1,472 @@
+"""A threaded TCP front end over :class:`~repro.server.DatabaseServer`.
+
+Architecture (one process, many threads)::
+
+    accept thread ──> per-connection reader threads ──> bounded job queue
+                                                             │
+                                      worker pool (N threads)┘
+                                             │
+                              engine big lock (one statement at a time)
+
+Each accepted connection gets its *own* :class:`~repro.server.session.
+Session`, so explicit transactions, isolation levels, and the Section
+5.4 per-transaction current-time pin are per-client state, exactly as
+they would be in the paper's Informix deployment.  Statements travel
+through a bounded queue; when it is full the server answers with a
+typed ``SERVER_BUSY`` error *immediately* instead of letting latency
+grow without bound -- backpressure, not collapse.
+
+Lock conflicts block *outside* the engine: a statement that hits a
+:class:`~repro.storage.locks.LockConflictError` releases the engine and
+retries with jittered backoff until ``lock_timeout`` elapses, at which
+point the server aborts the waiting transaction (deadlock-by-timeout)
+and reports ``LOCK_TIMEOUT``.  A connection that dies mid-transaction is
+rolled back on the spot, releasing every lock it held, so one killed
+client can never wedge the rest of the fleet for longer than the
+lock-acquire timeout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import random
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.net import protocol
+from repro.server import DatabaseServer, ServerError
+from repro.server.session import Session
+from repro.storage.locks import LockConflictError
+
+#: Worker-loop poison pill.
+_STOP = object()
+
+
+class _Connection:
+    """Server-side connection state: socket + session + serialization."""
+
+    def __init__(self, conn_id: int, sock: socket.socket, session: Session) -> None:
+        self.conn_id = conn_id
+        self.sock = sock
+        self.session = session
+        #: One frame writer at a time (reader replies + worker replies).
+        self.write_lock = threading.Lock()
+        #: One in-flight statement per connection: a pipelining client
+        #: cannot get two workers racing on the same session.
+        self.exec_lock = threading.Lock()
+        self.closed = threading.Event()
+        self._drop_once = threading.Lock()
+        self._dropped = False
+
+    def begin_drop(self) -> bool:
+        """Atomically claim the teardown; True for exactly one caller."""
+        with self._drop_once:
+            if self._dropped:
+                return False
+            self._dropped = True
+            return True
+
+
+class NetServer:
+    """Serve a :class:`DatabaseServer` to concurrent TCP clients."""
+
+    def __init__(
+        self,
+        db: DatabaseServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 4,
+        queue_depth: int = 32,
+        lock_timeout: float = 2.0,
+        lock_retry_interval: float = 0.005,
+        drain_timeout: float = 10.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker thread")
+        if queue_depth < 1:
+            raise ValueError("admission queue needs capacity >= 1")
+        self.db = db
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_depth = queue_depth
+        #: How long a statement may wait for a conflicting lock before
+        #: the server gives up and aborts its transaction.
+        self.lock_timeout = lock_timeout
+        self.lock_retry_interval = lock_retry_interval
+        self.drain_timeout = drain_timeout
+        self._rng = rng if rng is not None else random.Random()
+        self._jobs: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._worker_threads: list[threading.Thread] = []
+        self._reader_threads: list[threading.Thread] = []
+        self._connections: Dict[int, _Connection] = {}
+        self._conn_lock = threading.Lock()
+        self._conn_ids = itertools.count(1)
+        self._started = False
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        # Serving counters (pulled by the ``net`` metrics collector).
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "connections_total": 0,
+            "statements": 0,
+            "statement_errors": 0,
+            "busy_rejections": 0,
+            "lock_timeouts": 0,
+            "aborted_on_disconnect": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "NetServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-net-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self.db.obs.metrics.register_collector("net", self._collect)
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    def __enter__(self) -> "NetServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Block until :meth:`shutdown` is called (or KeyboardInterrupt)."""
+        try:
+            while not self._stopped.wait(poll_interval):
+                pass
+        except KeyboardInterrupt:
+            self.shutdown()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop serving: quiesce admission, drain, abort, disconnect.
+
+        The sequence (documented in ``docs/serving.md``):
+
+        1. stop accepting connections and admitting statements -- new
+           ``execute`` frames get a ``SHUTTING_DOWN`` error;
+        2. with ``drain=True``, wait for queued and in-flight statements
+           to finish (bounded by ``drain_timeout``);
+        3. roll back every connection's open transaction so no lock
+           outlives the server;
+        4. close the client sockets and stop the worker pool.
+        """
+        if self._stopped.is_set() or not self._started:
+            self._stopped.set()
+            return
+        self._draining.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            self._wait_for_drain()
+        # Abort transactions left open by now-idle connections.
+        with self._conn_lock:
+            connections = list(self._connections.values())
+        for conn in connections:
+            with conn.exec_lock:
+                if self.db.abort_session(conn.session):
+                    self._count("aborted_on_disconnect")
+        for conn in connections:
+            self._close_socket(conn)
+        for _ in self._worker_threads:
+            self._jobs.put(_STOP)
+        for thread in self._worker_threads:
+            thread.join(timeout=self.drain_timeout)
+        for thread in self._reader_threads:
+            thread.join(timeout=1.0)
+        self._stopped.set()
+
+    close = shutdown
+
+    def _wait_for_drain(self) -> None:
+        deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                connections = list(self._connections.values())
+            busy = not self._jobs.empty() or any(
+                conn.exec_lock.locked() for conn in connections
+            )
+            if not busy:
+                return
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # Accept / read path
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._draining.is_set():
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            if self._draining.is_set():
+                try:
+                    protocol.write_frame(
+                        sock,
+                        protocol.error(
+                            protocol.SHUTTING_DOWN, "server is shutting down"
+                        ),
+                    )
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            session = self.db.create_session()
+            conn = _Connection(next(self._conn_ids), sock, session)
+            session.connection_id = conn.conn_id
+            with self._conn_lock:
+                self._connections[conn.conn_id] = conn
+            self._count("connections_total")
+            reader = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"repro-net-conn-{conn.conn_id}",
+                daemon=True,
+            )
+            self._reader_threads.append(reader)
+            reader.start()
+
+    def _serve_connection(self, conn: _Connection) -> None:
+        try:
+            while not conn.closed.is_set():
+                message = protocol.read_frame(conn.sock)
+                if message is None:
+                    break
+                kind = message.get("kind")
+                if kind == "hello":
+                    self._send(conn, protocol.welcome(conn.conn_id))
+                elif kind == "ping":
+                    self._send(conn, protocol.pong())
+                elif kind == "quit":
+                    self._send(conn, protocol.bye())
+                    break
+                elif kind == "execute":
+                    self._admit(conn, message)
+                else:
+                    self._send(
+                        conn,
+                        protocol.error(
+                            protocol.PROTOCOL_ERROR,
+                            f"unknown message kind {kind!r}",
+                        ),
+                    )
+        except (protocol.ProtocolError, OSError):
+            pass
+        finally:
+            self._drop_connection(conn)
+
+    def _admit(self, conn: _Connection, message: Dict[str, object]) -> None:
+        """Admission control: bounded queue, typed rejection when full."""
+        if self._draining.is_set():
+            self._send(
+                conn,
+                protocol.error(
+                    protocol.SHUTTING_DOWN, "server is draining; reconnect later"
+                ),
+            )
+            return
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            self._send(
+                conn,
+                protocol.error(
+                    protocol.PROTOCOL_ERROR, "execute frame carries no sql"
+                ),
+            )
+            return
+        try:
+            self._jobs.put_nowait((conn, sql, time.perf_counter()))
+        except queue.Full:
+            self._count("busy_rejections")
+            self.db.obs.inc("net.busy_rejections")
+            self._send(
+                conn,
+                protocol.error(
+                    protocol.SERVER_BUSY,
+                    f"admission queue full ({self.queue_depth} waiting)",
+                    retryable=True,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._jobs.get()
+            if item is _STOP:
+                self._jobs.task_done()
+                return
+            conn, sql, enqueued = item
+            try:
+                if conn.closed.is_set():
+                    continue
+                self.db.obs.observe(
+                    "net.queue_wait_seconds", time.perf_counter() - enqueued
+                )
+                with conn.exec_lock:
+                    reply = self._run_statement(conn, sql)
+                self._send(conn, reply)
+            finally:
+                self._jobs.task_done()
+
+    def _run_statement(self, conn: _Connection, sql: str):
+        """Execute with lock-conflict waiting outside the engine lock.
+
+        The engine raises :class:`LockConflictError` without blocking;
+        blocking here (engine released) means the lock holder can still
+        commit, so waiting actually helps.  After ``lock_timeout``
+        seconds the transaction is the victim of deadlock-by-timeout:
+        it is rolled back and the client told to retry it whole.
+        """
+        deadline = time.monotonic() + self.lock_timeout
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            try:
+                value = self.db.execute(sql, conn.session)
+            except LockConflictError as exc:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._count("lock_timeouts")
+                    self.db.obs.inc("net.lock_timeouts")
+                    aborted = self.db.abort_session(conn.session)
+                    return protocol.error(
+                        protocol.LOCK_TIMEOUT,
+                        f"gave up after {self.lock_timeout:.3f}s: {exc}",
+                        retryable=True,
+                        error_type=type(exc).__name__,
+                        aborted_transaction=aborted,
+                    )
+                attempt += 1
+                base = min(self.lock_retry_interval * (2 ** min(attempt, 5)), 0.05)
+                delay = min(remaining, base * (0.5 + self._rng.random()))
+                time.sleep(max(delay, 0.0005))
+                continue
+            except ServerError as exc:
+                self._count("statement_errors")
+                return protocol.error(
+                    protocol.SQL_ERROR,
+                    str(exc),
+                    error_type=type(exc).__name__,
+                )
+            except Exception as exc:  # pragma: no cover - server bug surface
+                self._count("statement_errors")
+                return protocol.error(
+                    protocol.INTERNAL_ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                )
+            elapsed = time.perf_counter() - started
+            self._count("statements")
+            self.db.obs.observe("net.statement_seconds", elapsed)
+            return protocol.result(value, elapsed)
+
+    # ------------------------------------------------------------------
+    # Connection teardown
+    # ------------------------------------------------------------------
+
+    def _send(self, conn: _Connection, message: Dict[str, object]) -> None:
+        if conn.closed.is_set():
+            return
+        try:
+            with conn.write_lock:
+                protocol.write_frame(conn.sock, message)
+        except OSError:
+            self._drop_connection(conn)
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        """Tear down a connection, rolling back its open transaction.
+
+        The lock-leak fix of this PR: a client that dies mid-transaction
+        used to leave its locks granted forever (``release_all`` only ran
+        on explicit commit/rollback).  Taking ``exec_lock`` first lets an
+        in-flight statement finish, then the rollback releases every lock
+        the transaction held and wakes blocked waiters.
+        """
+        if not conn.begin_drop():
+            return
+        conn.closed.set()
+        with conn.exec_lock:
+            if self.db.abort_session(conn.session):
+                self._count("aborted_on_disconnect")
+                self.db.obs.inc("net.aborted_on_disconnect")
+        self._close_socket(conn)
+        with self._conn_lock:
+            self._connections.pop(conn.conn_id, None)
+
+    def _close_socket(self, conn: _Connection) -> None:
+        conn.closed.set()
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[name] += amount
+
+    def _collect(self) -> Dict[str, float]:
+        """The ``net.*`` metrics collector (pulled at snapshot time)."""
+        with self._stats_lock:
+            stats = dict(self._stats)
+        stats["connections_open"] = self.connection_count
+        stats["queue_depth"] = self._jobs.qsize()
+        stats["queue_capacity"] = self.queue_depth
+        stats["workers"] = self.workers
+        return stats

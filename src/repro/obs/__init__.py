@@ -191,6 +191,7 @@ class Observability:
                 "acquires": locks.acquires,
                 "releases": locks.releases,
                 "conflicts": locks.conflicts,
+                "timeouts": locks.timeouts,
                 "held_resources": locks.locked_resources,
             },
         )
@@ -262,7 +263,7 @@ class Observability:
             name: value
             for name, value in sorted(snapshot.items())
             if not name.startswith(
-                ("buffer.", "locks.", "wal.", "sbspace.", "nodecache.")
+                ("buffer.", "locks.", "wal.", "sbspace.", "nodecache.", "net.")
             )
         }
         if counters:
@@ -322,13 +323,30 @@ class Observability:
         lines.append("")
         section("locks")
         lines.append(
-            "acquires {0:g}  releases {1:g}  conflicts {2:g}  held {3:g}".format(
+            "acquires {0:g}  releases {1:g}  conflicts {2:g}  "
+            "timeouts {3:g}  held {4:g}".format(
                 snapshot.get("locks.acquires", 0),
                 snapshot.get("locks.releases", 0),
                 snapshot.get("locks.conflicts", 0),
+                snapshot.get("locks.timeouts", 0),
                 snapshot.get("locks.held_resources", 0),
             )
         )
+
+        net_items = sorted(
+            (name, value)
+            for name, value in snapshot.items()
+            if name.startswith("net.")
+        )
+        if net_items:
+            lines.append("")
+            section("serving")
+            lines.append(
+                "  ".join(
+                    f"{name[len('net.'):]} {value:g}"
+                    for name, value in net_items
+                )
+            )
 
         lines.append("")
         section("write-ahead log")

@@ -14,11 +14,18 @@ callables returning a flat ``{name: number}`` mapping that are read at
 snapshot time.  Storage components (buffer pools, the lock manager, the
 WAL, sbspaces) already keep their own plain-int statistics, so they are
 exported by registering a collector -- their hot paths stay untouched.
+
+The registry is shared by every worker thread of the serving layer
+(``repro.net``), so all mutations and reads go through one re-entrant
+lock: without it, concurrent ``inc`` calls lose updates (read-modify-
+write on a dict slot) and a snapshot taken mid-update can observe a
+histogram whose ``count`` and bucket tallies disagree.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -82,31 +89,39 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._collectors: Dict[str, Callable[[], Mapping[str, float]]] = {}
+        #: Guards every map above; re-entrant because collectors pulled
+        #: during a snapshot may themselves read the registry.
+        self._lock = threading.RLock()
 
     # -- push metrics ---------------------------------------------------
 
     def inc(self, name: str, amount: float = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def set_gauge(self, name: str, value: float) -> None:
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def gauge(self, name: str) -> float:
-        return self._gauges.get(name, 0)
+        with self._lock:
+            return self._gauges.get(name, 0)
 
     def histogram(
         self, name: str, boundaries: Optional[Sequence[float]] = None
     ) -> Histogram:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = Histogram(
-                name, DEFAULT_BUCKETS if boundaries is None else boundaries
-            )
-            self._histograms[name] = histogram
-        return histogram
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(
+                    name, DEFAULT_BUCKETS if boundaries is None else boundaries
+                )
+                self._histograms[name] = histogram
+            return histogram
 
     def observe(
         self,
@@ -114,7 +129,8 @@ class MetricsRegistry:
         value: float,
         boundaries: Optional[Sequence[float]] = None,
     ) -> None:
-        self.histogram(name, boundaries).observe(value)
+        with self._lock:
+            self.histogram(name, boundaries).observe(value)
 
     # -- pull metrics ---------------------------------------------------
 
@@ -126,21 +142,26 @@ class MetricsRegistry:
         Re-registering a prefix replaces the previous collector (an index
         reopened with a fresh buffer pool keeps a single entry).
         """
-        self._collectors[prefix] = fn
+        with self._lock:
+            self._collectors[prefix] = fn
 
     def unregister_collector(self, prefix: str) -> None:
-        self._collectors.pop(prefix, None)
+        with self._lock:
+            self._collectors.pop(prefix, None)
 
     def collector_prefixes(self) -> List[str]:
-        return sorted(self._collectors)
+        with self._lock:
+            return sorted(self._collectors)
 
     # -- snapshots ------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
         """A flat name -> value map of counters, gauges, and collectors."""
-        values = dict(self._counters)
-        values.update(self._gauges)
-        for prefix, fn in self._collectors.items():
+        with self._lock:
+            values = dict(self._counters)
+            values.update(self._gauges)
+            collectors = list(self._collectors.items())
+        for prefix, fn in collectors:
             for key, value in fn().items():
                 values[f"{prefix}.{key}"] = value
         return values
@@ -159,23 +180,25 @@ class MetricsRegistry:
 
     def to_dict(self) -> Dict[str, object]:
         """Structured export (JSON-serializable)."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "collected": {
-                key: value
-                for key, value in sorted(self.snapshot().items())
-                if key not in self._counters and key not in self._gauges
-            },
-            "histograms": {
-                name: h.to_dict()
-                for name, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "collected": {
+                    key: value
+                    for key, value in sorted(self.snapshot().items())
+                    if key not in self._counters and key not in self._gauges
+                },
+                "histograms": {
+                    name: h.to_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
 
     def reset(self) -> None:
         """Zero push metrics; collectors stay registered (their sources
         own their own counters)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

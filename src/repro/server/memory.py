@@ -85,6 +85,10 @@ class MemoryManager:
     def named_exists(self, name: str) -> bool:
         return name in self._named
 
+    def named_items(self) -> List[Any]:
+        """Snapshot of the live named-memory blocks, for inspection."""
+        return list(self._named.items())
+
     def named_free(self, name: str) -> None:
         if self._named.pop(name, _MISSING) is _MISSING:
             raise NamedMemoryError(f"no named memory {name!r}")

@@ -11,6 +11,7 @@ messages, and register transaction-end callbacks.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
@@ -81,6 +82,16 @@ class DatabaseServer:
         #: index handles compare epochs and invalidate their pools.
         self.storage_epoch = 0
         self._txn_ids = itertools.count(1)
+        #: The engine big lock: statement execution is serialized, the
+        #: way SQLite serializes writers.  The serving layer overlaps
+        #: network I/O, framing, queueing, and client think-time across
+        #: connections while the core executes one statement at a time
+        #: against shared catalog/sbspace/WAL state that was built
+        #: single-threaded.  Re-entrant: ``run_script`` and UDRs may call
+        #: back into ``execute``.
+        self._engine_lock = threading.RLock()
+        #: Guards the parsed-statement LRU (shared by worker threads).
+        self._stmt_cache_lock = threading.Lock()
         #: The session internal work runs under (cost estimation etc.).
         self.system_session = Session(self)
         #: The most recent plan chosen by the optimizer (for inspection).
@@ -97,6 +108,22 @@ class DatabaseServer:
 
     def next_txn_id(self) -> int:
         return next(self._txn_ids)
+
+    def abort_session(self, session: Session) -> bool:
+        """Roll back *session*'s open transaction, if any.
+
+        The serving layer's dropped-connection and shutdown path: runs
+        under the engine lock so the rollback cannot interleave with a
+        statement, and releases every lock the transaction held (waking
+        any blocked waiters).  Returns True when a transaction was
+        aborted.
+        """
+        with self._engine_lock:
+            if not session.in_transaction:
+                return False
+            self.bind_transaction(session, session.transaction.txn_id)
+            session.rollback()
+            return True
 
     def bind_transaction(self, session: Session, txn_id: int) -> None:
         for space in self.sbspaces.values():
@@ -169,22 +196,25 @@ class DatabaseServer:
         """
         if not self.statement_cache_size:
             return ast.parse(sql_text)
-        cached = self._statement_cache.get(sql_text)
-        if cached is not None:
-            self._statement_cache.move_to_end(sql_text)
-            self._stmt_cache_hits += 1
-            return cached
+        with self._stmt_cache_lock:
+            cached = self._statement_cache.get(sql_text)
+            if cached is not None:
+                self._statement_cache.move_to_end(sql_text)
+                self._stmt_cache_hits += 1
+                return cached
         statement = ast.parse(sql_text)
         if isinstance(statement, self._INTROSPECTION):
             return statement
-        self._stmt_cache_misses += 1
-        self._statement_cache[sql_text] = statement
-        if len(self._statement_cache) > self.statement_cache_size:
-            self._statement_cache.popitem(last=False)
+        with self._stmt_cache_lock:
+            self._stmt_cache_misses += 1
+            self._statement_cache[sql_text] = statement
+            if len(self._statement_cache) > self.statement_cache_size:
+                self._statement_cache.popitem(last=False)
         return statement
 
     def clear_statement_cache(self) -> None:
-        self._statement_cache.clear()
+        with self._stmt_cache_lock:
+            self._statement_cache.clear()
 
     def execute(self, sql_text: str, session: Optional[Session] = None) -> Any:
         """Parse and execute one SQL statement.
@@ -196,24 +226,32 @@ class DatabaseServer:
         """
         if session is None:
             session = self.system_session
-        if session.in_transaction:
-            self.bind_transaction(session, session.transaction.txn_id)
-        obs = self.obs
-        if not obs.enabled:
-            return self.executor.execute(self._parse(sql_text), session)
-        parse_start = obs.metrics.timer()
-        statement = self._parse(sql_text)
-        parse_end = obs.metrics.timer()
-        if isinstance(statement, self._INTROSPECTION):
-            return self.executor.execute(statement, session)
-        kind = type(statement).__name__.lower()
-        obs.metrics.inc("sql.statements")
-        obs.metrics.inc("sql.statements." + kind)
-        with obs.span("sql." + kind, sql=sql_text) as root:
-            obs.spans.add_completed_child("sql.parse", parse_start, parse_end)
-            result = self.executor.execute(statement, session)
-        obs.metrics.observe("sql.statement_seconds", root.duration)
-        return result
+        with self._engine_lock:
+            if session.in_transaction:
+                self.bind_transaction(session, session.transaction.txn_id)
+            obs = self.obs
+            if not obs.enabled:
+                return self.executor.execute(self._parse(sql_text), session)
+            parse_start = obs.metrics.timer()
+            statement = self._parse(sql_text)
+            parse_end = obs.metrics.timer()
+            if isinstance(statement, self._INTROSPECTION):
+                return self.executor.execute(statement, session)
+            kind = type(statement).__name__.lower()
+            obs.metrics.inc("sql.statements")
+            obs.metrics.inc("sql.statements." + kind)
+            attrs = {"sql": sql_text}
+            if session.connection_id is not None:
+                # Serving-layer statements carry their connection id so
+                # SHOW SPANS can be sliced per client.
+                attrs["conn"] = session.connection_id
+            with obs.span("sql." + kind, **attrs) as root:
+                obs.spans.add_completed_child(
+                    "sql.parse", parse_start, parse_end
+                )
+                result = self.executor.execute(statement, session)
+            obs.metrics.observe("sql.statement_seconds", root.duration)
+            return result
 
     def run_script(self, script: str, session: Optional[Session] = None) -> List[Any]:
         """Execute a semicolon-separated script (BladeManager-style

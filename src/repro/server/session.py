@@ -43,6 +43,9 @@ class Session:
         self.session_id = next(Session._ids)
         self.isolation = IsolationLevel.COMMITTED_READ
         self.transaction: Optional[Transaction] = None
+        #: Set by the serving layer (``repro.net``) when this session is
+        #: bound to a network connection; tagged onto statement spans.
+        self.connection_id: Optional[int] = None
 
     # ------------------------------------------------------------------
 

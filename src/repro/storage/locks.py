@@ -8,18 +8,30 @@ transaction's isolation level.  A DataBlade developer has no control over
 this, which is why R-link-style high-concurrency protocols cannot be built
 on sbspaces.
 
-The reproduction is single-threaded; "concurrency" means interleaved
-operations issued by distinct transaction tokens.  A conflicting request
-raises :class:`LockConflictError` immediately (no blocking), which is what
-the concurrency benchmarks count.
+Since the serving layer (``repro.net``) runs real concurrent sessions,
+the manager is thread-safe: every grant table mutation happens under one
+mutex, and a condition variable lets a request *block* for a bounded
+time until conflicting locks are released.  The two behaviours the
+callers rely on:
+
+* ``acquire(txn, resource, mode)`` -- the historical no-wait form: a
+  conflicting request raises :class:`LockConflictError` immediately,
+  which is what the single-threaded concurrency benchmarks count;
+* ``acquire(txn, resource, mode, wait_timeout=seconds)`` -- block until
+  the lock is grantable or the timeout elapses, then raise
+  :class:`LockTimeoutError`.  There is no waits-for graph: deadlocks
+  resolve by timeout, after which the serving layer aborts the waiting
+  transaction (deadlock-by-timeout, the classical fallback).
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Set
+from typing import Dict, Hashable, Optional, Set
 
 
 class LockMode(enum.Enum):
@@ -48,6 +60,28 @@ class LockConflictError(RuntimeError):
         )
 
 
+class LockTimeoutError(LockConflictError):
+    """A blocking lock request gave up after ``wait_timeout`` seconds.
+
+    Subclasses :class:`LockConflictError` so callers that treat a
+    conflict as retryable need no second except clause.
+    """
+
+    def __init__(
+        self,
+        resource: Hashable,
+        mode: LockMode,
+        holders: Set[int],
+        waited: float,
+    ) -> None:
+        super().__init__(resource, mode, holders)
+        self.waited = waited
+        self.args = (
+            f"lock wait timeout ({waited:.3f}s) on {resource!r} in mode "
+            f"{mode.value}: held by transactions {sorted(holders)}",
+        )
+
+
 @dataclass
 class _LockState:
     shared: Set[int] = field(default_factory=set)
@@ -59,83 +93,136 @@ class LockManager:
 
     def __init__(self) -> None:
         self._locks: Dict[Hashable, _LockState] = defaultdict(_LockState)
-        #: Total number of conflicts observed (for the benchmarks).
+        #: One mutex guards the grant table; the condition signals waiters
+        #: whenever locks are released.
+        self._mutex = threading.RLock()
+        self._released = threading.Condition(self._mutex)
+        #: Total number of conflicts observed (for the benchmarks).  A
+        #: blocking acquire counts at most one conflict per call, however
+        #: many times it re-checks while waiting.
         self.conflicts = 0
         #: Grants and actual releases; plain ints so the hot path pays
         #: one increment, pulled by the observability collectors.
         self.acquires = 0
         self.releases = 0
+        #: Requests that timed out while blocking (deadlock-by-timeout).
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
 
-    def acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> None:
-        """Grant the lock or raise :class:`LockConflictError`.
+    def _try_grant(
+        self, txn_id: int, resource: Hashable, mode: LockMode
+    ) -> Optional[Set[int]]:
+        """Grant and return ``None``, or return the blocking holders.
 
-        Re-acquisition and S->X upgrade by the sole holder succeed.
+        Caller holds :attr:`_mutex`.  Re-acquisition and S->X upgrade by
+        the sole holder succeed.
         """
         state = self._locks[resource]
         if mode is LockMode.SHARED:
             if state.exclusive is not None and state.exclusive != txn_id:
-                self.conflicts += 1
-                raise LockConflictError(resource, mode, {state.exclusive})
+                return {state.exclusive}
             state.shared.add(txn_id)
             self.acquires += 1
-            return
+            return None
         # Exclusive request.
         others = (state.shared - {txn_id}) | (
             {state.exclusive} if state.exclusive not in (None, txn_id) else set()
         )
         if others:
-            self.conflicts += 1
-            raise LockConflictError(resource, mode, others)
+            return others
         state.shared.discard(txn_id)
         state.exclusive = txn_id
         self.acquires += 1
+        return None
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Hashable,
+        mode: LockMode,
+        wait_timeout: Optional[float] = None,
+    ) -> None:
+        """Grant the lock, or raise.
+
+        With ``wait_timeout=None`` (the default) a conflicting request
+        raises :class:`LockConflictError` immediately.  With a positive
+        timeout the call blocks until the lock becomes grantable, raising
+        :class:`LockTimeoutError` once the deadline passes.
+        """
+        with self._released:
+            blockers = self._try_grant(txn_id, resource, mode)
+            if blockers is None:
+                return
+            self.conflicts += 1
+            if not wait_timeout or wait_timeout <= 0:
+                raise LockConflictError(resource, mode, blockers)
+            deadline = time.monotonic() + wait_timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.timeouts += 1
+                    raise LockTimeoutError(resource, mode, blockers, wait_timeout)
+                self._released.wait(remaining)
+                blockers = self._try_grant(txn_id, resource, mode)
+                if blockers is None:
+                    return
 
     def release(self, txn_id: int, resource: Hashable) -> None:
         """Release this transaction's lock on *resource* (idempotent)."""
-        state = self._locks.get(resource)
-        if state is None:
-            return
-        if txn_id in state.shared or state.exclusive == txn_id:
-            self.releases += 1
-        state.shared.discard(txn_id)
-        if state.exclusive == txn_id:
-            state.exclusive = None
-        if not state.shared and state.exclusive is None:
-            del self._locks[resource]
+        with self._released:
+            state = self._locks.get(resource)
+            if state is None:
+                return
+            if txn_id in state.shared or state.exclusive == txn_id:
+                self.releases += 1
+            state.shared.discard(txn_id)
+            if state.exclusive == txn_id:
+                state.exclusive = None
+            if not state.shared and state.exclusive is None:
+                del self._locks[resource]
+            self._released.notify_all()
 
     def release_all(self, txn_id: int) -> int:
-        """Two-phase release at transaction end; returns count released."""
+        """Two-phase release at transaction end; returns count released.
+
+        Also the dropped-connection path: the serving layer rolls back a
+        transaction whose client died, and every lock it held -- however
+        it was acquired -- is released here, waking blocked waiters.
+        """
         released = 0
-        for resource in list(self._locks):
-            state = self._locks[resource]
-            if txn_id in state.shared or state.exclusive == txn_id:
-                self.release(txn_id, resource)
-                released += 1
+        with self._released:
+            for resource in list(self._locks):
+                state = self._locks[resource]
+                if txn_id in state.shared or state.exclusive == txn_id:
+                    self.release(txn_id, resource)
+                    released += 1
         return released
 
     # ------------------------------------------------------------------
 
     def holders(self, resource: Hashable) -> Set[int]:
-        state = self._locks.get(resource)
-        if state is None:
-            return set()
-        result = set(state.shared)
-        if state.exclusive is not None:
-            result.add(state.exclusive)
-        return result
+        with self._mutex:
+            state = self._locks.get(resource)
+            if state is None:
+                return set()
+            result = set(state.shared)
+            if state.exclusive is not None:
+                result.add(state.exclusive)
+            return result
 
     def mode_held(self, txn_id: int, resource: Hashable) -> LockMode | None:
-        state = self._locks.get(resource)
-        if state is None:
+        with self._mutex:
+            state = self._locks.get(resource)
+            if state is None:
+                return None
+            if state.exclusive == txn_id:
+                return LockMode.EXCLUSIVE
+            if txn_id in state.shared:
+                return LockMode.SHARED
             return None
-        if state.exclusive == txn_id:
-            return LockMode.EXCLUSIVE
-        if txn_id in state.shared:
-            return LockMode.SHARED
-        return None
 
     @property
     def locked_resources(self) -> int:
-        return len(self._locks)
+        with self._mutex:
+            return len(self._locks)

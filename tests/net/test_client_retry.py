@@ -1,0 +1,295 @@
+"""The client driver's retry machinery, against scripted fake servers
+and a real served engine."""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    NetServer,
+    ReproClient,
+    RetryExhaustedError,
+    TransientNetworkError,
+    protocol,
+)
+from repro.server import DatabaseServer
+
+
+class FakeServer:
+    """A single-threaded scripted endpoint speaking the wire protocol.
+
+    ``script`` is a list of per-connection handler callables; connection
+    *n* is driven by ``script[min(n, len(script)-1)]``.  Each handler
+    gets the connected socket after the welcome handshake was sent.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.host, self.port = self.listener.getsockname()[:2]
+        self.connections = 0
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        while True:
+            try:
+                sock, _ = self.listener.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.script) - 1)
+            handler = self.script[index]
+            self.connections += 1
+            try:
+                hello = protocol.read_frame(sock)
+                assert hello["kind"] == "hello"
+                protocol.write_frame(sock, protocol.welcome(self.connections))
+                handler(sock)
+            except (OSError, protocol.ProtocolError, AssertionError):
+                pass
+            finally:
+                sock.close()
+
+    def close(self):
+        self.listener.close()
+
+
+def serve_result(value="ok"):
+    def handler(sock):
+        while True:
+            message = protocol.read_frame(sock)
+            if message is None or message["kind"] == "quit":
+                return
+            protocol.write_frame(sock, protocol.result(value, 0.0))
+
+    return handler
+
+
+def busy_then_result(busy_count, value="ok"):
+    state = {"busy": busy_count}
+
+    def handler(sock):
+        while True:
+            message = protocol.read_frame(sock)
+            if message is None or message["kind"] == "quit":
+                return
+            if state["busy"] > 0:
+                state["busy"] -= 1
+                protocol.write_frame(
+                    sock,
+                    protocol.error(
+                        protocol.SERVER_BUSY, "full", retryable=True
+                    ),
+                )
+            else:
+                protocol.write_frame(sock, protocol.result(value, 0.0))
+
+    return handler
+
+
+def drop_on_execute(sock):
+    message = protocol.read_frame(sock)
+    if message and message["kind"] == "execute":
+        return  # close without replying: mid-statement connection loss
+
+
+def client_for(server, **kwargs):
+    kwargs.setdefault("rng", random.Random(7))
+    kwargs.setdefault("backoff_base", 0.001)
+    kwargs.setdefault("read_timeout", 5.0)
+    return ReproClient(server.host, server.port, **kwargs)
+
+
+class TestBackoff:
+    def test_backoff_grows_and_caps(self):
+        client = ReproClient(
+            "127.0.0.1",
+            1,
+            backoff_base=0.01,
+            backoff_cap=0.5,
+            rng=random.Random(3),
+        )
+        delays = [client._backoff(attempt) for attempt in range(1, 12)]
+        assert all(0.0025 <= d <= 0.5 for d in delays)
+        # The jitter ceiling doubles per attempt up to the cap.
+        assert max(delays[6:]) > max(delays[:2])
+
+    def test_jitter_varies(self):
+        client = ReproClient(
+            "127.0.0.1", 1, backoff_base=0.01, rng=random.Random(5)
+        )
+        assert len({client._backoff(4) for _ in range(8)}) > 1
+
+
+class TestStatementRetry:
+    def test_server_busy_retried_until_success(self):
+        fake = FakeServer([busy_then_result(3)])
+        try:
+            with client_for(fake, max_retries=6) as client:
+                assert client.execute("SELECT 1") == "ok"
+            assert client.stats["busy_retries"] == 3
+        finally:
+            fake.close()
+
+    def test_server_busy_exhausts(self):
+        fake = FakeServer([busy_then_result(100)])
+        try:
+            from repro.net import ServerBusyError
+
+            with client_for(fake, max_retries=2) as client:
+                with pytest.raises(ServerBusyError):
+                    client.execute("SELECT 1")
+        finally:
+            fake.close()
+
+    def test_connection_drop_outside_transaction_reconnects(self):
+        fake = FakeServer([drop_on_execute, serve_result("recovered")])
+        try:
+            with client_for(fake, max_retries=4) as client:
+                assert client.execute("SELECT 1") == "recovered"
+                assert client.stats["network_retries"] >= 1
+                assert fake.connections == 2
+        finally:
+            fake.close()
+
+    def test_connection_drop_inside_transaction_raises(self):
+        from repro.net import ConnectionLostInTransaction
+
+        fake = FakeServer([serve_result(), drop_on_execute])
+
+        def txn_then_die(sock):
+            # First statement (BEGIN) succeeds, second dies mid-flight.
+            message = protocol.read_frame(sock)
+            assert message["kind"] == "execute"
+            protocol.write_frame(sock, protocol.result("begun", 0.0))
+            protocol.read_frame(sock)
+            return
+
+        fake.script = [txn_then_die, serve_result()]
+        try:
+            with client_for(fake, max_retries=4) as client:
+                client.execute("BEGIN WORK")
+                assert client.in_transaction
+                with pytest.raises(ConnectionLostInTransaction):
+                    client.execute("INSERT INTO t VALUES (1)")
+                assert not client.in_transaction
+        finally:
+            fake.close()
+
+    def test_connect_gives_up_when_nothing_listens(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        client = ReproClient(
+            "127.0.0.1",
+            port,
+            max_retries=1,
+            backoff_base=0.001,
+            connect_timeout=0.2,
+            rng=random.Random(1),
+        )
+        with pytest.raises(TransientNetworkError):
+            client.connect()
+
+
+class TestTransactionRetry:
+    def test_lock_timeout_retries_transaction_to_success(self):
+        """Two clients hammer one serialized read-modify-write slot;
+        deadlock-by-timeout victims retry until both land."""
+        from repro.datablade import register_grtree_blade
+        from repro.temporal.chronon import Clock, format_chronon
+
+        db = DatabaseServer(clock=Clock(now=100))
+        db.create_sbspace("spc")
+        register_grtree_blade(db)
+        net = NetServer(db, workers=4, queue_depth=16, lock_timeout=0.3).start()
+        try:
+            day = format_chronon
+            with client_for(net) as setup:
+                setup.execute(
+                    "CREATE TABLE emp (name LVARCHAR, te GRT_TimeExtent_t)"
+                )
+                setup.execute(
+                    "CREATE INDEX e_te ON emp(te) USING grtree_am IN spc"
+                )
+
+            rounds = 4
+            failures = []
+
+            def worker(tag):
+                try:
+                    with client_for(net, rng=random.Random(tag)) as client:
+                        for i in range(rounds):
+                            def body(c, tag=tag, i=i):
+                                c.execute(
+                                    f"INSERT INTO emp VALUES ('{tag}_{i}', "
+                                    f"'{day(100)}, UC, {day(95)}, NOW')"
+                                )
+                                time.sleep(0.01)  # hold the X lock a beat
+                                return True
+
+                            client.run_transaction(
+                                body,
+                                isolation="REPEATABLE READ",
+                                attempts=20,
+                            )
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(tag,))
+                for tag in ("alpha", "beta")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert failures == []
+            with client_for(net) as checker:
+                rows = checker.execute("SELECT name FROM emp")
+                names = {row["name"] for row in rows}
+            expected = {
+                f"{tag}_{i}" for tag in ("alpha", "beta") for i in range(rounds)
+            }
+            assert names == expected
+            assert db.locks.locked_resources == 0
+        finally:
+            net.shutdown()
+
+    def test_retry_budget_exhausts_cleanly(self):
+        def always_lock_timeout(sock):
+            while True:
+                message = protocol.read_frame(sock)
+                if message is None or message["kind"] == "quit":
+                    return
+                if message["sql"].startswith(("BEGIN", "SET", "ROLLBACK")):
+                    protocol.write_frame(sock, protocol.result("ok", 0.0))
+                else:
+                    protocol.write_frame(
+                        sock,
+                        protocol.error(
+                            protocol.LOCK_TIMEOUT,
+                            "victim",
+                            retryable=True,
+                            aborted_transaction=True,
+                        ),
+                    )
+
+        fake = FakeServer([always_lock_timeout])
+        try:
+            with client_for(fake) as client:
+                with pytest.raises(RetryExhaustedError):
+                    client.run_transaction(
+                        lambda c: c.execute("INSERT INTO t VALUES (1)"),
+                        attempts=3,
+                    )
+            assert client.stats["transaction_retries"] == 3
+        finally:
+            fake.close()

@@ -1,0 +1,147 @@
+"""Section 5.4 under real concurrency: each session pins its own
+transaction-start current time.
+
+The paper: the GR-tree blade samples the current time once per
+transaction into named memory (there is no transaction-begin event to
+hook, so the first index use samples) and frees it through the
+transaction-end callback.  Served concurrently, that means two clients
+whose transactions start at different clock values must each see a
+*stable* resolution of ``UC``/``NOW`` for their whole transaction --
+stable within the transaction, independent across sessions.
+
+The observable: a tuple valid ``[95, NOW]``.  A transaction pinned at
+``now = 100`` resolves the tuple's valid-time end to 100, so a query
+window starting at 150 misses it; a transaction pinned at ``now = 200``
+resolves it to 200 and the same window hits it.
+"""
+
+import threading
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.net import NetServer, ReproClient
+from repro.server import DatabaseServer
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def day(c):
+    return format_chronon(c)
+
+
+#: Query window [150, 160] in both valid and transaction time: only
+#: overlaps the [95, NOW] tuple once NOW resolves past 150.
+LATE_WINDOW = (
+    f"SELECT name FROM emp WHERE "
+    f"Overlaps(te, '{day(150)}, {day(160)}, {day(150)}, {day(160)}')"
+)
+
+
+@pytest.fixture()
+def served():
+    db = DatabaseServer(clock=Clock(now=100))
+    db.create_sbspace("spc")
+    register_grtree_blade(db)
+    net = NetServer(db, workers=4, queue_depth=16).start()
+    with ReproClient(net.host, net.port).connect() as setup:
+        setup.execute("CREATE TABLE emp (name LVARCHAR, te GRT_TimeExtent_t)")
+        setup.execute("CREATE INDEX e_te ON emp(te) USING grtree_am IN spc")
+        setup.execute(
+            f"INSERT INTO emp VALUES ('alice', "
+            f"'{day(100)}, UC, {day(95)}, NOW')"
+        )
+    yield db, net
+    net.shutdown()
+
+
+class TestCurrentTimePinning:
+    def test_pins_are_stable_within_and_independent_across_sessions(
+        self, served
+    ):
+        db, net = served
+        a = ReproClient(net.host, net.port).connect()
+        b = ReproClient(net.host, net.port).connect()
+        try:
+            # A begins while now=100 and touches the index, pinning 100.
+            a.execute("BEGIN WORK")
+            assert a.execute(LATE_WINDOW) == []
+
+            # The world moves on; A must not notice.
+            db.clock.advance(100)  # now = 200
+
+            # B begins at now=200 and pins 200: same query, other answer.
+            b.execute("BEGIN WORK")
+            assert [r["name"] for r in b.execute(LATE_WINDOW)] == ["alice"]
+
+            # A's pin is untouched by B's transaction...
+            assert a.execute(LATE_WINDOW) == []
+            # ...and B's is untouched by A re-querying.
+            assert [r["name"] for r in b.execute(LATE_WINDOW)] == ["alice"]
+
+            # Server-side: two distinct named-memory pins, one per session.
+            assert self._pins(db) == {100, 200}
+
+            a.execute("COMMIT WORK")
+            b.execute("COMMIT WORK")
+            # Transaction-end callbacks freed both pins.
+            assert self._pins(db) == set()
+
+            # A fresh transaction on A samples the new clock.
+            a.execute("BEGIN WORK")
+            assert [r["name"] for r in a.execute(LATE_WINDOW)] == ["alice"]
+            a.execute("ROLLBACK WORK")
+        finally:
+            a.close()
+            b.close()
+
+    @staticmethod
+    def _pins(db):
+        """Every live per-session current-time pin in named memory."""
+        return {
+            value
+            for key, value in db.memory.named_items()
+            if key.startswith("grt_now.session")
+        }
+
+    def test_interleaved_threads_never_cross_pins(self, served):
+        """Two sessions interleaving statements from threads: each
+        session's NOW stays its own for the life of its transaction."""
+        db, net = served
+        barrier = threading.Barrier(2, timeout=30)
+        failures = []
+
+        def run(tag, expected_names):
+            try:
+                with ReproClient(net.host, net.port).connect() as client:
+                    barrier.wait()  # connect together
+                    if tag == "early":
+                        client.execute("BEGIN WORK")
+                        client.execute(LATE_WINDOW)  # pin now=100
+                    barrier.wait()  # now the clock moves
+                    if tag == "early":
+                        barrier.wait()
+                    else:
+                        db.clock.advance(100)  # now = 200
+                        client.execute("BEGIN WORK")
+                        client.execute(LATE_WINDOW)  # pin now=200
+                        barrier.wait()
+                    # Both transactions live; hammer queries interleaved.
+                    for _ in range(10):
+                        rows = client.execute(LATE_WINDOW)
+                        names = sorted(r["name"] for r in rows)
+                        if names != expected_names:
+                            failures.append((tag, names))
+                    client.execute("COMMIT WORK")
+            except Exception as exc:  # pragma: no cover
+                failures.append((tag, repr(exc)))
+
+        threads = [
+            threading.Thread(target=run, args=("early", [])),
+            threading.Thread(target=run, args=("late", ["alice"])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert failures == []
+        assert db.locks.locked_resources == 0

@@ -1,0 +1,143 @@
+"""Wire-protocol framing: roundtrips, EOF semantics, malformed frames."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.net import protocol
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestRoundtrip:
+    def test_execute_roundtrip(self):
+        a, b = pair()
+        try:
+            protocol.write_frame(a, protocol.execute("SELECT 1"))
+            message = protocol.read_frame(b)
+            assert message == {"kind": "execute", "sql": "SELECT 1"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_sequence(self):
+        a, b = pair()
+        try:
+            for i in range(50):
+                protocol.write_frame(a, protocol.execute(f"SELECT {i}"))
+            for i in range(50):
+                assert protocol.read_frame(b)["sql"] == f"SELECT {i}"
+        finally:
+            a.close()
+            b.close()
+
+    def test_result_carries_jsonable_value(self):
+        a, b = pair()
+        try:
+            protocol.write_frame(
+                a, protocol.result([{"n": 1, "s": "x"}], elapsed=0.25)
+            )
+            message = protocol.read_frame(b)
+            assert message["kind"] == "result"
+            assert message["value"] == [{"n": 1, "s": "x"}]
+            assert message["elapsed"] == 0.25
+        finally:
+            a.close()
+            b.close()
+
+    def test_error_frame_fields(self):
+        message = protocol.error(
+            protocol.LOCK_TIMEOUT,
+            "gave up",
+            retryable=True,
+            error_type="LockTimeoutError",
+            aborted_transaction=True,
+        )
+        assert message["retryable"] is True
+        assert message["aborted_transaction"] is True
+        assert message["code"] == protocol.LOCK_TIMEOUT
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert protocol.jsonable(value) == value
+
+    def test_containers_walked(self):
+        assert protocol.jsonable({"a": [1, (2, 3)]}) == {"a": [1, [2, 3]]}
+
+    def test_engine_objects_become_text(self):
+        from repro.temporal.extent import TimeExtent
+        from repro.temporal.variables import NOW, UC
+
+        extent = TimeExtent(1, UC, 1, NOW)
+        rendered = protocol.jsonable([{"te": extent}])
+        assert rendered == [{"te": str(extent)}]
+
+    def test_non_string_keys_coerced(self):
+        assert protocol.jsonable({1: "x"}) == {"1": "x"}
+
+
+class TestEofAndErrors:
+    def test_clean_eof_returns_none(self):
+        a, b = pair()
+        a.close()
+        try:
+            assert protocol.read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_header_raises(self):
+        a, b = pair()
+        try:
+            a.sendall(b"\x00\x00")
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_body_raises(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b'{"kind"')
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_refused(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_json_refused(self):
+        a, b = pair()
+        try:
+            body = b"not json"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_untagged_object_refused(self):
+        a, b = pair()
+        try:
+            body = b'{"no": "kind"}'
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
