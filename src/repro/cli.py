@@ -19,6 +19,7 @@ Besides SQL, the shell accepts backslash commands:
 ``\\messages [CLASS]``                 dump collected trace messages
 ``\\stats [json]``                     onstat-style metrics report
 ``\\spans [json]``                     recorded statement span trees
+``\\faults``                           armed failpoints + the catalog
 ``\\catalog``                          list tables, indices, AMs, opclasses
 ``\\prefer on|off``                    toggle the virtual-index directive
 ``\\quit``                             leave
@@ -31,6 +32,7 @@ import json
 import sys
 from typing import Any, List, Optional
 
+from repro.faults import FaultInjected
 from repro.server import DatabaseServer, ServerError
 from repro.temporal.chronon import Granularity
 
@@ -54,7 +56,9 @@ class Shell:
             return
         try:
             result = self.server.execute(line, self.session)
-        except ServerError as exc:
+        except (ServerError, FaultInjected) as exc:
+            # FaultInjected is an ordinary statement failure (the engine
+            # rolled back); SimulatedCrash stays fatal on purpose.
             print(f"error: {exc}", file=out)
             return
         self._render(result, out)
@@ -139,6 +143,8 @@ class Shell:
                 )
             else:
                 print(self.server.obs.spans.format_trees(), file=out)
+        elif command == "faults":
+            self._faults(out)
         elif command == "catalog":
             self._catalog(out)
         elif command == "prefer":
@@ -177,6 +183,20 @@ class Shell:
             return
         self._installed.add(blade)
         print(f"DataBlade {blade} registered", file=out)
+
+    def _faults(self, out) -> None:
+        from repro.faults import CATALOG
+
+        registry = self.server.faults
+        if registry is None:
+            print("no failpoints armed", file=out)
+        else:
+            # Disarmed points keep their hit counters (marked "off").
+            for line in registry.report_lines():
+                print(line, file=out)
+        print("catalog:", file=out)
+        for name in sorted(CATALOG):
+            print(f"  {name:<20} {CATALOG[name]}", file=out)
 
     def _clock(self, args: List[str], out) -> None:
         clock = self.server.clock

@@ -155,7 +155,11 @@ class GRTreeDataBlade:
 
     def _attach_tree(self, td: IndexDescriptor, blob: BladeBlob, meta_page, create):
         capacity, node_cache = self._cache_sizes(td)
-        pool = BufferPool(blob.page_store(), capacity=capacity)
+        pool = BufferPool(
+            blob.page_store(),
+            capacity=capacity,
+            faults=getattr(self.server, "faults", None),
+        )
         store = GRNodeStore(pool, node_cache_size=node_cache)
         if create:
             tree = GRTree.create(
@@ -174,6 +178,7 @@ class GRTreeDataBlade:
         td.user_data["blob"] = blob
         td.user_data["pool"] = pool
         td.user_data["store"] = store
+        td.user_data["epoch"] = self.server.storage_epoch
         return tree
 
     # ------------------------------------------------------------------
@@ -290,13 +295,24 @@ class GRTreeDataBlade:
         td.user_data["blob"] = blob
         td.user_data["pool"] = pool
         td.user_data["store"] = entry["store"]
+        td.user_data["epoch"] = entry["epoch"]
         return True
 
     def grt_open(self, td: IndexDescriptor) -> int:
         if "tree" in td.user_data:
-            self._trace("grt_open", 1, "invoked right after grt_create; exit")
-            self._sample_current_time(td.session)
-            return 0
+            if td.user_data.get("epoch") == self.server.storage_epoch:
+                self._trace(
+                    "grt_open", 1, "invoked right after grt_create; exit"
+                )
+                self._sample_current_time(td.session)
+                return 0
+            # The attachment survived an abnormal unwind -- a crash or an
+            # error that interrupted grt_close before it could clean up --
+            # and storage has since been rewritten underneath it (rollback
+            # or WAL recovery bumps the epoch).  Reusing the stale tree
+            # would resurrect rolled-back entries from its dirty pool.
+            self._trace("grt_open", 1, "discard stale Tree attachment")
+            td.user_data.clear()
         if self.handle_cache and self._revive_handle(td):
             self._sample_current_time(td.session)
             return 0
@@ -334,6 +350,7 @@ class GRTreeDataBlade:
         td.user_data.pop("blob", None)
         td.user_data.pop("pool", None)
         td.user_data.pop("store", None)
+        td.user_data.pop("epoch", None)
         return 0
 
     # -- scanning ---------------------------------------------------------

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+See :mod:`repro.faults.registry` for the model and
+``docs/fault-injection.md`` for the failpoint catalog, the
+``SET FAULT`` statement, and the crash harness.
+"""
+
+from repro.faults.registry import (
+    ACTIONS,
+    CATALOG,
+    FaultInjected,
+    FaultPoint,
+    FaultRegistry,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CATALOG",
+    "FaultInjected",
+    "FaultPoint",
+    "FaultRegistry",
+    "SimulatedCrash",
+]

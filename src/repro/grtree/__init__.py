@@ -9,6 +9,7 @@ dimensions) and the ``Hidden`` flag (tracking growing stairs temporarily
 hidden under taller fixed rectangles, Figure 4(c)).
 """
 
+from repro.grtree.check import TreeInvariantError, check_tree, verify_tree
 from repro.grtree.cursor import Cursor
 from repro.grtree.entries import GREntry, Predicate, bound_entries
 from repro.grtree.node import GRNode, GRNodeStore
@@ -23,5 +24,8 @@ __all__ = [
     "GRNode",
     "GRNodeStore",
     "GRTree",
+    "TreeInvariantError",
     "bulk_load",
+    "check_tree",
+    "verify_tree",
 ]

@@ -95,12 +95,17 @@ def jsonable(value: Any) -> Any:
 # -- framing -------------------------------------------------------------
 
 
-def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Serialize *message* and send it as one frame."""
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize *message* to its on-wire bytes (header + body)."""
     body = json.dumps(message, separators=(",", ":"), default=str).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(body)} bytes exceeds the maximum")
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.pack(len(body)) + body
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize *message* and send it as one frame."""
+    sock.sendall(encode_frame(message))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:

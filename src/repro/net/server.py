@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Dict, Optional, Tuple
 
+from repro.faults import SimulatedCrash
 from repro.net import protocol
 from repro.server import DatabaseServer, ServerError
 from repro.server.session import Session
@@ -278,6 +279,12 @@ class NetServer:
                 message = protocol.read_frame(conn.sock)
                 if message is None:
                     break
+                faults = self.db.faults
+                if faults is not None and faults.fire_action("net.recv"):
+                    # The frame is "lost" in the server: sever the link
+                    # without a reply, as a mid-receive failure would.
+                    self.db.obs.inc("net.fault_drops")
+                    break
                 kind = message.get("kind")
                 if kind == "hello":
                     self._send(conn, protocol.welcome(conn.conn_id))
@@ -354,6 +361,16 @@ class NetServer:
                 with conn.exec_lock:
                     reply = self._run_statement(conn, sql)
                 self._send(conn, reply)
+            except SimulatedCrash:
+                # A crash failpoint fired inside the engine.  A shared
+                # server cannot stay wedged for its other clients, so
+                # over the wire a "crash" behaves like an instant
+                # restart-and-recover: the connection is severed without
+                # a reply and its transaction is rolled back (true
+                # frozen-state crashes belong to the embedded harness,
+                # tests/faults/harness.py).
+                self.db.obs.inc("net.fault_crashes")
+                self._drop_connection(conn)
             finally:
                 self._jobs.task_done()
 
@@ -416,7 +433,31 @@ class NetServer:
     def _send(self, conn: _Connection, message: Dict[str, object]) -> None:
         if conn.closed.is_set():
             return
+        faults = self.db.faults
         try:
+            if faults is not None:
+                payload = protocol.encode_frame(message)
+                try:
+                    payload, severed = faults.torn_payload("net.send", payload)
+                except SimulatedCrash:
+                    payload, severed = b"", True
+                if severed:
+                    # Send whatever survived (nothing for a plain drop,
+                    # a truncated or corrupted frame otherwise), then
+                    # kill the link: the client sees a dead connection
+                    # or a protocol error, never a valid reply.
+                    self.db.obs.inc("net.fault_drops")
+                    with conn.write_lock:
+                        if payload:
+                            try:
+                                conn.sock.sendall(payload)
+                            except OSError:
+                                pass
+                    self._drop_connection(conn)
+                    return
+                with conn.write_lock:
+                    conn.sock.sendall(payload)
+                return
             with conn.write_lock:
                 protocol.write_frame(conn.sock, message)
         except OSError:

@@ -79,6 +79,8 @@ class Observability:
         #: open GR-tree index, mirroring :attr:`pools`).
         self.node_caches: Dict[str, Any] = {}
         self._node_cache_bases: Dict[str, Dict[str, float]] = {}
+        #: Fault-injection registry, when one is attached (``SET FAULT``).
+        self.faults_registry = None
 
     # ------------------------------------------------------------------
     # Gating
@@ -202,6 +204,11 @@ class Observability:
     def attach_sbspace(self, space) -> None:
         self.metrics.register_collector(f"sbspace.{space.name}", space.stats)
 
+    def attach_faults(self, registry) -> None:
+        """Export failpoint hit/trigger counters as ``faults.*``."""
+        self.faults_registry = registry
+        self.metrics.register_collector("faults", registry.stats)
+
     # ------------------------------------------------------------------
     # Aggregation and export
     # ------------------------------------------------------------------
@@ -263,7 +270,15 @@ class Observability:
             name: value
             for name, value in sorted(snapshot.items())
             if not name.startswith(
-                ("buffer.", "locks.", "wal.", "sbspace.", "nodecache.", "net.")
+                (
+                    "buffer.",
+                    "locks.",
+                    "wal.",
+                    "sbspace.",
+                    "nodecache.",
+                    "net.",
+                    "faults.",
+                )
             )
         }
         if counters:
@@ -377,6 +392,11 @@ class Observability:
                     if name.startswith(prefix)
                 )
                 lines.append(f"{space}: {fields}")
+
+        if self.faults_registry is not None:
+            lines.append("")
+            section("faults")
+            lines.extend(self.faults_registry.report_lines())
 
         if self.trace is not None:
             lines.append("")

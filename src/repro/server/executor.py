@@ -552,6 +552,27 @@ class Executor:
         self.server.trace.set_level(stmt.trace_class, stmt.level)
         return f"trace class {stmt.trace_class} set to level {stmt.level}"
 
+    def _set_fault(self, stmt: ast.SetFault, session) -> str:
+        registry = self.server.ensure_faults()
+        if stmt.action == "off":
+            if stmt.name is None:
+                registry.clear_all()
+                return "all faults cleared"
+            registry.clear_fault(stmt.name)
+            return f"fault '{stmt.name}' cleared"
+        try:
+            point = registry.set_fault(
+                stmt.name,
+                stmt.action,
+                hit=stmt.hit,
+                probability=stmt.probability,
+                times=stmt.times,
+                seed=stmt.seed,
+            )
+        except ValueError as exc:
+            raise SqlError(str(exc)) from None
+        return f"fault '{stmt.name}' armed: {point.describe()}"
+
     # ------------------------------------------------------------------
     # Expression evaluation on rows (seqscan and residual filters)
     # ------------------------------------------------------------------
@@ -665,4 +686,5 @@ class Executor:
         ast.ShowStats: _show_stats,
         ast.ShowSpans: _show_spans,
         ast.SetTraceClass: _set_trace_class,
+        ast.SetFault: _set_fault,
     }

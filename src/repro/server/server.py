@@ -43,6 +43,7 @@ class DatabaseServer:
         buffer_capacity: int = 64,
         node_cache_size: int = 128,
         statement_cache_size: int = 64,
+        faults=None,
     ) -> None:
         self.clock = clock if clock is not None else Clock(granularity=granularity)
         self.page_size = page_size
@@ -64,6 +65,12 @@ class DatabaseServer:
         self.obs.attach_lock_manager(self.locks)
         self.obs.attach_wal(self.wal)
         self.sbspaces: Dict[str, Sbspace] = {}
+        #: Fault-injection registry (``repro.faults``); ``None`` keeps
+        #: every instrumented path at a single attribute test.
+        self.faults = None
+        if faults is not None:
+            self.faults = faults
+            self._wire_faults()
         self.executor = Executor(self)
         self._statement_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
         self._stmt_cache_hits = 0
@@ -98,6 +105,34 @@ class DatabaseServer:
         self.last_plan = None
         #: Optimizer directive: always use an applicable virtual index.
         self.prefer_virtual_index = False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def ensure_faults(self):
+        """Return the fault registry, creating and wiring one lazily.
+
+        ``SET FAULT`` calls this, so a wire client can arm failpoints on
+        a server that was started without a registry.
+        """
+        if self.faults is None:
+            from repro.faults import FaultRegistry
+
+            self.faults = FaultRegistry()
+            self._wire_faults()
+        return self.faults
+
+    def _wire_faults(self) -> None:
+        """Thread the registry through every instrumented component."""
+        registry = self.faults
+        self.wal.faults = registry
+        self.locks.faults = registry
+        for space in self.sbspaces.values():
+            space.faults = registry
+        for pool in self.obs.pools.values():
+            pool.faults = registry
+        self.obs.attach_faults(registry)
 
     # ------------------------------------------------------------------
     # Sessions and transactions
@@ -152,7 +187,11 @@ class DatabaseServer:
         if key in self.sbspaces:
             raise CatalogError(f"sbspace {name} already exists")
         space = Sbspace(
-            name, page_size=self.page_size, lock_manager=self.locks, wal=self.wal
+            name,
+            page_size=self.page_size,
+            lock_manager=self.locks,
+            wal=self.wal,
+            faults=self.faults,
         )
         self.sbspaces[key] = space
         self.obs.attach_sbspace(space)
@@ -183,7 +222,7 @@ class DatabaseServer:
 
     #: Statements that inspect observability state; they run unspanned so
     #: ``SHOW SPANS`` never renders its own half-open root span.
-    _INTROSPECTION = (ast.ShowStats, ast.ShowSpans, ast.SetTraceClass)
+    _INTROSPECTION = (ast.ShowStats, ast.ShowSpans, ast.SetTraceClass, ast.SetFault)
 
     def _parse(self, sql_text: str) -> ast.Statement:
         """Parse through the LRU statement cache, keyed by SQL text.

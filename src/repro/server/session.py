@@ -16,6 +16,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.faults import SimulatedCrash
 from repro.server.errors import TransactionError
 from repro.server.memory import Duration
 from repro.storage.locks import IsolationLevel
@@ -119,6 +120,12 @@ class _Autocommit:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if not self.started:
+            return
+        if exc_type is not None and issubclass(exc_type, SimulatedCrash):
+            # The engine "died" mid-statement: a real crash never gets
+            # to run rollback, so neither does a simulated one.  All
+            # volatile state stays frozen; the crash-consistency harness
+            # recovers from the WAL instead.
             return
         if exc_type is None:
             self.session.commit()

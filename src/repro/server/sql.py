@@ -250,12 +250,27 @@ class SetTraceClass:
     level: int
 
 
+@dataclass
+class SetFault:
+    """``SET FAULT '<name>' <action> [HIT n] [PROBABILITY p] [SEED s]
+    [TIMES n | FOREVER]`` / ``SET FAULT '<name>' OFF`` / ``SET FAULT ALL
+    OFF`` -- arm or disarm a deterministic failpoint (``repro.faults``).
+    """
+
+    name: Optional[str]  # None means ALL (only valid with action 'off')
+    action: str          # 'raise' | 'crash' | 'torn' | 'corrupt' | 'off'
+    hit: Optional[int] = None
+    probability: Optional[float] = None
+    seed: int = 0
+    times: Optional[int] = 1
+
+
 Statement = Union[
     CreateTable, DropTable, CreateFunction, DropFunction, CreateAccessMethod,
     DropAccessMethod, CreateOpclass, DropOpclass, CreateIndex, DropIndex,
     Insert, Select, Delete, Update, BeginWork, CommitWork, RollbackWork,
     SetIsolation, CheckIndex, UpdateStatistics, Load, Unload,
-    ShowStats, ShowSpans, SetTraceClass,
+    ShowStats, ShowSpans, SetTraceClass, SetFault,
 ]
 
 # ----------------------------------------------------------------------
@@ -396,6 +411,8 @@ class _Parser:
             self.next()
             if self.at_keyword("TRACE"):
                 return self._set_trace_class()
+            if self.at_keyword("FAULT"):
+                return self._set_fault()
             self.expect_keyword("ISOLATION")
             self.expect_keyword("TO")
             words = []
@@ -429,6 +446,62 @@ class _Parser:
             )
         self.done()
         return SetTraceClass(trace_class, int(float(token.value)))
+
+    def _set_fault(self) -> SetFault:
+        self.expect_keyword("FAULT")
+        if self.accept_keyword("ALL"):
+            self.expect_keyword("OFF")
+            self.done()
+            return SetFault(name=None, action="off")
+        token = self.next()
+        if token.kind not in ("string", "word"):
+            raise SqlError(
+                f"SET FAULT needs a failpoint name, got {token.value!r}"
+            )
+        name = token.value
+        if self.accept_keyword("OFF"):
+            self.done()
+            return SetFault(name=name, action="off")
+        action_token = self.next()
+        if action_token.kind != "word":
+            raise SqlError(
+                f"SET FAULT needs an action, got {action_token.value!r}"
+            )
+        action = action_token.value.lower()
+        hit = probability = None
+        seed = 0
+        times: Optional[int] = 1
+        while self.peek() is not None and self.peek().kind == "word":
+            if self.accept_keyword("HIT"):
+                hit = self._number("SET FAULT ... HIT", integral=True)
+            elif self.accept_keyword("PROBABILITY"):
+                probability = self._number("SET FAULT ... PROBABILITY")
+            elif self.accept_keyword("SEED"):
+                seed = self._number("SET FAULT ... SEED", integral=True)
+            elif self.accept_keyword("TIMES"):
+                times = self._number("SET FAULT ... TIMES", integral=True)
+            elif self.accept_keyword("FOREVER"):
+                times = None
+            else:
+                raise SqlError(
+                    f"unexpected SET FAULT option {self.peek().value!r}"
+                )
+        self.done()
+        return SetFault(
+            name=name,
+            action=action,
+            hit=hit,
+            probability=probability,
+            seed=seed,
+            times=times,
+        )
+
+    def _number(self, context: str, integral: bool = False):
+        token = self.next()
+        if token.kind != "number":
+            raise SqlError(f"{context} needs a number, got {token.value!r}")
+        value = float(token.value)
+        return int(value) if integral else value
 
     def _show(self) -> Statement:
         self.expect_keyword("SHOW")

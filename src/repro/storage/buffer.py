@@ -78,11 +78,13 @@ class IOStats:
 class BufferPool:
     """Write-back LRU cache of pages over a :class:`PageStore`."""
 
-    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+    def __init__(self, store: PageStore, capacity: int = 64, faults=None) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.store = store
         self.capacity = capacity
+        #: Optional :class:`repro.faults.FaultRegistry`.
+        self.faults = faults
         self.stats = IOStats()
         # page_id -> (data, dirty); insertion order == recency order.
         self._frames: "OrderedDict[int, tuple[bytes, bool]]" = OrderedDict()
@@ -130,6 +132,8 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write back every dirty frame (keeps frames resident)."""
+        if self.faults is not None:
+            self.faults.hit("buffer.flush")
         for page_id, (data, dirty) in list(self._frames.items()):
             if dirty:
                 self.store.write_page(page_id, data)

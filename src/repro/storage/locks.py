@@ -91,7 +91,9 @@ class _LockState:
 class LockManager:
     """Grants S/X locks to transaction ids over hashable resources."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults=None) -> None:
+        #: Optional :class:`repro.faults.FaultRegistry`.
+        self.faults = faults
         self._locks: Dict[Hashable, _LockState] = defaultdict(_LockState)
         #: One mutex guards the grant table; the condition signals waiters
         #: whenever locks are released.
@@ -150,6 +152,8 @@ class LockManager:
         timeout the call blocks until the lock becomes grantable, raising
         :class:`LockTimeoutError` once the deadline passes.
         """
+        if self.faults is not None:
+            self.faults.hit("lock.acquire")
         with self._released:
             blockers = self._try_grant(txn_id, resource, mode)
             if blockers is None:

@@ -29,9 +29,11 @@ class OSFilePageStore(PageStore):
     list costs no extra storage -- the classic slotted-file trick.
     """
 
-    def __init__(self, path: str, page_size: int = PAGE_SIZE) -> None:
+    def __init__(self, path: str, page_size: int = PAGE_SIZE, faults=None) -> None:
         super().__init__(page_size)
         self.path = path
+        #: Optional :class:`repro.faults.FaultRegistry`.
+        self.faults = faults
         create = not os.path.exists(path) or os.path.getsize(path) == 0
         self._file = open(path, "r+b" if not create else "w+b")
         if create:
@@ -83,14 +85,25 @@ class OSFilePageStore(PageStore):
     def read_page(self, page_id: int) -> bytes:
         if page_id >= self._next_id:
             raise KeyError(f"page {page_id} is not allocated")
+        if self.faults is not None:
+            self.faults.hit("osfile.read")
         self._file.seek(self._offset(page_id))
         return self._file.read(self.page_size)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         if page_id >= self._next_id:
             raise KeyError(f"page {page_id} is not allocated")
+        data = self._check_data(data)
+        if self.faults is not None:
+            # A torn write here really lands on disk: there is no WAL
+            # behind an OS file (paper Section 5.3 -- "all ... recovery
+            # protocols must be implemented by the access-method
+            # developer"), so only a checksum wrapper can catch it.
+            self._file.seek(self._offset(page_id))
+            old = self._file.read(self.page_size)
+            data = self.faults.on_write("osfile.write", data, old)
         self._file.seek(self._offset(page_id))
-        self._file.write(self._check_data(data))
+        self._file.write(data)
 
     def allocate_page(self) -> int:
         if self._free_head != _NO_PAGE:

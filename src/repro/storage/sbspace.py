@@ -81,6 +81,9 @@ class SmartBlob(PageStore):
     # -- PageStore interface -------------------------------------------
 
     def read_page(self, page_id: int) -> bytes:
+        faults = self._space.faults
+        if faults is not None:
+            faults.hit("sbspace.page_read")
         self._space.stats_page_reads += 1
         try:
             return self._pages[page_id]
@@ -93,11 +96,17 @@ class SmartBlob(PageStore):
         if page_id not in self._pages:
             raise SbspaceError(f"page {page_id} not allocated in {self.handle}")
         data = self._check_data(data)
+        stored = data
+        faults = self._space.faults
+        if faults is not None:
+            # A torn/corrupt write mangles what lands on the page, but
+            # the WAL keeps the *intended* after-image: redo heals it.
+            stored = faults.on_write("sbspace.page_write", data, self._pages[page_id])
         self._space.stats_page_writes += 1
         self._space._log_page_write(
             self.handle, page_id, before=self._pages[page_id], after=data
         )
-        self._pages[page_id] = data
+        self._pages[page_id] = stored
 
     def allocate_page(self) -> int:
         page_id = self._free.pop() if self._free else self._next_id
@@ -175,11 +184,14 @@ class Sbspace:
         page_size: int = PAGE_SIZE,
         lock_manager: Optional[LockManager] = None,
         wal: Optional[WriteAheadLog] = None,
+        faults=None,
     ) -> None:
         self.name = name
         self.page_size = page_size
         self.locks = lock_manager
         self.wal = wal
+        #: Optional :class:`repro.faults.FaultRegistry`.
+        self.faults = faults
         self._objects: Dict[str, SmartBlob] = {}
         self._sequence = itertools.count(1)
         self._current_txn: Optional[int] = None
@@ -265,6 +277,8 @@ class Sbspace:
         isolation: IsolationLevel = IsolationLevel.COMMITTED_READ,
     ) -> SmartBlob:
         """Open a large object, acquiring its object-level lock."""
+        if self.faults is not None:
+            self.faults.hit("sbspace.open")
         blob = self.get(handle)
         if self.locks is not None and txn_id is not None:
             if not (mode is OpenMode.READ and isolation is IsolationLevel.DIRTY_READ):
@@ -340,6 +354,28 @@ class Sbspace:
 
     def _reset_for_recovery(self) -> None:
         self._objects.clear()
+
+    def _finish_recovery(self) -> None:
+        """Rebuild derived state the log does not record directly.
+
+        Without this, a recovered space would hand out handle sequence
+        numbers starting from 1 again: the next ``create()`` would mint
+        a handle colliding with a recovered large object and silently
+        replace it in ``_objects`` -- committed data lost to a *new*
+        transaction after a perfectly good recovery.  (Found by the WAL
+        replay idempotency test.)  Free lists are likewise rebuilt so a
+        recovered blob allocates pages the same way a live one would.
+        """
+        max_seq = 0
+        for value, blob in self._objects.items():
+            if value.startswith(_HANDLE_PREFIX):
+                digits = value[len(_HANDLE_PREFIX) :].rstrip("f")
+                if digits.isdigit():
+                    max_seq = max(max_seq, int(digits))
+            blob._free = sorted(
+                set(range(blob._next_id)) - set(blob._pages), reverse=True
+            )
+        self._sequence = itertools.count(max_seq + 1)
 
     def _redo(self, record) -> None:
         """Apply one committed log record during recovery."""

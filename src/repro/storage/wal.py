@@ -41,17 +41,22 @@ class LogRecord:
 class WriteAheadLog:
     """An append-only log with runtime rollback and crash recovery."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults=None) -> None:
         self._records: List[LogRecord] = []
         self._active: set[int] = set()
         self._committed: set[int] = set()
         self._aborted: set[int] = set()
+        #: Optional :class:`repro.faults.FaultRegistry`; ``None`` keeps
+        #: the append path free of any fault-injection cost.
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
 
     def _append(self, txn_id: int, kind: RecordKind, **fields) -> LogRecord:
+        if self.faults is not None:
+            self.faults.hit("wal.append")
         record = LogRecord(lsn=len(self._records), txn_id=txn_id, kind=kind, **fields)
         self._records.append(record)
         return record
@@ -66,6 +71,11 @@ class WriteAheadLog:
 
     def log_commit(self, txn_id: int) -> None:
         self._require_active(txn_id)
+        # The 'fsync' failpoint models the flush that makes the COMMIT
+        # record durable: a crash here leaves the transaction active in
+        # the log, so recovery discards it -- the commit never happened.
+        if self.faults is not None:
+            self.faults.hit("wal.fsync")
         self._active.discard(txn_id)
         self._committed.add(txn_id)
         self._append(txn_id, RecordKind.COMMIT)
@@ -133,6 +143,14 @@ class WriteAheadLog:
     def is_active(self, txn_id: int) -> bool:
         return txn_id in self._active
 
+    def active_transactions(self) -> frozenset[int]:
+        """Transactions with a BEGIN but no COMMIT/ABORT yet.
+
+        The crash harness reads this before recovery to model the lock
+        table: locks are volatile, so whatever the crashed transactions
+        held simply vanishes."""
+        return frozenset(self._active)
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -167,4 +185,5 @@ class WriteAheadLog:
         # Whatever was active at crash time is now aborted.
         self._aborted |= self._active
         self._active.clear()
+        space._finish_recovery()
         return replayed

@@ -1,0 +1,256 @@
+"""Crash-consistency harness: crash the engine at a failpoint, recover,
+verify.
+
+The harness drives a :class:`DatabaseServer` with an armed
+:class:`~repro.faults.FaultRegistry` through scripted or randomized
+workloads.  When a ``crash`` failpoint fires, :class:`SimulatedCrash`
+propagates to the harness (nothing in the engine catches it -- a real
+crash runs no rollback), the harness "restarts" the server by discarding
+everything volatile and replaying the WAL, and then asserts the
+three-part crash-consistency contract:
+
+* every transaction that committed before the crash is readable through
+  the recovered GR-tree index;
+* every transaction still open at the crash has vanished;
+* the recovered tree passes the full structural verification
+  (:func:`repro.grtree.verify_tree`: reachability, MBR containment,
+  stair-shape validity, entry counts, no orphan pages).
+
+The crash model for an embedded engine (one process, simulated clock):
+
+=========================== ======================================
+volatile -- lost at crash   durable -- survives
+=========================== ======================================
+sbspace pages               the write-ahead log
+buffer pools, node caches   system catalog and heap tables
+the lock table              (modeled as dbspace-resident data the
+open sessions/transactions  host server logs on its own, Section
+                            5.3 of the paper)
+=========================== ======================================
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Set
+
+from repro.datablade import register_grtree_blade
+from repro.faults import FaultRegistry, SimulatedCrash
+from repro.grtree import verify_tree
+from repro.server import DatabaseServer
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def day(chronon: int) -> str:
+    return format_chronon(chronon)
+
+
+#: Overlaps the region of every extent the harness inserts.
+QUERY = (
+    "SELECT name FROM t WHERE "
+    f"Overlaps(te, '{{tt}}, UC, {{vt}}, NOW')"
+)
+
+#: Outcomes of one workload step.
+COMMITTED = "committed"
+ROLLED_BACK = "rolled_back"
+FAILED = "failed"
+CRASHED = "crashed"
+
+
+class CrashHarness:
+    """One engine instance plus the oracle of what must survive a crash.
+
+    Small per-index caches (``buffer_capacity=8, node_cache=8``) keep the
+    buffer pool churning so page-level failpoints are traversed often.
+    """
+
+    def __init__(self, now: int = 100) -> None:
+        self.registry = FaultRegistry()
+        self.server = DatabaseServer(clock=Clock(now=now), faults=self.registry)
+        self.space = self.server.create_sbspace("spc")
+        register_grtree_blade(self.server)
+        self.server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+        self.server.execute(
+            "CREATE INDEX gi ON t(te) USING grtree_am IN spc "
+            "WITH (buffer_capacity = 8, node_cache = 8)"
+        )
+        self.server.prefer_virtual_index = True
+        self.session = self.server.create_session()
+        #: Names of rows whose transaction committed (the oracle).
+        self.committed: Set[str] = set()
+        #: Failpoint name of the last crash, ``None`` while healthy.
+        self.crashed: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def arm(self, name: str, action: str = "crash", **conditions):
+        return self.registry.set_fault(name, action, **conditions)
+
+    def disarm_all(self) -> None:
+        self.registry.clear_all()
+
+    # ------------------------------------------------------------------
+    # Workload steps
+    # ------------------------------------------------------------------
+
+    def _insert(self, name: str, tt: int = 100, vt: int = 95) -> None:
+        self.server.execute(
+            f"INSERT INTO t VALUES ('{name}', '{day(tt)}, UC, {day(vt)}, NOW')",
+            self.session,
+        )
+
+    def autocommit_insert(self, name: str, vt: int = 95) -> str:
+        """One single-statement transaction; returns its outcome."""
+        try:
+            self._insert(name, vt=vt)
+        except SimulatedCrash as crash:
+            self.crashed = crash.point
+            return CRASHED
+        except Exception:
+            # An ordinary injected failure: the engine already rolled the
+            # autocommit transaction back.
+            return FAILED
+        self.committed.add(name)
+        return COMMITTED
+
+    def run_batch(self, names: Iterable[str], commit: bool = True) -> str:
+        """Run *names* as one explicit transaction; returns the outcome.
+
+        The oracle is updated only when ``COMMIT WORK`` returns: a crash
+        anywhere earlier -- including during the commit itself, before
+        the COMMIT record is durable -- means the transaction must NOT
+        survive recovery.
+        """
+        names = list(names)
+        try:
+            self.server.execute("BEGIN WORK", self.session)
+            for name in names:
+                self._insert(name)
+            if not commit:
+                self.server.execute("ROLLBACK WORK", self.session)
+                return ROLLED_BACK
+            self.server.execute("COMMIT WORK", self.session)
+        except SimulatedCrash as crash:
+            self.crashed = crash.point
+            return CRASHED
+        except Exception:
+            if self.session.in_transaction:
+                self.server.execute("ROLLBACK WORK", self.session)
+            return FAILED
+        self.committed.update(names)
+        return COMMITTED
+
+    # ------------------------------------------------------------------
+    # Crash and restart
+    # ------------------------------------------------------------------
+
+    def recover(self) -> None:
+        """The restart after a crash: volatile state dies, the WAL replays.
+
+        Mirrors what a real server does at boot -- locks held by crashed
+        transactions simply do not exist in the fresh lock table, the log
+        is replayed onto an empty space, and clients reconnect with new
+        sessions (the old ones died with the process).
+        """
+        self.disarm_all()
+        for txn_id in self.server.wal.active_transactions():
+            self.server.locks.release_all(txn_id)
+        self.server.wal.recover(self.space)
+        self.space.set_transaction(None)
+        # Cached index handles hold buffer pools over pre-crash blobs;
+        # bumping the epoch makes grt_open rebuild them from disk state.
+        self.server.storage_epoch += 1
+        self.session = self.server.create_session()
+        self.crashed = None
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def query_names(self, tt: int = 100, vt: int = 80) -> Set[str]:
+        """Names reachable through the index (never a seqscan)."""
+        rows = self.server.execute(
+            QUERY.format(tt=day(tt), vt=day(vt)), self.session
+        )
+        plan = self.server.last_plan
+        assert getattr(plan, "index", None) is not None, (
+            f"expected an index scan, optimizer chose {type(plan).__name__}"
+        )
+        return {row["name"] for row in rows}
+
+    @contextmanager
+    def open_tree(self, index_name: str = "gi"):
+        """Open the live GR-tree the way a statement would (am_open)."""
+        info = self.server.catalog.get_index(index_name)
+        am = self.server.catalog.access_methods.get(info.am_name)
+        session = self.server.system_session
+        td = self.server.executor._descriptor(info, session)
+        with session.autocommit():
+            self.server.executor.call_purpose(am, "am_open", td)
+            try:
+                yield td.user_data["tree"]
+            finally:
+                self.server.executor.call_purpose(am, "am_close", td)
+
+    def verify(self) -> None:
+        """Assert the full crash-consistency contract."""
+        names = self.query_names()
+        lost = self.committed - names
+        resurrected = names - self.committed
+        assert not lost, f"committed rows lost by recovery: {sorted(lost)}"
+        assert not resurrected, (
+            f"uncommitted rows resurrected by recovery: {sorted(resurrected)}"
+        )
+        self.server.execute("CHECK INDEX gi", self.session)
+        with self.open_tree() as tree:
+            verify_tree(tree)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+def scripted_workload(harness: CrashHarness) -> None:
+    """A canonical mixed history: autocommits, batches, a rollback."""
+    for i in range(4):
+        harness.autocommit_insert(f"auto{i}")
+    harness.run_batch([f"batch0.{i}" for i in range(5)])
+    harness.run_batch([f"gone{i}" for i in range(3)], commit=False)
+    harness.run_batch([f"batch1.{i}" for i in range(5)])
+
+
+def random_workload(
+    harness: CrashHarness, seed: int, steps: int = 20
+) -> List[str]:
+    """Seeded random mix of workload steps; stops at the first crash.
+
+    Returns the outcome of every step taken, so callers can assert the
+    crash actually happened (or not).
+    """
+    rng = random.Random(seed)
+    outcomes: List[str] = []
+    for step in range(steps):
+        kind = rng.random()
+        if kind < 0.4:
+            outcome = harness.autocommit_insert(
+                f"s{seed}.{step}", vt=rng.randint(90, 99)
+            )
+        elif kind < 0.8:
+            size = rng.randint(1, 6)
+            outcome = harness.run_batch(
+                [f"s{seed}.{step}.{i}" for i in range(size)]
+            )
+        else:
+            size = rng.randint(1, 4)
+            outcome = harness.run_batch(
+                [f"s{seed}.{step}.{i}" for i in range(size)], commit=False
+            )
+        outcomes.append(outcome)
+        if outcome == CRASHED:
+            break
+    return outcomes

@@ -1,0 +1,167 @@
+"""Unit tests for the failpoint registry itself (determinism above all)."""
+
+import pytest
+
+from repro.faults import (
+    ACTIONS,
+    CATALOG,
+    FaultInjected,
+    FaultRegistry,
+    SimulatedCrash,
+)
+
+
+class TestArming:
+    def test_unknown_failpoint_is_an_error_not_a_noop(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            registry.set_fault("wal.appendd")
+
+    def test_unknown_action_rejected(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError, match="unknown fault action"):
+            registry.set_fault("wal.append", "explode")
+
+    def test_hit_counts_are_one_based(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError):
+            registry.set_fault("wal.append", hit=0)
+
+    def test_probability_bounds(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError):
+            registry.set_fault("wal.append", probability=1.5)
+
+    def test_every_catalog_entry_arms(self):
+        registry = FaultRegistry()
+        for name in CATALOG:
+            for action in ACTIONS:
+                registry.set_fault(name, action)
+        assert set(registry.armed()) == set(CATALOG)
+
+    def test_clear_disarms_but_keeps_counters(self):
+        registry = FaultRegistry()
+        registry.set_fault("wal.append", times=None)
+        with pytest.raises(FaultInjected):
+            registry.hit("wal.append")
+        registry.clear_fault("wal.append")
+        registry.hit("wal.append")  # disarmed: no raise
+        stats = registry.stats()
+        assert stats["armed"] == 0
+        assert stats["wal.append.triggers"] == 1
+        # Counting stops once disarmed -- the fast path never sees it.
+        assert stats["wal.append.hits"] == 1
+
+
+class TestTriggering:
+    def test_unarmed_hit_is_free_and_silent(self):
+        registry = FaultRegistry()
+        registry.hit("wal.append")
+        assert registry.stats() == {"armed": 0}
+
+    def test_fires_on_nth_hit_and_respects_times_budget(self):
+        registry = FaultRegistry()
+        registry.set_fault("wal.append", hit=3, times=1)
+        registry.hit("wal.append")
+        registry.hit("wal.append")
+        with pytest.raises(FaultInjected) as exc:
+            registry.hit("wal.append")
+        assert exc.value.point == "wal.append"
+        # The times=1 budget is spent: later hits pass through.
+        registry.hit("wal.append")
+        stats = registry.stats()
+        assert stats["wal.append.hits"] == 4
+        assert stats["wal.append.triggers"] == 1
+
+    def test_times_none_fires_forever(self):
+        registry = FaultRegistry()
+        registry.set_fault("wal.append", times=None)
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                registry.hit("wal.append")
+
+    def test_crash_action_raises_base_exception(self):
+        registry = FaultRegistry()
+        registry.set_fault("wal.fsync", "crash")
+        with pytest.raises(SimulatedCrash) as exc:
+            registry.hit("wal.fsync")
+        assert not isinstance(exc.value, Exception)
+        assert exc.value.point == "wal.fsync"
+
+    def test_probability_is_deterministic_per_seed(self):
+        def trigger_pattern(seed):
+            registry = FaultRegistry()
+            registry.set_fault(
+                "wal.append", probability=0.5, seed=seed, times=None
+            )
+            pattern = []
+            for _ in range(64):
+                try:
+                    registry.hit("wal.append")
+                    pattern.append(0)
+                except FaultInjected:
+                    pattern.append(1)
+            return pattern
+
+        assert trigger_pattern(7) == trigger_pattern(7)
+        assert trigger_pattern(7) != trigger_pattern(8)
+        assert 0 < sum(trigger_pattern(7)) < 64
+
+
+class TestWriteActions:
+    def test_torn_write_keeps_new_prefix_and_old_tail(self):
+        registry = FaultRegistry()
+        registry.set_fault("sbspace.page_write", "torn")
+        new, old = b"N" * 8, b"O" * 8
+        assert registry.on_write("sbspace.page_write", new, old) == b"NNNNOOOO"
+
+    def test_torn_write_zero_fills_past_old_end(self):
+        registry = FaultRegistry()
+        registry.set_fault("sbspace.page_write", "torn")
+        assert (
+            registry.on_write("sbspace.page_write", b"N" * 8, b"O" * 5)
+            == b"NNNNO\x00\x00\x00"
+        )
+
+    def test_corrupt_write_flips_deterministic_bytes(self):
+        def mangle(seed):
+            registry = FaultRegistry()
+            registry.set_fault("sbspace.page_write", "corrupt", seed=seed)
+            return registry.on_write("sbspace.page_write", b"\x00" * 64, b"")
+
+        first, again, other = mangle(3), mangle(3), mangle(4)
+        assert first == again
+        assert first != b"\x00" * 64
+        assert first != other
+
+    def test_raise_and_crash_fire_before_the_write(self):
+        registry = FaultRegistry()
+        registry.set_fault("sbspace.page_write", "raise")
+        with pytest.raises(FaultInjected):
+            registry.on_write("sbspace.page_write", b"new", b"old")
+        registry.set_fault("sbspace.page_write", "crash")
+        with pytest.raises(SimulatedCrash):
+            registry.on_write("sbspace.page_write", b"new", b"old")
+
+    def test_torn_degrades_to_raise_at_non_write_sites(self):
+        registry = FaultRegistry()
+        registry.set_fault("lock.acquire", "torn")
+        with pytest.raises(FaultInjected):
+            registry.hit("lock.acquire")
+
+
+class TestNetPayloads:
+    def test_raise_drops_the_whole_frame(self):
+        registry = FaultRegistry()
+        registry.set_fault("net.send", "raise")
+        assert registry.torn_payload("net.send", b"x" * 10) == (b"", True)
+
+    def test_torn_truncates_and_severs(self):
+        registry = FaultRegistry()
+        registry.set_fault("net.send", "torn")
+        payload, severed = registry.torn_payload("net.send", b"x" * 10)
+        assert payload == b"x" * 5 and severed
+
+    def test_unarmed_payload_passes_through(self):
+        registry = FaultRegistry()
+        assert registry.torn_payload("net.send", b"frame") == (b"frame", False)

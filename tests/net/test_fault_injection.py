@@ -1,0 +1,183 @@
+"""Wire-level fault injection: dropped, torn, and corrupt frames.
+
+The contract under test is the driver's retry discipline against the
+server's connection-drop semantics:
+
+* a reply lost *outside* a transaction is retried transparently
+  (``stats["network_retries"]``);
+* a reply lost *inside* a transaction surfaces as
+  :class:`ConnectionLostInTransaction`, and the server-side abort
+  releases every lock the transaction held;
+* ``run_transaction`` re-runs the whole body across a mid-flight drop;
+* a ``crash`` failpoint firing in the engine severs only that client --
+  over the wire a shared server cannot stay wedged, so crash degrades
+  to instant restart-and-recover (the frozen-state crash model lives in
+  ``tests/faults/harness.py``).
+
+Failpoints are armed through ``db.ensure_faults()`` rather than
+``SET FAULT`` over the wire where the armed point would fire on the
+``SET FAULT`` reply frame itself (see ``TestSetFaultOverTheWire`` for
+the SQL surface, which arms storage points only).
+"""
+
+import pytest
+
+from repro.net.client import (
+    ConnectionLostInTransaction,
+    RemoteStatementError,
+)
+
+from tests.net.test_server import (
+    GRT_INDEX,
+    GRT_TABLE,
+    day,
+    db,  # noqa: F401  (fixture re-export)
+    insert_emp,
+    make_client,
+    served,  # noqa: F401
+    wait_until,
+)
+
+QUERY = f"SELECT name FROM emp WHERE Overlaps(te, '{day(100)}, UC, {day(90)}, NOW')"
+
+
+def prepare(db, net):
+    with make_client(net) as client:
+        client.execute(GRT_TABLE)
+        client.execute(GRT_INDEX)
+    db.prefer_virtual_index = True
+    return db.ensure_faults()
+
+
+class TestReplyDrops:
+    def test_dropped_reply_outside_transaction_is_retried(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as client:
+            insert_emp(client, "alice")
+            registry.set_fault("net.send", "raise", times=1)
+            rows = client.execute(QUERY)
+            assert {r["name"] for r in rows} == {"alice"}
+            assert client.stats["network_retries"] >= 1
+            assert registry.stats()["net.send.triggers"] == 1
+
+    def test_torn_reply_frame_is_retried(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as client:
+            insert_emp(client, "bob")
+            registry.set_fault("net.send", "torn", times=1)
+            rows = client.execute(QUERY)
+            assert {r["name"] for r in rows} == {"bob"}
+            assert client.stats["network_retries"] >= 1
+
+    def test_corrupt_reply_frame_is_retried(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as client:
+            insert_emp(client, "carol")
+            registry.set_fault("net.send", "corrupt", times=1)
+            rows = client.execute(QUERY)
+            assert {r["name"] for r in rows} == {"carol"}
+            assert client.stats["network_retries"] >= 1
+
+    def test_dropped_request_is_safe_to_retry(self, served):
+        """``net.recv`` fires *before* execution: the statement never
+        ran, so the driver's retry cannot duplicate work."""
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as client:
+            registry.set_fault("net.recv", "raise", times=1)
+            insert_emp(client, "dave")
+            assert client.stats["network_retries"] >= 1
+        with make_client(net) as client:
+            rows = client.execute(QUERY)
+        assert [r["name"] for r in rows] == ["dave"]
+
+
+class TestMidTransactionDrops:
+    def test_drop_inside_transaction_raises_and_releases_locks(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as committed:
+            insert_emp(committed, "keep")
+        client = make_client(net)
+        try:
+            client.execute("BEGIN WORK")
+            insert_emp(client, "ghost0")
+            registry.set_fault("net.send", "raise", times=1)
+            with pytest.raises(ConnectionLostInTransaction):
+                insert_emp(client, "ghost1")
+        finally:
+            client.close()
+        # The server aborted the orphaned transaction: locks released,
+        # uncommitted work rolled back out of the index.
+        assert wait_until(lambda: db.locks.locked_resources == 0)
+        assert wait_until(
+            lambda: db.obs.metrics.snapshot()["net.aborted_on_disconnect"] >= 1
+        )
+        with make_client(net) as fresh:
+            rows = fresh.execute(QUERY)
+        assert {r["name"] for r in rows} == {"keep"}
+
+    def test_run_transaction_retries_across_a_drop(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        client = make_client(net)
+        try:
+            # Fires on the 3rd reply of the first attempt (BEGIN, first
+            # INSERT, second INSERT), killing the transaction mid-body.
+            registry.set_fault("net.send", "raise", hit=3, times=1)
+
+            def body(c):
+                insert_emp(c, "pair0")
+                insert_emp(c, "pair1")
+
+            client.run_transaction(body)
+            assert client.stats["transaction_retries"] >= 1
+        finally:
+            client.close()
+        with make_client(net) as fresh:
+            rows = fresh.execute(QUERY)
+        # The aborted first attempt left nothing behind: exactly one
+        # committed copy of each row.
+        assert sorted(r["name"] for r in rows) == ["pair0", "pair1"]
+
+
+class TestEngineCrashOverTheWire:
+    def test_crash_failpoint_severs_only_that_client(self, served):
+        db, net = served
+        registry = prepare(db, net)
+        with make_client(net) as bystander, make_client(net) as victim:
+            insert_emp(bystander, "before")
+            registry.set_fault("buffer.flush", "crash", times=1)
+            # The victim's statement dies in the engine; the driver sees
+            # a dead connection, reconnects, retries, and the one-shot
+            # budget is already spent.
+            insert_emp(victim, "retried")
+            assert victim.stats["network_retries"] >= 1
+            rows = bystander.execute(QUERY)
+            assert {r["name"] for r in rows} == {"before", "retried"}
+            assert db.obs.metrics.snapshot()["net.fault_crashes"] >= 1
+
+
+class TestSetFaultOverTheWire:
+    def test_storage_fault_via_sql_and_stats_surface(self, served):
+        db, net = served
+        prepare(db, net)
+        with make_client(net) as client:
+            insert_emp(client, "keep")
+            message = client.execute(
+                "SET FAULT 'sbspace.page_write' RAISE TIMES 1"
+            )
+            assert "armed" in message
+            with pytest.raises(RemoteStatementError) as exc:
+                insert_emp(client, "doomed")
+            assert exc.value.code == "INTERNAL_ERROR"
+            client.execute("SET FAULT ALL OFF")
+            insert_emp(client, "after")
+            rows = client.execute(QUERY)
+            assert {r["name"] for r in rows} == {"keep", "after"}
+            stats = client.execute("SHOW STATS")
+            assert "== faults ==" in stats
+            assert "sbspace.page_write" in stats

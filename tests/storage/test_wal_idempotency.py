@@ -1,0 +1,165 @@
+"""WAL replay idempotency and post-recovery correctness.
+
+Recovering twice from the same log must yield byte-identical state, and
+a recovered space must behave exactly like a live one afterwards.  The
+second half covers the bug this requirement uncovered: recovery used to
+rebuild ``_objects`` but not the handle sequence, so the first
+``create()`` after a recovery minted a *colliding* handle and silently
+replaced a recovered large object -- committed data destroyed by a new
+transaction after a perfectly good replay.
+
+Also here: the per-storage-option recovery contrast of Section 5.3/6.
+A torn sbspace write is healed by WAL redo (the server's recovery); a
+torn OS-file write really lands on disk, and only the developer-built
+checksum wrapper turns it from silent corruption into a loud error.
+"""
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.faults import FaultRegistry
+from repro.server import DatabaseServer
+from repro.storage.osfile import OSFilePageStore
+from repro.storage.pages import ChecksummedPageStore, PageChecksumError
+from repro.storage.sbspace import Sbspace
+from repro.storage.wal import WriteAheadLog
+from repro.temporal.chronon import Clock, format_chronon
+
+
+def day(chronon):
+    return format_chronon(chronon)
+
+
+def make_loaded_server(rows=40):
+    server = DatabaseServer(clock=Clock(now=100))
+    server.create_sbspace("spc")
+    register_grtree_blade(server)
+    server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
+    server.execute("CREATE INDEX gi ON t(te) USING grtree_am IN spc")
+    server.prefer_virtual_index = True
+    for i in range(rows):
+        server.execute(
+            f"INSERT INTO t VALUES ('r{i}', '{day(100)}, UC, {day(95)}, NOW')"
+        )
+    return server
+
+
+def space_image(space):
+    """Everything recovery is responsible for, in comparable form."""
+    return {
+        handle: (dict(blob._pages), blob._next_id, sorted(blob._free))
+        for handle, blob in space._objects.items()
+    }
+
+
+class TestReplayIdempotency:
+    def test_recover_twice_yields_identical_state(self):
+        server = make_loaded_server()
+        space = server.get_sbspace("spc")
+        server.wal.recover(space)
+        first = space_image(space)
+        server.wal.recover(space)
+        assert space_image(space) == first
+
+    def test_recovery_after_recovery_plus_new_commits(self):
+        """New work after one recovery must replay on top of the old log
+        without double-applying either generation."""
+        server = make_loaded_server(rows=10)
+        space = server.get_sbspace("spc")
+        server.wal.recover(space)
+        server.storage_epoch += 1
+        for i in range(10, 20):
+            server.execute(
+                f"INSERT INTO t VALUES ('r{i}', '{day(100)}, UC, {day(95)}, NOW')"
+            )
+        before = space_image(space)
+        server.wal.recover(space)
+        server.storage_epoch += 1
+        assert space_image(space) == before
+        rows = server.execute(
+            f"SELECT name FROM t WHERE Overlaps(te, '{day(100)}, UC, {day(100)}, NOW')"
+        )
+        assert {r["name"] for r in rows} == {f"r{i}" for i in range(20)}
+
+
+class TestSequenceRestoration:
+    """The double-apply bug: a colliding handle after recovery."""
+
+    def test_create_after_recovery_does_not_clobber_recovered_objects(self):
+        server = make_loaded_server(rows=5)
+        old_space = server.get_sbspace("spc")
+        survivors = set(old_space._objects)
+        # A true restart: the Sbspace object itself died with the
+        # process, so its in-memory handle counter is back at 1.  Only
+        # what _finish_recovery rebuilds from the log protects the
+        # recovered objects from a colliding fresh handle.
+        reborn = Sbspace("spc", page_size=old_space.page_size, wal=server.wal)
+        server.wal.recover(reborn)
+        assert set(reborn._objects) == survivors
+        fresh = reborn.create()
+        assert fresh.handle.value not in survivors
+        assert reborn.object_count == len(survivors) + 1
+
+    def test_free_lists_rebuilt_from_the_log(self):
+        wal = WriteAheadLog()
+        space = Sbspace("s", page_size=64, wal=wal)
+        wal.log_begin(1)
+        space.set_transaction(1)
+        blob = space.create()
+        for _ in range(4):
+            blob.allocate_page()
+        blob.write_page(0, b"zero")
+        blob.write_page(2, b"two")
+        blob.free_page(1)
+        blob.free_page(3)
+        wal.log_commit(1)
+        space.set_transaction(None)
+        wal.recover(space)
+        recovered = space.get(blob.handle)
+        assert sorted(recovered._free) == [1, 3]
+        # Gaps are reused LIFO exactly as a live space would.
+        assert recovered.allocate_page() == 1
+        assert recovered.read_page(0).rstrip(b"\x00") == b"zero"
+
+
+class TestOsFileTornWrites:
+    """Section 6: with OS-file storage the developer builds recovery."""
+
+    def test_torn_write_lands_on_disk_and_checksum_catches_it(self, tmp_path):
+        registry = FaultRegistry()
+        path = str(tmp_path / "index.grt")
+        with OSFilePageStore(path, page_size=256, faults=registry) as raw:
+            store = ChecksummedPageStore(raw)
+            page = store.allocate_page()
+            store.write_page(page, b"A" * store.page_size)
+            assert store.read_page(page) == b"A" * store.page_size
+            registry.set_fault("osfile.write", "torn", times=1)
+            store.write_page(page, b"B" * store.page_size)
+        # Reopen from disk: the torn page is still there (no WAL healed
+        # it) and the read fails loudly instead of serving half a page.
+        with OSFilePageStore(path, page_size=256) as raw:
+            store = ChecksummedPageStore(raw)
+            with pytest.raises(PageChecksumError):
+                store.read_page(page)
+            assert store.checksum_failures == 1
+
+    def test_corrupt_write_detected_without_reopen(self, tmp_path):
+        registry = FaultRegistry()
+        path = str(tmp_path / "index.grt")
+        with OSFilePageStore(path, page_size=256, faults=registry) as raw:
+            store = ChecksummedPageStore(raw)
+            page = store.allocate_page()
+            registry.set_fault("osfile.write", "corrupt", times=1)
+            store.write_page(page, b"C" * store.page_size)
+            with pytest.raises(PageChecksumError):
+                store.read_page(page)
+
+    def test_untouched_store_verifies_every_read(self, tmp_path):
+        path = str(tmp_path / "index.grt")
+        with OSFilePageStore(path, page_size=256) as raw:
+            store = ChecksummedPageStore(raw)
+            page = store.allocate_page()
+            store.write_page(page, b"D" * 16)
+            store.read_page(page)
+            assert store.verified_reads == 1
+            assert store.checksum_failures == 0
