@@ -18,7 +18,9 @@ Besides SQL, the shell accepts backslash commands:
 ``\\trace CLASS LEVEL``                set a trace level (e.g. ``am 1``)
 ``\\messages [CLASS]``                 dump collected trace messages
 ``\\stats [json]``                     onstat-style metrics report
-``\\spans [json]``                     recorded statement span trees
+``\\spans [json] [limit N] [conn N]``  recorded statement span trees
+``\\workload [json]``                  per-fingerprint workload model
+``\\events [N]``                       structured event log tail
 ``\\faults``                           armed failpoints + the catalog
 ``\\catalog``                          list tables, indices, AMs, opclasses
 ``\\prefer on|off``                    toggle the virtual-index directive
@@ -131,10 +133,12 @@ class Shell:
             else:
                 print(self.server.obs.report(), file=out)
         elif command == "spans":
+            self._spans(args, out)
+        elif command == "workload":
             if args and args[0].lower() == "json":
                 print(
                     json.dumps(
-                        self.server.obs.spans.to_dicts(),
+                        self.server.obs.workload.to_dict(),
                         indent=2,
                         sort_keys=True,
                         default=str,
@@ -142,7 +146,10 @@ class Shell:
                     file=out,
                 )
             else:
-                print(self.server.obs.spans.format_trees(), file=out)
+                print(self.server.obs.workload.report(), file=out)
+        elif command == "events":
+            limit = int(args[0]) if args and args[0].isdigit() else 20
+            print(self.server.obs.events.report(limit), file=out)
         elif command == "faults":
             self._faults(out)
         elif command == "catalog":
@@ -157,6 +164,47 @@ class Shell:
             print(__doc__, file=out)
         else:
             print(f"unknown command \\{command} (try \\help)", file=out)
+
+    def _spans(self, args: List[str], out) -> None:
+        """``\\spans [json] [limit N] [conn N]`` -- filtered span trees."""
+        as_json = False
+        limit = None
+        connection = None
+        index = 0
+        while index < len(args):
+            token = args[index].lower()
+            if token == "json":
+                as_json = True
+                index += 1
+            elif token in ("limit", "conn") and index + 1 < len(args):
+                try:
+                    value = int(args[index + 1])
+                except ValueError:
+                    print(f"\\spans: {token} wants a number", file=out)
+                    return
+                if token == "limit":
+                    limit = value
+                else:
+                    connection = value
+                index += 2
+            else:
+                print("usage: \\spans [json] [limit N] [conn N]", file=out)
+                return
+        spans = self.server.obs.spans
+        if as_json:
+            print(
+                json.dumps(
+                    spans.to_dicts(connection=connection, limit=limit),
+                    indent=2,
+                    sort_keys=True,
+                    default=str,
+                ),
+                file=out,
+            )
+        else:
+            print(
+                spans.format_trees(limit, connection=connection), file=out
+            )
 
     def _install(self, blade: str, out) -> None:
         if blade in self._installed:
@@ -286,6 +334,11 @@ def stats_main(argv: List[str], out=None) -> int:
         help="include/print span trees instead of just the registry",
     )
     parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition and exit",
+    )
+    parser.add_argument(
         "--granularity", choices=["day", "month"], default="day"
     )
     options = parser.parse_args(argv)
@@ -295,7 +348,9 @@ def stats_main(argv: List[str], out=None) -> int:
     if options.file:
         shell.run_script(options.file)
     obs = shell.server.obs
-    if options.format == "json":
+    if options.prometheus:
+        print(obs.prometheus(), file=out, end="")
+    elif options.format == "json":
         payload = obs.to_dict()
         if not options.spans:
             payload.pop("spans", None)
@@ -352,12 +407,27 @@ def serve_main(argv: List[str], out=None) -> int:
     )
     parser.add_argument("-f", "--file", help="SQL script to run at boot")
     parser.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="append structured events (slow queries, errors) as JSONL",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        metavar="MS",
+        help="log statements at or above this many milliseconds",
+    )
+    parser.add_argument(
         "--granularity", choices=["day", "month"], default="day"
     )
     options = parser.parse_args(argv)
     if out is None:
         out = sys.stdout
     shell = Shell(_granularity(options.granularity))
+    if options.event_log:
+        shell.server.obs.events.path = options.event_log
+    if options.slow_query_ms is not None:
+        shell.server.obs.events.slow_query_threshold_ms = options.slow_query_ms
     for name in options.sbspace:
         shell.server.create_sbspace(name)
     for blade in options.install:

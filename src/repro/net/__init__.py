@@ -21,6 +21,7 @@ See ``docs/serving.md`` for the frame layout and the knobs.
 
 from repro.net.client import (
     ConnectionLostInTransaction,
+    Profiled,
     RemoteStatementError,
     ReproClient,
     ReproClientError,
@@ -44,6 +45,7 @@ __all__ = [
     "LOCK_TIMEOUT",
     "NetServer",
     "PROTOCOL_VERSION",
+    "Profiled",
     "ProtocolError",
     "RemoteStatementError",
     "ReproClient",

@@ -22,10 +22,11 @@ reconnects uses.
 
 from __future__ import annotations
 
+import itertools
 import random
 import socket
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.net import protocol
 
@@ -64,6 +65,59 @@ class RetryExhaustedError(ReproClientError):
     """``run_transaction`` gave up after its attempt budget."""
 
 
+class Profiled:
+    """An ``explain_profile=True`` result: the value plus the stitched
+    distributed trace.
+
+    ``trace`` is the client-side root span (a ``Span.to_dict``-shaped
+    dict) whose single child is the server's root span for the same
+    statement -- client -> server -> executor -> storage in one tree.
+    """
+
+    __slots__ = ("value", "trace_id", "trace", "server_elapsed")
+
+    def __init__(
+        self,
+        value: Any,
+        trace_id: Optional[str],
+        trace: Dict[str, Any],
+        server_elapsed: Optional[float],
+    ) -> None:
+        self.value = value
+        self.trace_id = trace_id
+        self.trace = trace
+        self.server_elapsed = server_elapsed
+
+    def span_names(self) -> List[str]:
+        """Every span name in the stitched tree, preorder."""
+        names: List[str] = []
+
+        def walk(node: Dict[str, Any]) -> None:
+            names.append(node.get("name", ""))
+            for child in node.get("children", ()):
+                walk(child)
+
+        walk(self.trace)
+        return names
+
+    def leaves(self) -> List[Dict[str, Any]]:
+        """The childless spans of the stitched tree."""
+        found: List[Dict[str, Any]] = []
+
+        def walk(node: Dict[str, Any]) -> None:
+            children = node.get("children") or ()
+            if not children:
+                found.append(node)
+            for child in children:
+                walk(child)
+
+        walk(self.trace)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Profiled(trace_id={self.trace_id!r}, value={self.value!r})"
+
+
 def _is_begin(sql: str) -> bool:
     return sql.lstrip().upper().startswith("BEGIN")
 
@@ -88,6 +142,7 @@ class ReproClient:
         backoff_cap: float = 1.0,
         client_name: str = "repro-client",
         rng: Optional[random.Random] = None,
+        tracing: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -97,7 +152,14 @@ class ReproClient:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.client_name = client_name
+        #: Mint and propagate a ``trace_id`` per statement.  Off, the
+        #: driver sends bare execute frames (the overhead-gate baseline).
+        self.tracing = tracing
         self._rng = rng if rng is not None else random.Random()
+        self._span_ids = itertools.count(1)
+        #: The trace id of the most recent traced statement -- what you
+        #: pass to ``SHOW TRACE`` server-side.
+        self.last_trace_id: Optional[str] = None
         self._sock: Optional[socket.socket] = None
         self.connection_id: Optional[int] = None
         self.in_transaction = False
@@ -181,19 +243,40 @@ class ReproClient:
     # Statements
     # ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> Any:
+    def _mint_trace_id(self) -> str:
+        """A 128-bit hex trace id from the (injectable) driver rng."""
+        return "%032x" % self._rng.getrandbits(128)
+
+    def execute(self, sql: str, *, explain_profile: bool = False) -> Any:
         """Run one statement, retrying what is safe to retry.
 
         Returns the statement's value (rows come back as a list of
-        dicts with engine objects rendered to text).
+        dicts with engine objects rendered to text).  With tracing on,
+        each statement carries a fresh ``trace_id`` (stable across this
+        call's retries) that the server stamps through its span tree;
+        with ``explain_profile=True`` the return value is a
+        :class:`Profiled` stitching the client span over the server's
+        tree for that trace.
         """
+        trace_id = parent_span_id = None
+        if self.tracing or explain_profile:
+            trace_id = self._mint_trace_id()
+            parent_span_id = next(self._span_ids)
+            self.last_trace_id = trace_id
+        request = protocol.execute(
+            sql,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            profile=explain_profile,
+        )
         attempt = 0
         while True:
             try:
                 if self._sock is None:
                     self.connect()
                 assert self._sock is not None
-                protocol.write_frame(self._sock, protocol.execute(sql))
+                attempt_started = time.perf_counter()
+                protocol.write_frame(self._sock, request)
                 reply = protocol.read_frame(self._sock)
                 if reply is None:
                     raise protocol.ProtocolError("server closed the connection")
@@ -221,7 +304,27 @@ class ReproClient:
                     self.in_transaction = True
                 elif _is_end(sql):
                     self.in_transaction = False
-                return reply.get("value")
+                value = reply.get("value")
+                if not explain_profile:
+                    return value
+                duration = time.perf_counter() - attempt_started
+                server_tree = reply.get("profile")
+                trace = {
+                    "name": "client.execute",
+                    "span_id": parent_span_id or 0,
+                    "attrs": {
+                        "sql": sql,
+                        "trace_id": trace_id,
+                        "client": self.client_name,
+                        "conn": self.connection_id,
+                    },
+                    "duration": duration,
+                    "metric_deltas": {},
+                    "children": [server_tree] if server_tree else [],
+                }
+                return Profiled(
+                    value, trace_id, trace, reply.get("elapsed")
+                )
             if kind != "error":
                 raise ReproClientError(f"unexpected reply {reply!r}")
             code = reply.get("code")
@@ -312,6 +415,21 @@ class ReproClient:
         except (OSError, protocol.ProtocolError):
             self._teardown()
             return False
+
+    def metrics(self) -> str:
+        """Scrape the server's Prometheus-text metrics exposition."""
+        try:
+            if self._sock is None:
+                self.connect()
+            assert self._sock is not None
+            protocol.write_frame(self._sock, protocol.metrics())
+            reply = protocol.read_frame(self._sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            self._teardown()
+            raise TransientNetworkError(f"metrics scrape failed: {exc}") from exc
+        if reply is None or reply.get("kind") != "metrics_result":
+            raise ReproClientError(f"unexpected metrics reply {reply!r}")
+        return reply.get("text", "")
 
 
 def connect(host: str, port: int, **kwargs: Any) -> ReproClient:

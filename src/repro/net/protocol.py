@@ -11,17 +11,27 @@ discriminator::
 Client -> server kinds:
 
 ``hello``    ``{kind, protocol, client}`` -- opens the conversation
-``execute``  ``{kind, sql}``              -- run one SQL statement
+``execute``  ``{kind, sql[, trace_id, parent_span_id, profile]}`` --
+             run one SQL statement; the optional trace fields propagate
+             the client's distributed-trace context, and ``profile``
+             asks for the statement's stitched span tree in the reply
 ``ping``     ``{kind}``                   -- liveness probe
+``metrics``  ``{kind}``                   -- Prometheus-text scrape
 ``quit``     ``{kind}``                   -- orderly goodbye
 
 Server -> client kinds:
 
 ``welcome``  ``{kind, protocol, server, connection_id}``
-``result``   ``{kind, value, elapsed}``   -- statement succeeded
+``result``   ``{kind, value, elapsed[, profile]}`` -- statement
+             succeeded; ``profile`` is the server-side span tree when
+             the execute frame asked for it
 ``error``    ``{kind, code, message, retryable, error_type,
               aborted_transaction}``
+``metrics_result`` ``{kind, text}``       -- the exposition text
 ``pong`` / ``bye``
+
+Trace fields are additive and optional, so tracing-aware and unaware
+peers interoperate without a protocol version bump.
 
 Error *codes* are the retry contract (see ``docs/serving.md``):
 
@@ -161,12 +171,42 @@ def welcome(connection_id: int, server: str = "repro-server") -> Dict[str, Any]:
     }
 
 
-def execute(sql: str) -> Dict[str, Any]:
-    return {"kind": "execute", "sql": sql}
+def execute(
+    sql: str,
+    *,
+    trace_id: Optional[str] = None,
+    parent_span_id: Optional[int] = None,
+    profile: bool = False,
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"kind": "execute", "sql": sql}
+    if trace_id is not None:
+        message["trace_id"] = trace_id
+        if parent_span_id is not None:
+            message["parent_span_id"] = parent_span_id
+    if profile:
+        message["profile"] = True
+    return message
 
 
-def result(value: Any, elapsed: float) -> Dict[str, Any]:
-    return {"kind": "result", "value": jsonable(value), "elapsed": elapsed}
+def result(
+    value: Any, elapsed: float, profile: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {
+        "kind": "result",
+        "value": jsonable(value),
+        "elapsed": elapsed,
+    }
+    if profile is not None:
+        message["profile"] = jsonable(profile)
+    return message
+
+
+def metrics() -> Dict[str, Any]:
+    return {"kind": "metrics"}
+
+
+def metrics_result(text: str) -> Dict[str, Any]:
+    return {"kind": "metrics_result", "text": text}
 
 
 def error(

@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.faults import SimulatedCrash
 from repro.net import protocol
+from repro.obs.export import prometheus_text
 from repro.server import DatabaseServer, ServerError
 from repro.server.session import Session
 from repro.storage.locks import LockConflictError
@@ -290,6 +291,17 @@ class NetServer:
                     self._send(conn, protocol.welcome(conn.conn_id))
                 elif kind == "ping":
                     self._send(conn, protocol.pong())
+                elif kind == "metrics":
+                    # A /metrics-style scrape: rendered on the reader
+                    # thread (the registry is thread-safe), never queued
+                    # behind statements, so scrapers see a busy server.
+                    self.db.obs.inc("net.metrics_scrapes")
+                    self._send(
+                        conn,
+                        protocol.metrics_result(
+                            prometheus_text(self.db.obs.metrics)
+                        ),
+                    )
                 elif kind == "quit":
                     self._send(conn, protocol.bye())
                     break
@@ -328,7 +340,7 @@ class NetServer:
             )
             return
         try:
-            self._jobs.put_nowait((conn, sql, time.perf_counter()))
+            self._jobs.put_nowait((conn, message, time.perf_counter()))
         except queue.Full:
             self._count("busy_rejections")
             self.db.obs.inc("net.busy_rejections")
@@ -351,7 +363,7 @@ class NetServer:
             if item is _STOP:
                 self._jobs.task_done()
                 return
-            conn, sql, enqueued = item
+            conn, message, enqueued = item
             try:
                 if conn.closed.is_set():
                     continue
@@ -359,7 +371,7 @@ class NetServer:
                     "net.queue_wait_seconds", time.perf_counter() - enqueued
                 )
                 with conn.exec_lock:
-                    reply = self._run_statement(conn, sql)
+                    reply = self._run_statement(conn, message)
                 self._send(conn, reply)
             except SimulatedCrash:
                 # A crash failpoint fired inside the engine.  A shared
@@ -374,7 +386,7 @@ class NetServer:
             finally:
                 self._jobs.task_done()
 
-    def _run_statement(self, conn: _Connection, sql: str):
+    def _run_statement(self, conn: _Connection, message: Dict[str, object]):
         """Execute with lock-conflict waiting outside the engine lock.
 
         The engine raises :class:`LockConflictError` without blocking;
@@ -382,7 +394,31 @@ class NetServer:
         commit, so waiting actually helps.  After ``lock_timeout``
         seconds the transaction is the victim of deadlock-by-timeout:
         it is rolled back and the client told to retry it whole.
+
+        The execute frame's optional trace context is pinned onto the
+        session for exactly the duration of this statement, so its root
+        span (and everything beneath it) joins the client's distributed
+        trace; with ``profile`` set, the reply carries that finished
+        span tree back to the driver.  Lock-retry waits happen between
+        span trees, so they show up in ``locks.wait_seconds`` and the
+        reply's ``elapsed``, not inside any one span.
         """
+        sql = message.get("sql")
+        session = conn.session
+        trace_id = message.get("trace_id")
+        session.trace_id = trace_id if isinstance(trace_id, str) else None
+        parent = message.get("parent_span_id")
+        session.parent_span_id = parent if isinstance(parent, int) else None
+        session.last_root_span = None
+        try:
+            return self._run_statement_locked(conn, sql, message)
+        finally:
+            session.trace_id = None
+            session.parent_span_id = None
+
+    def _run_statement_locked(
+        self, conn: _Connection, sql: str, message: Dict[str, object]
+    ):
         deadline = time.monotonic() + self.lock_timeout
         attempt = 0
         while True:
@@ -424,7 +460,12 @@ class NetServer:
             elapsed = time.perf_counter() - started
             self._count("statements")
             self.db.obs.observe("net.statement_seconds", elapsed)
-            return protocol.result(value, elapsed)
+            profile = None
+            if message.get("profile"):
+                root = conn.session.last_root_span
+                if root is not None:
+                    profile = root.to_dict()
+            return protocol.result(value, elapsed, profile)
 
     # ------------------------------------------------------------------
     # Connection teardown

@@ -26,16 +26,26 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.events import Event, EventLog
+from repro.obs.export import parse_prometheus_text, prometheus_text
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.workload import FingerprintStats, WorkloadModel, fingerprint
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "Event",
+    "EventLog",
+    "FingerprintStats",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "Span",
     "SpanRecorder",
+    "WorkloadModel",
+    "fingerprint",
+    "parse_prometheus_text",
+    "prometheus_text",
 ]
 
 
@@ -67,6 +77,10 @@ class Observability:
         self.trace = trace
         self.metrics = MetricsRegistry(timer=timer)
         self.spans = SpanRecorder(self.metrics, max_roots=max_span_roots)
+        #: Per-fingerprint statement statistics fed from completed spans.
+        self.workload = WorkloadModel()
+        #: Structured slow-query/error event log (JSONL-exportable).
+        self.events = EventLog(timer=timer)
         self.enabled = enabled
         #: Buffer pools attached by name (inspection convenience).
         self.pools: Dict[str, Any] = {}
@@ -194,6 +208,7 @@ class Observability:
                 "releases": locks.releases,
                 "conflicts": locks.conflicts,
                 "timeouts": locks.timeouts,
+                "wait_seconds": locks.wait_seconds,
                 "held_resources": locks.locked_resources,
             },
         )
@@ -252,10 +267,16 @@ class Observability:
             "metrics": self.metrics.to_dict(),
             "buffer_totals": self.buffer_totals(),
             "spans": self.spans.to_dicts(),
+            "workload": self.workload.to_dict(),
+            "events": self.events.to_dicts(),
         }
         if self.trace is not None:
             result["trace_levels"] = self.trace.levels()
         return result
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return prometheus_text(self.metrics)
 
     def report(self) -> str:
         """The ``onstat``-style text dump (the ``SHOW STATS`` body)."""
@@ -409,12 +430,44 @@ class Observability:
                 or "(all disabled)"
             )
 
+        histograms = self.metrics.histograms()
+        if histograms:
+            lines.append("")
+            section("latency histograms")
+            width = max(len(name) for name in histograms)
+            lines.append(
+                f"{'histogram':<{width}} {'count':>7} {'mean_ms':>9} "
+                f"{'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9} {'buckets':>8}"
+            )
+            for name in sorted(histograms):
+                h = histograms[name]
+                occupied = sum(1 for tally in h.bucket_counts if tally)
+                lines.append(
+                    f"{name:<{width}} {h.count:>7} {h.mean * 1000:>9.3f} "
+                    f"{h.quantile(0.50) * 1000:>9.3f} "
+                    f"{h.quantile(0.95) * 1000:>9.3f} "
+                    f"{h.quantile(0.99) * 1000:>9.3f} {occupied:>8}"
+                )
+
         lines.append("")
-        finished = sum(1 for span in self.spans.roots if span.finished)
+        finished = len(self.spans.select())
         lines.append(f"spans recorded: {finished} (SHOW SPANS to display)")
+        lines.append(
+            f"workload fingerprints: {len(self.workload)} "
+            "(SHOW WORKLOAD to display)"
+        )
+        threshold = self.events.slow_query_threshold_ms
+        lines.append(
+            f"events recorded: {len(self.events)} "
+            f"(SHOW EVENTS to display; slow-query threshold "
+            f"{'off' if threshold is None else f'{threshold:g} ms'})"
+        )
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Clear push metrics and span history (collectors stay)."""
+        """Clear push metrics, span history, the workload model, and the
+        event ring (collectors stay attached)."""
         self.metrics.reset()
         self.spans.clear()
+        self.workload.reset()
+        self.events.clear()

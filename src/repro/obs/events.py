@@ -1,0 +1,157 @@
+"""Structured event log: slow queries, errors, faults -- as JSONL.
+
+The paper's trace facility prints human-oriented lines (Figure 6); a
+server that other tools watch needs *structured* events too.  The event
+log is a bounded in-memory ring plus an optional append-only JSONL file
+(one JSON object per line, the de-facto structured-log interchange
+format), so an operator can ``tail -f`` a live server or replay the file
+into analysis tooling.
+
+Event producers are the serving layers: ``DatabaseServer.execute`` emits
+``slow_query`` events for statements slower than the configurable
+threshold (``SET SLOW QUERY THRESHOLD <ms>``) and ``error`` events for
+statements that raise -- including fault-injected aborts, which carry
+the fault's failpoint name so crash-consistency experiments can line up
+the event log against the fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+#: Default slow-query threshold: disabled until SET SLOW QUERY THRESHOLD.
+DEFAULT_SLOW_QUERY_MS: Optional[float] = None
+
+
+class Event:
+    """One structured event: a type, a timestamp, and flat fields."""
+
+    __slots__ = ("type", "time", "seq", "fields")
+
+    def __init__(
+        self, type: str, time: float, seq: int, fields: Dict[str, Any]
+    ) -> None:
+        self.type = type
+        self.time = time
+        self.seq = seq
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"event": self.type, "time": self.time,
+                                  "seq": self.seq}
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+class EventLog:
+    """A bounded ring of events with optional JSONL file mirroring.
+
+    ``timer`` is injected (like the metrics registry's) so event
+    timestamps are deterministic under test.  File writes happen inside
+    the lock: events from concurrent workers interleave as whole lines,
+    never torn.  A write failure disables the file sink rather than
+    failing the statement that triggered the event -- observability must
+    never take the server down.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        path: Optional[str] = None,
+        timer: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("event log capacity must be positive")
+        self.capacity = capacity
+        self.path = path
+        self.timer = timer if timer is not None else _default_timer
+        #: Slow-query threshold in milliseconds; ``None`` disables.
+        self.slow_query_threshold_ms: Optional[float] = DEFAULT_SLOW_QUERY_MS
+        self._events: List[Event] = []
+        self._seq = 0
+        self._dropped = 0
+        self._sink_error: Optional[str] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def emit(self, type: str, **fields: Any) -> Event:
+        """Record one event (and mirror it to the JSONL file, if any)."""
+        with self._lock:
+            self._seq += 1
+            event = Event(type, self.timer(), self._seq, fields)
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[: len(self._events) - self.capacity]
+                self._dropped += 1
+            if self.path is not None and self._sink_error is None:
+                try:
+                    with open(self.path, "a", encoding="utf-8") as sink:
+                        sink.write(event.to_json() + "\n")
+                except OSError as exc:
+                    self._sink_error = str(exc)
+            return event
+
+    # ------------------------------------------------------------------
+
+    def tail(self, n: Optional[int] = None) -> List[Event]:
+        """The most recent *n* events (all when ``n`` is ``None``)."""
+        with self._lock:
+            events = list(self._events)
+        if n is not None and n >= 0:
+            events = events[len(events) - min(n, len(events)):]
+        return events
+
+    def to_dicts(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self.tail(n)]
+
+    def to_jsonl(self, n: Optional[int] = None) -> str:
+        return "\n".join(event.to_json() for event in self.tail(n))
+
+    def report(self, n: Optional[int] = 20) -> str:
+        """The ``SHOW EVENTS`` text rendering."""
+        events = self.tail(n)
+        if not events:
+            return "(no events recorded)"
+        lines = [f"event log -- {len(events)} most recent "
+                 f"(dropped {self._dropped} to stay within "
+                 f"{self.capacity})"]
+        for event in events:
+            fields = " ".join(
+                f"{key}={value!r}"
+                for key, value in sorted(event.fields.items())
+            )
+            lines.append(f"#{event.seq} {event.type} {fields}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    @property
+    def sink_error(self) -> Optional[str]:
+        with self._lock:
+            return self._sink_error
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+
+def _default_timer() -> float:
+    import time
+
+    return time.time()

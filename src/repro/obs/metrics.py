@@ -68,12 +68,51 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0..1) from the bucket tallies.
+
+        Standard fixed-bucket estimation: find the bucket holding the
+        q-th observation and interpolate linearly inside it, taking 0 as
+        the lower edge of the first bucket.  Values in the overflow
+        bucket cannot be interpolated, so anything past the last edge
+        clamps to that edge -- the estimator never invents a value the
+        boundaries cannot express.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for edge, tally in zip(self.boundaries, self.bucket_counts):
+            if tally and cumulative + tally >= rank:
+                within = (rank - cumulative) / tally
+                return lower + (edge - lower) * max(0.0, within)
+            cumulative += tally
+            lower = edge
+        return self.boundaries[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """Count, sum, mean, and the p50/p95/p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "boundaries": list(self.boundaries),
             "bucket_counts": list(self.bucket_counts),
             "count": self.count,
             "sum": self.total,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -131,6 +170,11 @@ class MetricsRegistry:
     ) -> None:
         with self._lock:
             self.histogram(name, boundaries).observe(value)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """A point-in-time copy of the histogram map (values shared)."""
+        with self._lock:
+            return dict(self._histograms)
 
     # -- pull metrics ---------------------------------------------------
 

@@ -8,10 +8,18 @@ messages cannot express -- the *metric deltas* that occurred while it
 was open: a metrics snapshot is taken when the span starts and again
 when it finishes, so each span shows exactly the page I/O, lock traffic,
 and purpose-function calls it caused.
+
+The recorder is shared by every worker thread of the serving layer, but
+a span tree belongs to exactly one statement on one thread, so the
+*current-span stack* is thread-local: two interleaved wire clients can
+never parent their spans under each other's trees.  Only the finished
+root list (and the id sequence) is shared, guarded by one lock.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
@@ -23,6 +31,7 @@ class Span:
 
     __slots__ = (
         "name",
+        "span_id",
         "attrs",
         "children",
         "start_time",
@@ -31,8 +40,14 @@ class Span:
         "_metrics_before",
     )
 
-    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        span_id: int = 0,
+    ) -> None:
         self.name = name
+        self.span_id = span_id
         self.attrs: Dict[str, Any] = attrs or {}
         self.children: List["Span"] = []
         self.start_time: Optional[float] = None
@@ -50,6 +65,11 @@ class Span:
             return 0.0
         return self.end_time - self.start_time
 
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The distributed trace this span belongs to (root attr)."""
+        return self.attrs.get("trace_id")
+
     def find(self, name: str) -> Optional["Span"]:
         """Depth-first search for a descendant (or self) named *name*."""
         if self.name == name:
@@ -60,9 +80,19 @@ class Span:
                 return found
         return None
 
+    def leaves(self) -> List["Span"]:
+        """All descendants without children (self when childless)."""
+        if not self.children:
+            return [self]
+        result: List["Span"] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "attrs": dict(self.attrs),
             "duration": self.duration,
             "metric_deltas": dict(sorted(self.metric_deltas.items())),
@@ -90,34 +120,54 @@ class Span:
 
 
 class SpanRecorder:
-    """Builds span trees; keeps the most recent *max_roots* root spans."""
+    """Builds span trees; keeps the most recent *max_roots* root spans.
+
+    Thread contract: each statement's span tree is built by one thread.
+    The open-span stack lives in ``threading.local`` storage, so trees
+    built by concurrent sessions stay disjoint; the shared root list is
+    guarded by :attr:`_roots_lock`.
+    """
 
     def __init__(self, registry: MetricsRegistry, max_roots: int = 128) -> None:
         self.registry = registry
         self.max_roots = max_roots
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._roots_lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def current(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack()
+        return stack[-1] if stack else None
 
-    @contextmanager
-    def span(self, name: str, **attrs):
-        span = Span(name, attrs)
-        span.start_time = self.registry.timer()
-        span._metrics_before = self.registry.snapshot()
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
+    def _add_root(self, span: Span) -> None:
+        with self._roots_lock:
             self.roots.append(span)
             if len(self.roots) > self.max_roots:
                 del self.roots[: len(self.roots) - self.max_roots]
-        self._stack.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = Span(name, attrs, span_id=next(self._ids))
+        span.start_time = self.registry.timer()
+        span._metrics_before = self.registry.snapshot()
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._add_root(span)
+        stack.append(span)
         try:
             yield span
         finally:
-            self._stack.pop()
+            stack.pop()
             span.end_time = self.registry.timer()
             span.metric_deltas = self.registry.delta(
                 span._metrics_before, self.registry.snapshot()
@@ -130,33 +180,75 @@ class SpanRecorder:
         """Attach an already-measured interval as a child of the current
         span (used for work timed before its parent span existed, e.g.
         parsing, which decides whether the statement is traced at all)."""
-        span = Span(name, attrs)
+        span = Span(name, attrs, span_id=next(self._ids))
         span.start_time = start_time
         span.end_time = end_time
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
+            self._add_root(span)
         return span
 
     # ------------------------------------------------------------------
 
+    def select(
+        self,
+        *,
+        name: Optional[str] = None,
+        connection: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Span]:
+        """Finished roots, oldest first, filtered and tail-limited.
+
+        ``connection`` matches the ``conn`` attribute the serving layer
+        stamps onto statement spans; ``trace_id`` matches the propagated
+        wire trace context; ``limit`` keeps only the most recent *n*.
+        """
+        with self._roots_lock:
+            roots = list(self.roots)
+        selected = [
+            span
+            for span in roots
+            if span.finished
+            and (name is None or span.name == name)
+            and (connection is None or span.attrs.get("conn") == connection)
+            and (trace_id is None or span.attrs.get("trace_id") == trace_id)
+        ]
+        if limit is not None and limit >= 0:
+            selected = selected[len(selected) - min(limit, len(selected)):]
+        return selected
+
     def last_root(self, name: Optional[str] = None) -> Optional[Span]:
         """The most recent finished root span (optionally by name)."""
-        for span in reversed(self.roots):
-            if not span.finished:
-                continue
-            if name is None or span.name == name:
-                return span
-        return None
+        spans = self.select(name=name, limit=1)
+        return spans[-1] if spans else None
 
-    def to_dicts(self) -> List[Dict[str, Any]]:
-        return [span.to_dict() for span in self.roots if span.finished]
+    def to_dicts(
+        self,
+        *,
+        connection: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        return [
+            span.to_dict()
+            for span in self.select(
+                connection=connection, trace_id=trace_id, limit=limit
+            )
+        ]
 
-    def format_trees(self, limit: Optional[int] = None) -> str:
-        finished = [span for span in self.roots if span.finished]
-        if limit is not None:
-            finished = finished[-limit:]
+    def format_trees(
+        self,
+        limit: Optional[int] = None,
+        *,
+        connection: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ) -> str:
+        finished = self.select(
+            connection=connection, trace_id=trace_id, limit=limit
+        )
         if not finished:
             return "(no spans recorded)"
         lines: List[str] = []
@@ -165,4 +257,5 @@ class SpanRecorder:
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self.roots.clear()
+        with self._roots_lock:
+            self.roots.clear()

@@ -544,9 +544,65 @@ class Executor:
         obs = self.server.obs
         if stmt.format == "json":
             return json.dumps(
-                obs.spans.to_dicts(), indent=2, sort_keys=True, default=str
+                obs.spans.to_dicts(
+                    connection=stmt.connection, limit=stmt.limit
+                ),
+                indent=2,
+                sort_keys=True,
+                default=str,
             )
-        return obs.spans.format_trees()
+        return obs.spans.format_trees(
+            limit=stmt.limit, connection=stmt.connection
+        )
+
+    def _show_trace(self, stmt: ast.ShowTrace, session) -> str:
+        obs = self.server.obs
+        if stmt.format == "json":
+            return json.dumps(
+                obs.spans.to_dicts(trace_id=stmt.trace_id),
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        rendered = obs.spans.format_trees(trace_id=stmt.trace_id)
+        if rendered == "(no spans recorded)":
+            return f"(no spans recorded for trace {stmt.trace_id})"
+        return rendered
+
+    def _show_workload(self, stmt: ast.ShowWorkload, session) -> str:
+        workload = self.server.obs.workload
+        try:
+            if stmt.format == "json":
+                return json.dumps(
+                    workload.to_dict(stmt.top, stmt.by),
+                    indent=2,
+                    sort_keys=True,
+                    default=str,
+                )
+            return workload.report(
+                stmt.top if stmt.top is not None else 20, stmt.by
+            )
+        except ValueError as exc:
+            raise SqlError(str(exc)) from None
+
+    def _show_events(self, stmt: ast.ShowEvents, session) -> str:
+        events = self.server.obs.events
+        if stmt.format == "json":
+            return json.dumps(
+                events.to_dicts(stmt.limit),
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        return events.report(stmt.limit if stmt.limit is not None else 20)
+
+    def _set_slow_query_threshold(
+        self, stmt: ast.SetSlowQueryThreshold, session
+    ) -> str:
+        self.server.obs.events.slow_query_threshold_ms = stmt.ms
+        if stmt.ms is None:
+            return "slow query logging off"
+        return f"slow query threshold set to {stmt.ms:g} ms"
 
     def _set_trace_class(self, stmt: ast.SetTraceClass, session) -> str:
         self.server.trace.set_level(stmt.trace_class, stmt.level)
@@ -685,6 +741,10 @@ class Executor:
         ast.Unload: _unload,
         ast.ShowStats: _show_stats,
         ast.ShowSpans: _show_spans,
+        ast.ShowTrace: _show_trace,
+        ast.ShowWorkload: _show_workload,
+        ast.ShowEvents: _show_events,
         ast.SetTraceClass: _set_trace_class,
         ast.SetFault: _set_fault,
+        ast.SetSlowQueryThreshold: _set_slow_query_threshold,
     }

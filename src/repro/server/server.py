@@ -15,7 +15,9 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
+from repro.faults import SimulatedCrash
 from repro.obs import Observability
+from repro.obs.workload import fingerprint as workload_fingerprint
 from repro.server import sql as ast
 from repro.server.access_method import SecondaryAccessMethod, SpaceType
 from repro.server.catalog import SystemCatalog
@@ -221,8 +223,18 @@ class DatabaseServer:
     # ------------------------------------------------------------------
 
     #: Statements that inspect observability state; they run unspanned so
-    #: ``SHOW SPANS`` never renders its own half-open root span.
-    _INTROSPECTION = (ast.ShowStats, ast.ShowSpans, ast.SetTraceClass, ast.SetFault)
+    #: ``SHOW SPANS`` never renders its own half-open root span, and are
+    #: kept out of the workload model and event log for the same reason.
+    _INTROSPECTION = (
+        ast.ShowStats,
+        ast.ShowSpans,
+        ast.ShowTrace,
+        ast.ShowWorkload,
+        ast.ShowEvents,
+        ast.SetTraceClass,
+        ast.SetFault,
+        ast.SetSlowQueryThreshold,
+    )
 
     def _parse(self, sql_text: str) -> ast.Statement:
         """Parse through the LRU statement cache, keyed by SQL text.
@@ -284,13 +296,78 @@ class DatabaseServer:
                 # Serving-layer statements carry their connection id so
                 # SHOW SPANS can be sliced per client.
                 attrs["conn"] = session.connection_id
-            with obs.span("sql." + kind, **attrs) as root:
-                obs.spans.add_completed_child(
-                    "sql.parse", parse_start, parse_end
-                )
-                result = self.executor.execute(statement, session)
+            if session.trace_id is not None:
+                # Wire-propagated distributed-trace context: the root
+                # span joins the client's trace so SHOW TRACE <id> (and
+                # the explain_profile reply) stitch client -> server ->
+                # executor -> storage into one tree.
+                attrs["trace_id"] = session.trace_id
+                if session.parent_span_id is not None:
+                    attrs["parent_span_id"] = session.parent_span_id
+            root = None
+            try:
+                with obs.span("sql." + kind, **attrs) as span:
+                    root = span
+                    obs.spans.add_completed_child(
+                        "sql.parse", parse_start, parse_end
+                    )
+                    result = self.executor.execute(statement, session)
+            except SimulatedCrash:
+                # The engine "died" mid-statement: a real crash records
+                # nothing further, so neither does a simulated one.
+                raise
+            except Exception as exc:
+                if root is not None:
+                    root.attrs["error"] = f"{type(exc).__name__}: {exc}"
+                    fault_point = getattr(exc, "point", None)
+                    if fault_point is not None:
+                        root.attrs["fault"] = fault_point
+                    self._record_statement(session, sql_text, root, None, exc)
+                raise
             obs.metrics.observe("sql.statement_seconds", root.duration)
+            self._record_statement(session, sql_text, root, result, None)
             return result
+
+    def _record_statement(
+        self, session: Session, sql_text: str, root, result: Any, exc
+    ) -> None:
+        """Fold one finished statement (its root span is closed, so its
+        metric deltas are final) into the workload model and event log."""
+        obs = self.obs
+        session.last_root_span = root
+        duration = root.duration
+        rows = len(result) if isinstance(result, list) else None
+        if exc is not None:
+            obs.metrics.inc("sql.errors_total")
+        obs.workload.observe(
+            sql_text,
+            duration,
+            rows=rows,
+            deltas=root.metric_deltas,
+            error=exc is not None,
+        )
+        events = obs.events
+        threshold = events.slow_query_threshold_ms
+        slow = threshold is not None and duration * 1000.0 >= threshold
+        if exc is None and not slow:
+            return
+        fields: Dict[str, Any] = {
+            "sql": sql_text,
+            "fingerprint": workload_fingerprint(sql_text),
+            "duration_ms": duration * 1000.0,
+        }
+        if session.connection_id is not None:
+            fields["conn"] = session.connection_id
+        if root.trace_id is not None:
+            fields["trace_id"] = root.trace_id
+        if exc is not None:
+            fields["error"] = f"{type(exc).__name__}: {exc}"
+            fault_point = getattr(exc, "point", None)
+            if fault_point is not None:
+                fields["fault"] = fault_point
+            events.emit("error", **fields)
+        if slow:
+            events.emit("slow_query", **fields)
 
     def run_script(self, script: str, session: Optional[Session] = None) -> List[Any]:
         """Execute a semicolon-separated script (BladeManager-style

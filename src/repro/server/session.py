@@ -47,6 +47,14 @@ class Session:
         #: Set by the serving layer (``repro.net``) when this session is
         #: bound to a network connection; tagged onto statement spans.
         self.connection_id: Optional[int] = None
+        #: Distributed-trace context propagated by the wire client for
+        #: the *current* statement; stamped onto its root span so the
+        #: client, server, and storage spans stitch into one trace.
+        self.trace_id: Optional[str] = None
+        self.parent_span_id: Optional[int] = None
+        #: The root span of this session's most recent statement -- the
+        #: serving layer reads it to build ``explain_profile`` replies.
+        self.last_root_span = None
 
     # ------------------------------------------------------------------
 

@@ -9,8 +9,13 @@ predicates and comparisons with AND/OR/NOT.  Transactions: ``BEGIN WORK``,
 ``COMMIT WORK``, ``ROLLBACK WORK``, ``SET ISOLATION TO ...``.  Utility:
 ``CHECK INDEX`` and ``UPDATE STATISTICS FOR INDEX`` map onto ``am_check``
 and ``am_stats``.  Observability: ``SHOW STATS [JSON]`` and ``SHOW SPANS
-[JSON]`` dump the metrics registry and span trees, and ``SET TRACE CLASS
-<class> LEVEL <n>`` is the SQL face of the Section 6.4 trace facility.
+[JSON] [WHERE CONNECTION = n] [LIMIT n]`` dump the metrics registry and
+span trees, ``SHOW TRACE <id> [JSON]`` retrieves one distributed trace,
+``SHOW WORKLOAD [JSON] [TOP n BY calls|total_time|mean_time]`` renders
+the fingerprint workload model, ``SHOW EVENTS [JSON] [LIMIT n]`` dumps
+the structured event log, ``SET SLOW QUERY THRESHOLD <ms>|OFF`` arms the
+slow-query log, and ``SET TRACE CLASS <class> LEVEL <n>`` is the SQL
+face of the Section 6.4 trace facility.
 """
 
 from __future__ import annotations
@@ -237,9 +242,49 @@ class ShowStats:
 
 @dataclass
 class ShowSpans:
-    """``SHOW SPANS [JSON]`` -- dump recorded statement span trees."""
+    """``SHOW SPANS [JSON] [WHERE CONNECTION = n] [LIMIT n]`` -- dump
+    recorded statement span trees, optionally filtered to one serving
+    connection and/or tail-limited to the most recent *n* roots."""
 
     format: str = "text"  # 'text' | 'json'
+    connection: Optional[int] = None
+    limit: Optional[int] = None
+
+
+@dataclass
+class ShowTrace:
+    """``SHOW TRACE <trace_id> [JSON]`` -- every recorded span tree that
+    carries the given propagated trace id (wire tracing)."""
+
+    trace_id: str
+    format: str = "text"  # 'text' | 'json'
+
+
+@dataclass
+class ShowWorkload:
+    """``SHOW WORKLOAD [JSON] [TOP n BY calls|total_time|mean_time]`` --
+    render the per-fingerprint workload model."""
+
+    format: str = "text"  # 'text' | 'json'
+    top: Optional[int] = None
+    by: str = "total_time"
+
+
+@dataclass
+class ShowEvents:
+    """``SHOW EVENTS [JSON] [LIMIT n]`` -- dump the structured event log
+    (slow queries, errors, fault aborts)."""
+
+    format: str = "text"  # 'text' | 'json'
+    limit: Optional[int] = None
+
+
+@dataclass
+class SetSlowQueryThreshold:
+    """``SET SLOW QUERY THRESHOLD <ms>`` / ``... OFF`` -- statements
+    slower than the threshold emit ``slow_query`` events."""
+
+    ms: Optional[float]  # None disarms
 
 
 @dataclass
@@ -270,7 +315,8 @@ Statement = Union[
     DropAccessMethod, CreateOpclass, DropOpclass, CreateIndex, DropIndex,
     Insert, Select, Delete, Update, BeginWork, CommitWork, RollbackWork,
     SetIsolation, CheckIndex, UpdateStatistics, Load, Unload,
-    ShowStats, ShowSpans, SetTraceClass, SetFault,
+    ShowStats, ShowSpans, ShowTrace, ShowWorkload, ShowEvents,
+    SetTraceClass, SetFault, SetSlowQueryThreshold,
 ]
 
 # ----------------------------------------------------------------------
@@ -413,6 +459,8 @@ class _Parser:
                 return self._set_trace_class()
             if self.at_keyword("FAULT"):
                 return self._set_fault()
+            if self.at_keyword("SLOW"):
+                return self._set_slow_query_threshold()
             self.expect_keyword("ISOLATION")
             self.expect_keyword("TO")
             words = []
@@ -503,6 +551,19 @@ class _Parser:
         value = float(token.value)
         return int(value) if integral else value
 
+    def _set_slow_query_threshold(self) -> SetSlowQueryThreshold:
+        self.expect_keyword("SLOW")
+        self.expect_keyword("QUERY")
+        self.expect_keyword("THRESHOLD")
+        if self.accept_keyword("OFF"):
+            self.done()
+            return SetSlowQueryThreshold(ms=None)
+        ms = self._number("SET SLOW QUERY THRESHOLD")
+        if ms < 0:
+            raise SqlError("SET SLOW QUERY THRESHOLD needs a value >= 0")
+        self.done()
+        return SetSlowQueryThreshold(ms=ms)
+
     def _show(self) -> Statement:
         self.expect_keyword("SHOW")
         if self.accept_keyword("STATS"):
@@ -511,12 +572,62 @@ class _Parser:
             return ShowStats(fmt)
         if self.accept_keyword("SPANS"):
             fmt = "json" if self.accept_keyword("JSON") else "text"
+            connection = limit = None
+            while self.peek() is not None and self.peek().kind == "word":
+                if self.accept_keyword("WHERE"):
+                    self.expect_keyword("CONNECTION")
+                    self.expect_op("=")
+                    connection = self._number(
+                        "SHOW SPANS WHERE CONNECTION", integral=True
+                    )
+                elif self.accept_keyword("LIMIT"):
+                    limit = self._number("SHOW SPANS LIMIT", integral=True)
+                else:
+                    raise SqlError(
+                        f"unexpected SHOW SPANS option {self.peek().value!r}"
+                    )
             self.done()
-            return ShowSpans(fmt)
+            return ShowSpans(fmt, connection=connection, limit=limit)
+        if self.accept_keyword("TRACE"):
+            # Trace ids are hex strings that may start with a digit, so
+            # the tokenizer can split one into number/word runs: accept a
+            # quoted string, or join the adjacent pieces back together.
+            parts: List[str] = []
+            while (
+                self.peek() is not None
+                and self.peek().kind in ("word", "number", "string")
+                and not self.at_keyword("JSON")
+            ):
+                parts.append(self.next().value)
+            if not parts:
+                raise SqlError("SHOW TRACE needs a trace id")
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            self.done()
+            return ShowTrace("".join(parts), fmt)
+        if self.accept_keyword("WORKLOAD"):
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            top = None
+            by = "total_time"
+            if self.accept_keyword("TOP"):
+                top = self._number("SHOW WORKLOAD TOP", integral=True)
+                self.expect_keyword("BY")
+                by = self.identifier().lower()
+            self.done()
+            return ShowWorkload(fmt, top=top, by=by)
+        if self.accept_keyword("EVENTS"):
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            limit = None
+            if self.accept_keyword("LIMIT"):
+                limit = self._number("SHOW EVENTS LIMIT", integral=True)
+            self.done()
+            return ShowEvents(fmt, limit=limit)
         raise SqlError(
-            f"SHOW supports STATS and SPANS, got {self.peek().value!r}"
-            if self.peek() is not None
-            else "SHOW supports STATS and SPANS"
+            "SHOW supports STATS, SPANS, TRACE, WORKLOAD, and EVENTS"
+            + (
+                f", got {self.peek().value!r}"
+                if self.peek() is not None
+                else ""
+            )
         )
 
     def _load(self) -> Load:

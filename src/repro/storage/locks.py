@@ -109,6 +109,9 @@ class LockManager:
         self.releases = 0
         #: Requests that timed out while blocking (deadlock-by-timeout).
         self.timeouts = 0
+        #: Total seconds spent blocked inside :meth:`acquire`, successful
+        #: or not -- the workload model's per-statement lock-wait time.
+        self.wait_seconds = 0.0
 
     # ------------------------------------------------------------------
 
@@ -161,16 +164,22 @@ class LockManager:
             self.conflicts += 1
             if not wait_timeout or wait_timeout <= 0:
                 raise LockConflictError(resource, mode, blockers)
-            deadline = time.monotonic() + wait_timeout
-            while True:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self.timeouts += 1
-                    raise LockTimeoutError(resource, mode, blockers, wait_timeout)
-                self._released.wait(remaining)
-                blockers = self._try_grant(txn_id, resource, mode)
-                if blockers is None:
-                    return
+            started = time.monotonic()
+            deadline = started + wait_timeout
+            try:
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.timeouts += 1
+                        raise LockTimeoutError(
+                            resource, mode, blockers, wait_timeout
+                        )
+                    self._released.wait(remaining)
+                    blockers = self._try_grant(txn_id, resource, mode)
+                    if blockers is None:
+                        return
+            finally:
+                self.wait_seconds += time.monotonic() - started
 
     def release(self, txn_id: int, resource: Hashable) -> None:
         """Release this transaction's lock on *resource* (idempotent)."""

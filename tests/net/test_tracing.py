@@ -1,0 +1,303 @@
+"""End-to-end distributed tracing over the wire: trace-context
+propagation, stitched ``explain_profile`` trees, ``SHOW TRACE``,
+the ``metrics`` scrape frame, the workload model under a remote mixed
+workload, and the 8-thread disjoint-trace-trees hammer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.net import NetServer, Profiled, ReproClient
+from repro.obs import SpanRecorder
+from repro.obs.export import parse_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.workload import fingerprint
+from repro.server import DatabaseServer
+from repro.temporal.chronon import Clock, format_chronon
+
+THREADS = 8
+
+
+def day(c):
+    return format_chronon(c)
+
+
+@pytest.fixture()
+def db():
+    server = DatabaseServer(clock=Clock(now=100))
+    server.create_sbspace("spc")
+    register_grtree_blade(server)
+    return server
+
+
+@pytest.fixture()
+def served(db):
+    net = NetServer(db, workers=4, queue_depth=16, lock_timeout=2.0).start()
+    yield db, net
+    net.shutdown()
+
+
+def make_client(net, **kwargs):
+    kwargs.setdefault("read_timeout", 10.0)
+    return ReproClient(net.host, net.port, **kwargs).connect()
+
+
+def setup_emp(client, rows=4):
+    client.execute("CREATE TABLE emp (name LVARCHAR, te GRT_TimeExtent_t)")
+    client.execute(
+        "CREATE INDEX e_te ON emp(te) USING grtree_am IN spc"
+    )
+    for i in range(rows):
+        client.execute(
+            f"INSERT INTO emp VALUES ('e{i}', "
+            f"'{day(100)}, UC, {day(90 + i)}, NOW')"
+        )
+
+
+class TestExplainProfile:
+    def test_profile_returns_a_stitched_trace(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client)
+            profiled = client.execute(
+                "SELECT name FROM emp WHERE "
+                f"Overlaps(te, '{day(100)}, UC, {day(91)}, NOW')",
+                explain_profile=True,
+            )
+            assert isinstance(profiled, Profiled)
+            assert [row["name"] for row in profiled.value]
+            names = profiled.span_names()
+            # Client root, then the server's statement tree under it.
+            assert names[0] == "client.execute"
+            assert "sql.select" in names
+            assert "sql.parse" in names
+            assert profiled.trace_id == client.last_trace_id
+            assert profiled.server_elapsed is not None
+            # The stitched tree carries the propagated context.
+            server_root = profiled.trace["children"][0]
+            assert server_root["attrs"]["trace_id"] == profiled.trace_id
+            assert (
+                server_root["attrs"]["parent_span_id"]
+                == profiled.trace["span_id"]
+            )
+
+    def test_profile_leaves_reach_the_storage_layer(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client)
+            profiled = client.execute(
+                "SELECT name FROM emp WHERE "
+                f"Overlaps(te, '{day(100)}, UC, {day(91)}, NOW')",
+                explain_profile=True,
+            )
+            leaves = profiled.leaves()
+            assert leaves, "stitched trace has no leaves"
+            # At least one leaf is below the server root: the tree is
+            # deeper than client -> server.
+            leaf_names = {leaf["name"] for leaf in leaves}
+            assert leaf_names - {"client.execute", "sql.select"}
+
+    def test_plain_execute_still_returns_rows(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client, rows=1)
+            rows = client.execute("SELECT name FROM emp")
+            assert rows == [{"name": "e0"}]
+
+    def test_untraced_client_sends_bare_frames(self, served):
+        db, net = served
+        with make_client(net, tracing=False) as client:
+            setup_emp(client, rows=1)
+            client.execute("SELECT name FROM emp")
+            assert client.last_trace_id is None
+            root = db.obs.spans.last_root("sql.select")
+            assert root is not None
+            assert root.trace_id is None
+
+    def test_untraced_client_can_still_ask_for_a_profile(self, served):
+        db, net = served
+        with make_client(net, tracing=False) as client:
+            setup_emp(client, rows=1)
+            profiled = client.execute(
+                "SELECT name FROM emp", explain_profile=True
+            )
+            assert isinstance(profiled, Profiled)
+            assert profiled.trace_id is not None
+
+
+class TestShowTrace:
+    def test_show_trace_finds_the_statement_tree(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client, rows=2)
+            client.execute("SELECT name FROM emp")
+            trace_id = client.last_trace_id
+            assert trace_id is not None
+            rendered = client.execute(f"SHOW TRACE {trace_id}")
+            assert "sql.select" in rendered
+            assert trace_id in rendered
+
+    def test_show_trace_json_round_trips(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client, rows=2)
+            client.execute("SELECT name FROM emp")
+            trace_id = client.last_trace_id
+            trees = json.loads(client.execute(f"SHOW TRACE {trace_id} JSON"))
+            assert len(trees) == 1
+            assert trees[0]["attrs"]["trace_id"] == trace_id
+            assert trees[0]["name"] == "sql.select"
+
+    def test_show_trace_unknown_id(self, served):
+        db, net = served
+        with make_client(net) as client:
+            rendered = client.execute("SHOW TRACE deadbeef")
+            assert "no spans recorded for trace deadbeef" in rendered
+
+
+class TestMetricsFrame:
+    def test_scrape_round_trips_prometheus_text(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client, rows=1)
+            client.execute("SELECT name FROM emp")
+            text = client.metrics()
+            samples, types = parse_prometheus_text(text)
+            assert samples["repro_sql_statements_total"] >= 1
+            assert types["repro_sql_statements_total"] == "counter"
+            assert samples["repro_net_metrics_scrapes_total"] >= 1
+
+    def test_scrape_does_not_consume_a_worker_slot(self, db):
+        # queue_depth=1, workers=1: if the scrape were queued behind
+        # statements it could be rejected SERVER_BUSY; as a reader-thread
+        # frame it always answers.
+        net = NetServer(db, workers=1, queue_depth=1).start()
+        try:
+            with make_client(net) as client:
+                for _ in range(4):
+                    assert "repro_" in client.metrics()
+        finally:
+            net.shutdown()
+
+
+class TestWorkloadOverTheWire:
+    def test_mixed_workload_builds_the_model(self, served):
+        db, net = served
+        with make_client(net) as client:
+            setup_emp(client, rows=2)
+            select_shape = None
+            for i in range(100):
+                if i % 2 == 0:
+                    select_shape = (
+                        f"SELECT name FROM emp WHERE name = 'e{i % 2}'"
+                    )
+                    client.execute(select_shape)
+                else:
+                    client.execute(
+                        f"INSERT INTO emp VALUES ('w{i}', "
+                        f"'{day(100)}, UC, {day(95)}, NOW')"
+                    )
+            model = db.obs.workload
+            select_stats = model.get(fingerprint(select_shape))
+            assert select_stats.calls == 50
+            assert select_stats.rows_returned >= 50
+            insert_stats = model.get(
+                fingerprint("INSERT INTO emp VALUES ('x', 'y')")
+            )
+            # 50 from the loop plus the 2 setup rows: same shape.
+            assert insert_stats.calls == 52
+            assert insert_stats.latency.quantile(0.95) > 0.0
+
+            payload = json.loads(
+                client.execute("SHOW WORKLOAD JSON TOP 5 BY calls")
+            )
+            assert payload["ordered_by"] == "calls"
+            top_calls = [f["calls"] for f in payload["fingerprints"]]
+            assert top_calls[0] == 52
+            assert top_calls == sorted(top_calls, reverse=True)
+
+            report = client.execute("SHOW WORKLOAD")
+            assert "workload model" in report
+            assert "SELECT NAME FROM EMP WHERE NAME = ?" in report
+
+
+class TestDisjointTraceTrees:
+    def test_recorder_hammer_keeps_trees_disjoint(self):
+        """8 threads build interleaved span trees on one recorder: every
+        finished tree must contain only its own thread's spans."""
+        recorder = SpanRecorder(MetricsRegistry(), max_roots=4096)
+        rounds = 50
+
+        def worker(index):
+            for i in range(rounds):
+                with recorder.span(
+                    "root", thread=index, trace_id=f"t{index}"
+                ):
+                    with recorder.span("child", thread=index):
+                        with recorder.span("leaf", thread=index):
+                            pass
+
+        errors = []
+
+        def run(index):
+            try:
+                worker(index)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=run, args=(index,))
+            for index in range(THREADS)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60)
+        assert not errors
+        for index in range(THREADS):
+            trees = recorder.select(trace_id=f"t{index}")
+            assert len(trees) == rounds
+            for root in trees:
+                owners = {root.attrs["thread"]}
+                for leaf in root.leaves():
+                    owners.add(leaf.attrs["thread"])
+                assert owners == {index}, "tree mixes threads"
+
+    def test_wire_hammer_keeps_traces_disjoint(self, served):
+        """8 concurrent traced clients: each client's last trace id must
+        select exactly one tree, and that tree's statement must be the
+        one this client ran."""
+        db, net = served
+        with make_client(net) as admin:
+            setup_emp(admin, rows=1)
+        last_ids = [None] * THREADS
+        errors = []
+
+        def worker(index):
+            try:
+                with make_client(net) as client:
+                    for i in range(10):
+                        client.execute(
+                            f"SELECT name FROM emp WHERE name = 'c{index}'"
+                        )
+                    last_ids[index] = client.last_trace_id
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(THREADS)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60)
+        assert not errors
+        assert all(last_ids)
+        assert len(set(last_ids)) == THREADS
+        for index, trace_id in enumerate(last_ids):
+            trees = db.obs.spans.select(trace_id=trace_id)
+            assert len(trees) == 1
+            assert f"'c{index}'" in trees[0].attrs["sql"]

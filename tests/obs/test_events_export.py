@@ -1,0 +1,146 @@
+"""Unit tests for the structured event log (ring bound, JSONL sink,
+sink-failure isolation) and the Prometheus text export (round-trip via
+the bundled parser, counter/gauge typing, cumulative buckets)."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    collect_histogram_buckets,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeTimer:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestEventLog:
+    def test_emit_and_tail(self):
+        log = EventLog(timer=FakeTimer())
+        log.emit("slow_query", sql="SELECT 1", duration_ms=12.5)
+        log.emit("error", sql="BROKEN", error="SqlError: nope")
+        assert len(log) == 2
+        last = log.tail(1)[0]
+        assert last.type == "error"
+        assert last.seq == 2
+        assert last.fields["sql"] == "BROKEN"
+        record = last.to_dict()
+        assert record["event"] == "error"
+        assert record["time"] == 2.0
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        log = EventLog(capacity=3, timer=FakeTimer())
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.fields["i"] for e in log.tail()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path), timer=FakeTimer())
+        log.emit("slow_query", sql="SELECT 1")
+        log.emit("error", sql="SELECT 2")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["event"] == "slow_query"
+        assert records[1]["seq"] == 2
+        assert log.sink_error is None
+
+    def test_sink_failure_disables_file_but_keeps_ring(self, tmp_path):
+        log = EventLog(path=str(tmp_path / "no" / "such" / "dir.jsonl"),
+                       timer=FakeTimer())
+        log.emit("tick")  # must not raise
+        log.emit("tock")
+        assert log.sink_error is not None
+        assert len(log) == 2
+
+    def test_to_jsonl_and_report(self):
+        log = EventLog(timer=FakeTimer())
+        assert log.report() == "(no events recorded)"
+        log.emit("slow_query", sql="SELECT 1", conn=3)
+        jsonl = log.to_jsonl()
+        assert json.loads(jsonl)["conn"] == 3
+        report = log.report()
+        assert "#1 slow_query" in report
+        assert "conn=3" in report
+
+    def test_clear(self):
+        log = EventLog(capacity=1, timer=FakeTimer())
+        log.emit("a")
+        log.emit("b")
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_threshold_defaults_off(self):
+        assert EventLog().slow_query_threshold_ms is None
+
+
+class TestPrometheusExport:
+    def test_counters_and_gauges_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("am.calls", 5)
+        registry.inc("wal.records", 2)
+        registry.set_gauge("pool.size", 64)
+        registry.set_gauge("node_cache.hit_ratio", 0.75)
+        text = prometheus_text(registry)
+        samples, types = parse_prometheus_text(text)
+        assert samples["repro_am_calls_total"] == 5
+        assert types["repro_am_calls_total"] == "counter"
+        assert samples["repro_pool_size"] == 64
+        assert types["repro_pool_size"] == "gauge"
+        assert samples["repro_node_cache_hit_ratio"] == 0.75
+        assert types["repro_node_cache_hit_ratio"] == "gauge"
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "sql.seconds", boundaries=(0.001, 0.01, 0.1)
+        )
+        for value in (0.0005, 0.0005, 0.05, 5.0):
+            hist.observe(value)
+        text = prometheus_text(registry)
+        samples, types = parse_prometheus_text(text)
+        assert types["repro_sql_seconds"] == "histogram"
+        series = dict(collect_histogram_buckets(samples, "repro_sql_seconds"))
+        assert series["0.001"] == 2
+        assert series["0.01"] == 2
+        assert series["0.1"] == 3
+        assert series["+Inf"] == 4
+        assert samples["repro_sql_seconds_count"] == 4
+        assert samples["repro_sql_seconds_sum"] == pytest.approx(5.051)
+
+    def test_dotted_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b-c d", 1)
+        samples, _ = parse_prometheus_text(prometheus_text(registry))
+        assert "repro_a_b_c_d_total" in samples
+
+    def test_observability_prometheus_method(self):
+        obs = Observability()
+        obs.metrics.inc("sql.statements", 1)
+        text = obs.prometheus()
+        samples, _ = parse_prometheus_text(text)
+        assert samples["repro_sql_statements_total"] == 1
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("lonely_token_without_value_or_space")

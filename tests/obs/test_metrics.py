@@ -75,7 +75,65 @@ class TestHistogram:
             "bucket_counts": [1, 0],
             "count": 1,
             "sum": 0.5,
+            "p50": 0.5,
+            "p95": pytest.approx(0.95),
+            "p99": pytest.approx(0.99),
         }
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("h", boundaries=[1.0, 2.0])
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q_out_of_range_rejected(self):
+        h = Histogram("h", boundaries=[1.0])
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram("h", boundaries=[1.0, 2.0])
+        for _ in range(10):
+            h.observe(0.5)
+        # All mass in the first bucket [0, 1]: linear interpolation.
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_boundary_between_buckets(self):
+        """The q that lands exactly on a bucket edge returns that edge."""
+        h = Histogram("h", boundaries=[1.0, 2.0, 3.0])
+        for _ in range(5):
+            h.observe(0.5)   # bucket (0, 1]
+        for _ in range(5):
+            h.observe(1.5)   # bucket (1, 2]
+        assert h.quantile(0.5) == pytest.approx(1.0)   # edge of bucket 1
+        assert h.quantile(1.0) == pytest.approx(2.0)   # edge of bucket 2
+        assert h.quantile(0.75) == pytest.approx(1.5)  # middle of bucket 2
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        h = Histogram("h", boundaries=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(99.0)  # overflow: cannot be interpolated
+        assert h.quantile(0.99) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_skips_empty_buckets(self):
+        h = Histogram("h", boundaries=[1.0, 2.0, 3.0, 4.0])
+        for _ in range(4):
+            h.observe(3.5)  # only bucket (3, 4] has mass
+        assert h.quantile(0.01) > 3.0
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_summary_shape(self):
+        h = Histogram("h", boundaries=[1.0])
+        h.observe(0.25)
+        s = h.summary()
+        assert set(s) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert s["count"] == 1 and s["sum"] == 0.25 and s["mean"] == 0.25
 
 
 class TestCollectors:

@@ -86,6 +86,31 @@ class TestShell:
         output = run(shell, "CREATE TABLE t (a INTEGER)", "SELECT * FROM t")
         assert "(no rows)" in output
 
+    def test_workload_and_events_commands(self, shell):
+        output = run(
+            shell,
+            "CREATE TABLE t (a INTEGER)",
+            "SET SLOW QUERY THRESHOLD 0",
+            "INSERT INTO t VALUES (7)",
+            "\\workload",
+            "\\events",
+        )
+        assert "workload model" in output
+        assert "INSERT INTO T VALUES (?)" in output
+        assert "slow_query" in output
+
+    def test_spans_filter_arguments(self, shell):
+        output = run(
+            shell,
+            "CREATE TABLE t (a INTEGER)",
+            "INSERT INTO t VALUES (7)",
+            "\\spans limit 1",
+        )
+        assert "sql.insert" in output
+        # limit 1 keeps only the most recent tree
+        assert "sql.create" not in output
+        assert "usage:" in run(shell, "\\spans sideways")
+
     def test_script_runner(self, shell, tmp_path):
         script = tmp_path / "s.sql"
         script.write_text(

@@ -1,0 +1,124 @@
+"""Observability x fault-injection interplay: fault-aborted statements
+must leave error-tagged spans carrying the failpoint name, bump the
+``sql.errors_total`` counter, feed the workload model's error column,
+and land in the structured event log (with the slow-query log picking
+them up too when the threshold is armed)."""
+
+import pytest
+
+from repro.datablade import register_grtree_blade
+from repro.faults import FaultInjected
+from repro.obs.workload import fingerprint
+from repro.server import DatabaseServer
+
+EXTENT = "'01/01/98, UC, 01/01/98, NOW'"
+
+
+@pytest.fixture
+def server():
+    s = DatabaseServer()
+    s.create_sbspace("spc")
+    register_grtree_blade(s)
+    s.execute("CREATE TABLE e (n LVARCHAR, te GRT_TimeExtent_t)")
+    s.execute("CREATE INDEX gi ON e(te) USING grtree_am IN spc")
+    s.clock.set_text("01/01/98")
+    s.execute(f"INSERT INTO e VALUES ('seed', {EXTENT})")
+    return s
+
+
+def arm(server, point="sbspace.page_write"):
+    message = server.execute(f"SET FAULT '{point}' RAISE TIMES 1")
+    assert "armed" in message
+    return point
+
+
+class TestFaultTaggedSpans:
+    def test_fault_abort_tags_the_root_span(self, server):
+        point = arm(server)
+        with pytest.raises(FaultInjected):
+            server.execute(f"INSERT INTO e VALUES ('doomed', {EXTENT})")
+        root = server.obs.spans.last_root("sql.insert")
+        assert root is not None
+        assert root.attrs["fault"] == point
+        assert "FaultInjected" in root.attrs["error"]
+
+    def test_errors_total_counts_fault_aborts(self, server):
+        before = server.obs.metrics.counter("sql.errors_total")
+        arm(server)
+        with pytest.raises(FaultInjected):
+            server.execute(f"INSERT INTO e VALUES ('doomed', {EXTENT})")
+        assert server.obs.metrics.counter("sql.errors_total") == before + 1
+        # A clean statement afterwards does not move the counter.
+        server.execute(f"INSERT INTO e VALUES ('fine', {EXTENT})")
+        assert server.obs.metrics.counter("sql.errors_total") == before + 1
+
+    def test_workload_model_counts_the_error(self, server):
+        arm(server)
+        sql = f"INSERT INTO e VALUES ('doomed', {EXTENT})"
+        with pytest.raises(FaultInjected):
+            server.execute(sql)
+        stats = server.obs.workload.get(fingerprint(sql))
+        # Same shape as the seed insert: 1 clean call + 1 errored call.
+        assert stats.errors == 1
+        assert stats.calls == 2
+
+    def test_sql_errors_also_tag_spans_without_fault_name(self, server):
+        with pytest.raises(Exception):
+            server.execute("SELECT nope FROM missing_table")
+        root = server.obs.spans.last_root("sql.select")
+        assert root is not None
+        assert "error" in root.attrs
+        assert "fault" not in root.attrs
+
+
+class TestFaultEvents:
+    def test_error_event_carries_the_fault_name(self, server):
+        point = arm(server)
+        sql = f"INSERT INTO e VALUES ('doomed', {EXTENT})"
+        with pytest.raises(FaultInjected):
+            server.execute(sql)
+        (event,) = [e for e in server.obs.events.tail() if e.type == "error"]
+        assert event.fields["fault"] == point
+        assert event.fields["sql"] == sql
+        assert event.fields["fingerprint"] == fingerprint(sql)
+        assert event.fields["duration_ms"] >= 0.0
+
+    def test_slow_query_log_picks_up_fault_aborted_statements(self, server):
+        # Threshold 0 ms: every statement is "slow", including the
+        # fault-aborted one -- its slow_query entry names the fault.
+        server.execute("SET SLOW QUERY THRESHOLD 0")
+        point = arm(server)
+        with pytest.raises(FaultInjected):
+            server.execute(f"INSERT INTO e VALUES ('doomed', {EXTENT})")
+        slow = [
+            e for e in server.obs.events.tail() if e.type == "slow_query"
+        ]
+        assert slow, "threshold 0 recorded no slow queries"
+        tagged = [e for e in slow if e.fields.get("fault") == point]
+        assert len(tagged) == 1
+
+    def test_threshold_off_stops_slow_logging(self, server):
+        server.execute("SET SLOW QUERY THRESHOLD 0")
+        server.execute(f"INSERT INTO e VALUES ('a', {EXTENT})")
+        assert any(
+            e.type == "slow_query" for e in server.obs.events.tail()
+        )
+        message = server.execute("SET SLOW QUERY THRESHOLD OFF")
+        assert message == "slow query logging off"
+        server.obs.events.clear()
+        server.execute(f"INSERT INTO e VALUES ('b', {EXTENT})")
+        assert not any(
+            e.type == "slow_query" for e in server.obs.events.tail()
+        )
+
+    def test_show_events_renders_the_error(self, server):
+        arm(server)
+        with pytest.raises(FaultInjected):
+            server.execute(f"INSERT INTO e VALUES ('doomed', {EXTENT})")
+        rendered = server.execute("SHOW EVENTS")
+        assert "error" in rendered
+        assert "sbspace.page_write" in rendered
+
+    def test_negative_threshold_rejected(self, server):
+        with pytest.raises(Exception):
+            server.execute("SET SLOW QUERY THRESHOLD -5")
