@@ -24,7 +24,6 @@ land in ``benchmarks/out/BENCH_net_concurrency.json`` (a CI artifact;
 the gates fail this test, and therefore CI, on regression).
 """
 
-import json
 import threading
 import time
 from collections import Counter
@@ -184,7 +183,7 @@ def measure_killed_client(db, net):
     }
 
 
-def test_concurrent_serving_throughput(write_artifact):
+def test_concurrent_serving_throughput(write_artifact, append_bench):
     db, net = build_served()
     try:
         runs = {}
@@ -215,10 +214,7 @@ def test_concurrent_serving_throughput(write_artifact):
                 "statements": snapshot.get("net.statements", 0),
             },
         }
-        write_artifact(
-            "BENCH_net_concurrency.json",
-            json.dumps(payload, indent=2, sort_keys=True),
-        )
+        append_bench("BENCH_net_concurrency.json", payload)
         lines = ["Perf concurrency: wire clients vs aggregate throughput"]
         for clients in CLIENT_COUNTS:
             r = runs[clients]

@@ -22,13 +22,13 @@ this test).
 """
 
 import gc
-import json
 import statistics
 import time
 
 from _perf import PAGE_SIZE
 from repro.datablade import register_grtree_blade
 from repro.grtree.node import GRNodeStore
+from repro.grtree.specialize import SpecializedOps, numpy_available
 from repro.grtree.tree import GRTree
 from repro.server import DatabaseServer
 from repro.storage.buffer import BufferPool
@@ -39,8 +39,15 @@ from repro.workloads import BitemporalWorkload, WorkloadConfig
 STEPS = 500           # Perf-1-style mixed history
 QUERIES = 30          # window queries per timed batch
 ROUNDS = 9
-SPEEDUP_FLOOR = 1.3   # the CI gate: warm reads vs node-cache-off
+SPEEDUP_FLOOR = 1.3   # the CI gate: generic warm reads vs node-cache-off
+#: The raised gate: node cache + specialized/vectorized scan kernels vs
+#: the cache-off generic baseline.  Only enforced when numpy is present
+#: (the pure-Python fallback is gated by SPEEDUP_FLOOR alone).
+SPEC_SPEEDUP_FLOOR = 2.0
 NODE_CACHE_CONFIGS = (0, 8, 128)  # off / eviction-heavy / default
+#: All timed tree-layer variants: the node-cache ladder plus the
+#: specialized configuration (default cache + compiled scan kernels).
+TREE_CONFIGS = NODE_CACHE_CONFIGS + ("spec",)
 
 SQL_ROUNDS = 5
 SQL_STATEMENTS = 60
@@ -82,9 +89,14 @@ def measure_tree_layer() -> dict:
     """Build one tree per cache config, verify equivalence, time warm
     query batches in interleaved rounds."""
     setups = {}
-    for size in NODE_CACHE_CONFIGS:
+    for config in TREE_CONFIGS:
+        size = 128 if config == "spec" else config
         tree, store, workload, queries, build_seconds = build_tree(size)
-        setups[size] = {
+        if config == "spec":
+            # Same tree bytes, same node cache; only the scan path is
+            # specialized (compiled + vectorized kernels).
+            tree.spec = SpecializedOps()
+        setups[config] = {
             "tree": tree,
             "store": store,
             "queries": queries,
@@ -94,42 +106,44 @@ def measure_tree_layer() -> dict:
     # Correctness first: identical answers under every configuration,
     # matching the workload oracle, and a consistent tree.
     reference = None
-    for size, setup in setups.items():
+    for config, setup in setups.items():
         tree, queries = setup["tree"], setup["queries"]
         answers = [sorted(r for r, _ in tree.search_all(q)) for q in queries]
         if reference is None:
             reference = answers
         assert answers == reference, (
-            f"node_cache_size={size} changed query answers"
+            f"configuration {config!r} changed query answers"
         )
         tree.check()
 
-    rounds = {size: [] for size in NODE_CACHE_CONFIGS}
+    rounds = {config: [] for config in TREE_CONFIGS}
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for size, setup in setups.items():  # warm every cache, untimed
+        for setup in setups.values():  # warm every cache, untimed
             query_batch(setup["tree"], setup["queries"])
         for round_no in range(ROUNDS):
-            order = list(NODE_CACHE_CONFIGS)
+            order = list(TREE_CONFIGS)
             rotation = round_no % len(order)
             order = order[rotation:] + order[:rotation]
-            for size in order:
-                setup = setups[size]
-                rounds[size].append(query_batch(setup["tree"], setup["queries"]))
+            for config in order:
+                setup = setups[config]
+                rounds[config].append(
+                    query_batch(setup["tree"], setup["queries"])
+                )
             gc.collect()
     finally:
         if gc_was_enabled:
             gc.enable()
 
-    def median_speedup(size: int) -> float:
+    def median_speedup(config) -> float:
         return statistics.median(
-            base / with_cache
-            for base, with_cache in zip(rounds[0], rounds[size])
+            base / timed for base, timed in zip(rounds[0], rounds[config])
         )
 
     default_size = NODE_CACHE_CONFIGS[-1]
     cache_stats = setups[default_size]["store"].cache_stats.to_dict()
+    spec_stats = setups["spec"]["tree"].spec.stats.to_dict()
     return {
         "workload": {
             "steps": STEPS,
@@ -139,17 +153,21 @@ def measure_tree_layer() -> dict:
             "seed": 101,
         },
         "configs": {
-            str(size): {
-                "build_seconds": setups[size]["build_seconds"],
-                "batch_seconds_best": min(rounds[size]),
-                "batch_seconds_median": statistics.median(rounds[size]),
+            str(config): {
+                "build_seconds": setups[config]["build_seconds"],
+                "batch_seconds_best": min(rounds[config]),
+                "batch_seconds_median": statistics.median(rounds[config]),
             }
-            for size in NODE_CACHE_CONFIGS
+            for config in TREE_CONFIGS
         },
         "warm_read_speedup": median_speedup(default_size),
         "warm_read_speedup_small_cache": median_speedup(8),
+        "warm_read_speedup_specialized": median_speedup("spec"),
+        "numpy_available": numpy_available(),
         "node_cache_stats": cache_stats,
+        "specializer_stats": spec_stats,
         "speedup_floor": SPEEDUP_FLOOR,
+        "spec_speedup_floor": SPEC_SPEEDUP_FLOOR,
     }
 
 
@@ -213,7 +231,7 @@ def measure_server_layer() -> dict:
     }
 
 
-def test_read_path_speedups(write_artifact):
+def test_read_path_speedups(write_artifact, append_bench):
     tree_results = measure_tree_layer()
     server_results = measure_server_layer()
     payload = {
@@ -221,25 +239,37 @@ def test_read_path_speedups(write_artifact):
         "tree_layer": tree_results,
         "server_layer": server_results,
     }
-    write_artifact(
-        "BENCH_read_path.json", json.dumps(payload, indent=2, sort_keys=True)
-    )
+    append_bench("BENCH_read_path.json", payload)
     speedup = tree_results["warm_read_speedup"]
+    spec_speedup = tree_results["warm_read_speedup_specialized"]
     stmt_speedup = server_results["statement_speedup"]
     write_artifact(
         "perf_read_path.txt",
-        "Perf read-path: three cache layers, median of "
+        "Perf read-path: cache layers + specialization, median of "
         f"{ROUNDS} interleaved rounds\n"
         f"  warm-read speedup (node cache 128 vs off): {speedup:.2f}x "
         f"(floor {SPEEDUP_FLOOR}x)\n"
         "  warm-read speedup (node cache 8 vs off):   "
         f"{tree_results['warm_read_speedup_small_cache']:.2f}x\n"
+        "  warm-read speedup (cache + specialized):   "
+        f"{spec_speedup:.2f}x "
+        f"(floor {SPEC_SPEEDUP_FLOOR}x when numpy is available)\n"
+        f"  numpy available: {tree_results['numpy_available']}\n"
         f"  statement speedup (all server caches):     {stmt_speedup:.2f}x\n"
-        f"  node cache stats: {tree_results['node_cache_stats']}\n",
+        f"  node cache stats: {tree_results['node_cache_stats']}\n"
+        f"  specializer stats: {tree_results['specializer_stats']}\n",
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"warm-read speedup {speedup:.2f}x is below the "
         f"{SPEEDUP_FLOOR}x floor"
     )
+    if tree_results["numpy_available"]:
+        assert spec_speedup >= SPEC_SPEEDUP_FLOOR, (
+            f"specialized warm-read speedup {spec_speedup:.2f}x is below "
+            f"the {SPEC_SPEEDUP_FLOOR}x floor"
+        )
+    else:
+        # Pure-Python fallback: specialization must not cost anything.
+        assert spec_speedup >= SPEEDUP_FLOOR * 0.9
     # The server-side caches must at least not slow statements down.
     assert stmt_speedup > 0.95

@@ -18,7 +18,6 @@ artifact).
 """
 
 import gc
-import json
 import statistics
 import time
 
@@ -93,7 +92,7 @@ def overhead(rounds: dict) -> float:
     return statistics.median(ratios) - 1.0
 
 
-def test_trace_propagation_wire_overhead_under_budget(write_artifact):
+def test_trace_propagation_wire_overhead_under_budget(append_bench):
     rounds = measure()
     cost = overhead(rounds)
     payload = {
@@ -105,10 +104,7 @@ def test_trace_propagation_wire_overhead_under_budget(write_artifact):
         "median_overhead": cost,
         "spans_with_trace_ids": rounds["traced_spans"],
     }
-    write_artifact(
-        "BENCH_trace_overhead.json",
-        json.dumps(payload, indent=2, sort_keys=True),
-    )
+    append_bench("BENCH_trace_overhead.json", payload)
     # The traced rounds really traced: their statements joined traces.
     assert payload["spans_with_trace_ids"] > 0
     assert cost < BUDGET, (

@@ -6,6 +6,8 @@ and writes the regenerated artifact under ``benchmarks/out/`` so it can
 be diffed against the paper by eye.
 """
 
+import datetime
+import json
 import pathlib
 
 import pytest
@@ -27,3 +29,40 @@ def write_artifact(artifact_dir):
         return path
 
     return _write
+
+
+@pytest.fixture(scope="session")
+def append_bench(artifact_dir):
+    """Append one timestamped record to a ``BENCH_*.json`` history file.
+
+    Each run of a perf benchmark *appends* to ``{"history": [...]}``
+    instead of overwriting, so the file is a queryable performance
+    trajectory across PRs.  A legacy single-record file (the old
+    overwrite format) is wrapped as the first history entry.
+    """
+
+    def _append(name: str, record: dict) -> pathlib.Path:
+        path = artifact_dir / name
+        history = []
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except ValueError:
+                existing = None
+            if isinstance(existing, dict) and isinstance(
+                existing.get("history"), list
+            ):
+                history = existing["history"]
+            elif isinstance(existing, dict):
+                history = [existing]  # legacy overwrite-format file
+        stamped = {
+            "recorded_at": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            **record,
+        }
+        history.append(stamped)
+        path.write_text(json.dumps({"history": history}, indent=2, sort_keys=True))
+        return path
+
+    return _append

@@ -24,6 +24,7 @@ from repro.datablade.qualification import QualificationPlan, build_plan
 from repro.datablade.time_extent import TYPE_NAME
 from repro.grtree.cursor import Cursor
 from repro.grtree.node import GRNodeStore
+from repro.grtree.specialize import SpecializedOps
 from repro.grtree.tree import GRTree
 from repro.server.access_method import (
     IndexDescriptor,
@@ -56,8 +57,20 @@ class GRTreeDataBlade:
         time_horizon: int = 20,
         node_cache_size: Optional[int] = None,
         handle_cache: bool = True,
+        specialize: Optional[bool] = None,
     ) -> None:
         self.server = server
+        #: Compile specialized/vectorized kernels for each index at
+        #: ``CREATE INDEX``/``grt_open`` time (see
+        #: :mod:`repro.grtree.specialize`).  ``False`` keeps the paper's
+        #: literal per-entry purpose-function call sequence; a
+        #: ``CREATE INDEX ... WITH (specialize = ...)`` clause overrides
+        #: per index.
+        self.specialize = (
+            specialize
+            if specialize is not None
+            else getattr(server, "specialize_indexes", True)
+        )
         # ``None`` means "use the server-wide default"; a ``CREATE INDEX
         # ... WITH (...)`` clause can still override per index.
         self.buffer_capacity = (
@@ -153,6 +166,26 @@ class GRTreeDataBlade:
         node_cache = int(params.get("node_cache", self.node_cache_size))
         return capacity, node_cache
 
+    def _spec_enabled(self, td: IndexDescriptor) -> bool:
+        """Resolve the specialization switch for one index: a
+        ``CREATE INDEX ... WITH (specialize = ...)`` parameter wins over
+        the blade/server default."""
+        params = td.parameters or {}
+        value = params.get("specialize", self.specialize)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "on", "yes", "1"):
+                return True
+            if lowered in ("false", "off", "no", "0"):
+                return False
+        raise AccessMethodError(
+            f"specialize expects a boolean, got {value!r}"
+        )
+
     def _attach_tree(self, td: IndexDescriptor, blob: BladeBlob, meta_page, create):
         capacity, node_cache = self._cache_sizes(td)
         pool = BufferPool(
@@ -167,12 +200,20 @@ class GRTreeDataBlade:
             )
         else:
             tree = GRTree.open(store, self.server.clock, meta_page=meta_page)
+        if self._spec_enabled(td):
+            # Specialize once per handle: the bundle (and every kernel
+            # compiled from it) lives and dies with the tree object, so
+            # the storage-epoch check that invalidates the handle cache
+            # invalidates the compiled code too.
+            tree.spec = SpecializedOps()
         obs = getattr(self.server, "obs", None)
         if obs is not None:
             # Reopening replaces the previous pool under the same name, so
             # ``SHOW STATS`` always shows the live pool of each index.
             obs.attach_buffer_pool(f"index.{td.index_name}", pool)
             obs.attach_node_cache(f"index.{td.index_name}", store)
+            if tree.spec is not None:
+                obs.attach_specializer(f"index.{td.index_name}", tree.spec)
             tree.obs = obs
         td.user_data["tree"] = tree
         td.user_data["blob"] = blob
@@ -291,6 +332,9 @@ class GRTreeDataBlade:
         if obs is not None:
             obs.attach_buffer_pool(f"index.{td.index_name}", pool)
             obs.attach_node_cache(f"index.{td.index_name}", entry["store"])
+            tree = entry["tree"]
+            if tree is not None and tree.spec is not None:
+                obs.attach_specializer(f"index.{td.index_name}", tree.spec)
         td.user_data["tree"] = entry["tree"]
         td.user_data["blob"] = blob
         td.user_data["pool"] = pool

@@ -13,6 +13,7 @@ from repro.grtree.check import TreeInvariantError, check_tree, verify_tree
 from repro.grtree.cursor import Cursor
 from repro.grtree.entries import GREntry, Predicate, bound_entries
 from repro.grtree.node import GRNode, GRNodeStore
+from repro.grtree.specialize import SpecializedOps, numpy_available
 from repro.grtree.tree import GRTree
 from repro.grtree.bulk import bulk_load
 
@@ -24,8 +25,10 @@ __all__ = [
     "GRNode",
     "GRNodeStore",
     "GRTree",
+    "SpecializedOps",
     "TreeInvariantError",
     "bulk_load",
     "check_tree",
+    "numpy_available",
     "verify_tree",
 ]

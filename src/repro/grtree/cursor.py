@@ -35,6 +35,15 @@ class Cursor:
         self.query = query
         self.predicate = predicate
         self.now = now
+        # Specialize the scan: close predicate, query, and current time
+        # into batch kernels once, here, instead of dispatching through
+        # Predicate per entry per next().  ``None`` (no bundle, or numpy
+        # unavailable) keeps the paper's literal call sequence below.
+        spec = getattr(tree, "spec", None)
+        if spec is not None and spec.vectorized:
+            self._matcher = spec.compile_scan(predicate, query, now)
+        else:
+            self._matcher = None
         self._seen_version = tree.condense_version
         self._returned: Set[Tuple[int, int]] = set()
         self._visited: Set[int] = set()
@@ -86,10 +95,25 @@ class Cursor:
             page_id, index = self._stack.pop()
             node = self.tree.store.read(page_id)
             self._visited.add(page_id)
+            matcher = self._matcher
             if node.leaf:
                 # Leaves are always rescanned from the top: a deletion
                 # between next() calls may have shifted the entry slots,
                 # and the returned-set makes the rescan skip-correct.
+                matches = None if matcher is None else matcher.leaf_matches(node)
+                if matches is not None:
+                    # Batched qualification; the per-scan mask cache makes
+                    # the repeated top-of-leaf rescans nearly free.
+                    entries = node.entries
+                    for i in matches:
+                        entry = entries[i]
+                        key = (entry.rowid, entry.fragid)
+                        if key in self._returned:
+                            continue
+                        self._returned.add(key)
+                        self._stack.append((page_id, 0))
+                        return entry
+                    continue
                 for entry in node.entries:
                     if not self.predicate.leaf_test(
                         entry.region(self.now), self.query
@@ -102,11 +126,18 @@ class Cursor:
                     self._stack.append((page_id, 0))
                     return entry
                 continue
+            mask = None if matcher is None else matcher.internal_mask(node)
             descended = False
             while index < len(node.entries):
                 entry = node.entries[index]
                 index += 1
-                if self.predicate.internal_test(entry.region(self.now), self.query):
+                if mask is not None:
+                    qualifies = bool(mask[index - 1])
+                else:
+                    qualifies = self.predicate.internal_test(
+                        entry.region(self.now), self.query
+                    )
+                if qualifies:
                     # Remember where to resume in this node, then descend.
                     self._stack.append((page_id, index))
                     self._stack.append((entry.child, 0))

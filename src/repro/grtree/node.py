@@ -57,6 +57,11 @@ class GRNode:
     leaf: bool
     level: int = 0
     entries: List[GREntry] = field(default_factory=list)
+    #: Lazily built column mirror of ``entries`` for the vectorized path
+    #: (see :mod:`repro.grtree.specialize`).  Dropped on every store
+    #: write -- all tree mutations pass through a write before the
+    #: operation returns, so a non-``None`` value is always current.
+    cols: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -215,6 +220,7 @@ class GRNodeStore:
             self._write_locked(node)
 
     def _write_locked(self, node: GRNode) -> None:
+        node.cols = None  # entry timestamps changed: column mirror is stale
         entries = node.entries
         if len(entries) > self.capacity:
             raise ValueError(

@@ -62,12 +62,19 @@ class GRTree:
         height: int = 1,
         size: int = 0,
         obs=None,
+        spec=None,
     ) -> None:
         self.store = store
         self.clock = clock
         #: Optional observability hub; ``None`` keeps the hot paths at a
         #: single attribute test (the benchmarked configuration).
         self.obs = obs
+        #: Optional :class:`~repro.grtree.specialize.SpecializedOps`
+        #: bundle; ``None`` runs the paper's literal per-entry call
+        #: sequence everywhere.  The bundle only ever *replaces* work
+        #: with bit-exact vectorized equivalents (or declines with
+        #: ``None``), so toggling it mid-life is safe.
+        self.spec = spec
         self.time_horizon = time_horizon
         self.max_entries = store.capacity
         self.min_entries = max(2, math.ceil(store.capacity * min_fill))
@@ -170,6 +177,10 @@ class GRTree:
 
     def _least_area_enlargement(self, node: GRNode, region: Region) -> int:
         t = self._eval_time
+        if self.spec is not None:
+            best = self.spec.least_area_enlargement(node, region, t)
+            if best is not None:
+                return best
         best, best_key = 0, None
         for i, entry in enumerate(node.entries):
             r = entry.region(t)
@@ -180,23 +191,40 @@ class GRTree:
 
     def _least_overlap_enlargement(self, node: GRNode, region: Region) -> int:
         t = self._eval_time
+        if self.spec is not None:
+            best = self.spec.least_overlap_enlargement(node, region, t)
+            if best is not None:
+                return best
         regions = [e.region(t) for e in node.entries]
+        n = len(regions)
+        areas = [r.area() for r in regions]
+        # Pairwise overlaps before enlargement, computed once over the
+        # upper triangle instead of per candidate (the matrix is
+        # symmetric; the old loop recomputed every intersection for
+        # every candidate i).
+        before_sum = [0] * n
+        for i in range(n):
+            r_i = regions[i]
+            for j in range(i + 1, n):
+                inter = r_i.intersection(regions[j])
+                if inter is not None:
+                    a = inter.area()
+                    before_sum[i] += a
+                    before_sum[j] += a
         best, best_key = 0, None
         for i, r in enumerate(regions):
             enlarged = r.union_bounds(region)
-            overlap_delta = 0
+            after_sum = 0
             for j, other in enumerate(regions):
                 if j == i:
                     continue
                 after = enlarged.intersection(other)
-                before = r.intersection(other)
-                overlap_delta += (after.area() if after else 0) - (
-                    before.area() if before else 0
-                )
+                if after is not None:
+                    after_sum += after.area()
             key = (
-                overlap_delta,
-                enlarged.area() - r.area(),
-                r.area(),
+                after_sum - before_sum[i],
+                enlarged.area() - areas[i],
+                areas[i],
             )
             if best_key is None or key < best_key:
                 best, best_key = i, key
@@ -222,8 +250,16 @@ class GRTree:
             if depth > 0:
                 self._refresh_child_bound(path[depth - 1], node)
 
+    def _bound(self, node: GRNode) -> GREntry:
+        """Bounding entry for *node*'s entries at the current time."""
+        if self.spec is not None:
+            bound = self.spec.bound(node.entries, self.now, node=node)
+            if bound is not None:
+                return bound
+        return bound_entries(node.entries, self.now)
+
     def _refresh_child_bound(self, parent: GRNode, child: GRNode) -> None:
-        bound = bound_entries(child.entries, self.now)
+        bound = self._bound(child)
         for i, entry in enumerate(parent.entries):
             if entry.child == child.page_id:
                 bound.child = child.page_id
@@ -266,9 +302,9 @@ class GRTree:
         self.store.write(sibling)
         if depth == 0:
             new_root = self.store.allocate(leaf=False, level=node.level + 1)
-            bound_a = bound_entries(node.entries, self.now)
+            bound_a = self._bound(node)
             bound_a.child = node.page_id
-            bound_b = bound_entries(sibling.entries, self.now)
+            bound_b = self._bound(sibling)
             bound_b.child = sibling.page_id
             new_root.entries = [bound_a, bound_b]
             self.store.write(new_root)
@@ -278,7 +314,7 @@ class GRTree:
             return
         parent = path[depth - 1]
         self._refresh_child_bound(parent, node)
-        bound_b = bound_entries(sibling.entries, self.now)
+        bound_b = self._bound(sibling)
         bound_b.child = sibling.page_id
         parent.entries.append(bound_b)
 

@@ -93,6 +93,10 @@ class Observability:
         #: open GR-tree index, mirroring :attr:`pools`).
         self.node_caches: Dict[str, Any] = {}
         self._node_cache_bases: Dict[str, Dict[str, float]] = {}
+        #: Specialization bundles attached by name (one per open index
+        #: running the specialized/vectorized hot paths).
+        self.specializers: Dict[str, Any] = {}
+        self._specializer_bases: Dict[str, Dict[str, float]] = {}
         #: Fault-injection registry, when one is attached (``SET FAULT``).
         self.faults_registry = None
 
@@ -200,6 +204,46 @@ class Observability:
             for key, value in self.node_caches[name].cache_stats.to_dict().items()
         }
 
+    def attach_specializer(self, name: str, spec) -> None:
+        """Export a :class:`SpecializedOps` bundle's counters as
+        ``spec.<name>.*``.
+
+        Same reopen-folding contract as :meth:`attach_buffer_pool`: when
+        an index reopen builds a fresh bundle, the replaced bundle's
+        final counters fold into a base so the exported values never go
+        backwards.
+        """
+        base = self._specializer_bases.setdefault(name, {})
+        previous = self.specializers.get(name)
+        if previous is not None and previous is not spec:
+            for key, value in previous.stats.to_dict().items():
+                base[key] = base.get(key, 0) + value
+        self.specializers[name] = spec
+
+        def collect() -> Dict[str, float]:
+            stats = {
+                key: value + base.get(key, 0)
+                for key, value in spec.stats.to_dict().items()
+            }
+            stats["vectorized"] = int(spec.vectorized)
+            return stats
+
+        self.metrics.register_collector(f"spec.{name}", collect)
+
+    def detach_specializer(self, name: str) -> None:
+        self.specializers.pop(name, None)
+        self._specializer_bases.pop(name, None)
+        self.metrics.unregister_collector(f"spec.{name}")
+
+    def specializer_counters(self, name: str) -> Dict[str, float]:
+        """Lifetime specialization counters for one name
+        (reopen-cumulative)."""
+        base = self._specializer_bases.get(name, {})
+        return {
+            key: value + base.get(key, 0)
+            for key, value in self.specializers[name].stats.to_dict().items()
+        }
+
     def attach_lock_manager(self, locks) -> None:
         self.metrics.register_collector(
             "locks",
@@ -297,6 +341,7 @@ class Observability:
                     "wal.",
                     "sbspace.",
                     "nodecache.",
+                    "spec.",
                     "net.",
                     "faults.",
                 )
@@ -354,6 +399,26 @@ class Observability:
                     f"{name:<24} {stats['hits']:>8} {stats['misses']:>8} "
                     f"{stats['evictions']:>8} {stats['invalidations']:>8} "
                     f"{store.cached_nodes:>7} {store.node_cache_size:>6}"
+                )
+
+        if self.specializers:
+            lines.append("")
+            section("specialization")
+            header = (
+                f"{'index':<24} {'scans':>7} {'batched':>8} {'fallbk':>7} "
+                f"{'maskhit':>8} {'choices':>8} {'bounds':>7} {'vec':>4}"
+            )
+            lines.append(header)
+            for name in sorted(self.specializers):
+                stats = self.specializer_counters(name)
+                spec = self.specializers[name]
+                lines.append(
+                    f"{name:<24} {stats['scans_compiled']:>7} "
+                    f"{stats['nodes_batched']:>8} {stats['nodes_fallback']:>7} "
+                    f"{stats['mask_cache_hits']:>8} "
+                    f"{stats['choices_vectorized']:>8} "
+                    f"{stats['bounds_vectorized']:>7} "
+                    f"{'yes' if spec.vectorized else 'no':>4}"
                 )
 
         lines.append("")

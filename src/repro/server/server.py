@@ -45,6 +45,7 @@ class DatabaseServer:
         buffer_capacity: int = 64,
         node_cache_size: int = 128,
         statement_cache_size: int = 64,
+        specialize_indexes: bool = True,
         faults=None,
     ) -> None:
         self.clock = clock if clock is not None else Clock(granularity=granularity)
@@ -55,6 +56,9 @@ class DatabaseServer:
         self.node_cache_size = node_cache_size
         #: Parsed-statement cache bound (0 disables caching).
         self.statement_cache_size = statement_cache_size
+        #: Default for per-index specialized/vectorized kernels; a
+        #: ``CREATE INDEX ... WITH (specialize = ...)`` clause overrides.
+        self.specialize_indexes = specialize_indexes
         self.types = TypeRegistry(self.clock.granularity)
         self.catalog = SystemCatalog(self.types)
         self.library = SharedLibraryRegistry()

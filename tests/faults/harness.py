@@ -66,7 +66,7 @@ class CrashHarness:
     buffer pool churning so page-level failpoints are traversed often.
     """
 
-    def __init__(self, now: int = 100) -> None:
+    def __init__(self, now: int = 100, specialize: bool = True) -> None:
         self.registry = FaultRegistry()
         self.server = DatabaseServer(clock=Clock(now=now), faults=self.registry)
         self.space = self.server.create_sbspace("spc")
@@ -74,7 +74,8 @@ class CrashHarness:
         self.server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
         self.server.execute(
             "CREATE INDEX gi ON t(te) USING grtree_am IN spc "
-            "WITH (buffer_capacity = 8, node_cache = 8)"
+            "WITH (buffer_capacity = 8, node_cache = 8, "
+            f"specialize = '{'on' if specialize else 'off'}')"
         )
         self.server.prefer_virtual_index = True
         self.session = self.server.create_session()

@@ -118,6 +118,21 @@ class TestRandomizedCrashes:
 
         assert run() == run()
 
+    def test_specialize_knob_does_not_change_crash_history(self):
+        """Crash, recover, verify with the specialization bundle on and
+        off: same outcomes, same survivors (bit-exactness under WAL
+        replay, not just under clean growth)."""
+
+        def run(specialize):
+            harness = CrashHarness(specialize=specialize)
+            harness.arm("wal.append", "crash", hit=60)
+            outcomes = random_workload(harness, seed=13, steps=40)
+            harness.recover()
+            harness.verify()
+            return outcomes, sorted(harness.committed)
+
+        assert run(True) == run(False)
+
 
 class TestVerifierCatchesDamage:
     """The contract is only as strong as the verifier: prove it bites."""
