@@ -1,0 +1,350 @@
+"""Perf replication: read replicas must turn into read throughput.
+
+A primary and two read replicas run as *separate processes* (spawned
+through ``python -m repro.cli serve`` / ``serve --replica-of``), so each
+engine owns a whole interpreter -- this is the one benchmark where the
+GIL workaround is the deployment itself.  Every server runs with
+``--simulated-io-ms``: a small storage latency slept under the engine
+lock, standing in for the disk reads a purely in-memory engine never
+waits on.  That makes each engine's *serialization* the capacity limit
+(one statement at a time, latency-dominated), which is exactly the
+resource read replicas multiply -- and keeps the result meaningful even
+on a single-core host, where raw-CPU scan scaling is physically capped
+at 1x.  Closed-loop reader threads drive a predicate-seqscan workload
+twice: once against the primary alone, once through a
+:class:`~repro.repl.RoutedClient` that fans reads out across the
+replicas.  The gates:
+
+* **scaling**: routed aggregate read throughput is at least
+  ``SCALING_FLOOR`` (1.8x) the primary-only throughput;
+* **zero lost updates**: every journal row written through the router
+  lands exactly once on the primary *and* on every replica;
+* **zero stale reads beyond the bound**: with the session's write token
+  (``min_lsn``) attached, no routed read ever misses the session's own
+  committed write, replica lag or not.
+
+Machine-readable results land in ``benchmarks/out/BENCH_replication.json``
+(a CI artifact; the gates fail this test, and therefore CI, on
+regression).
+"""
+
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+
+from repro.net import protocol
+from repro.net.client import RemoteStatementError, ReproClient
+from repro.repl import RoutedClient
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+HOST = "127.0.0.1"
+
+ROWS = 200                   # seeded table size: every read seqscans it
+SIM_IO_MS = 5.0              # per-statement storage latency, every server
+READERS = 8                  # closed-loop reader threads per phase
+READS_PER_READER = 50
+WRITERS = 4                  # journal writers for the lost-update oracle
+WRITES_PER_WRITER = 30
+RYW_ROUNDS = 25              # insert+read rounds for the staleness gate
+SCALING_FLOOR = 1.8          # routed vs primary-only, the CI gate
+BOOT_TIMEOUT = 30.0
+CATCHUP_TIMEOUT = 60.0
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind((HOST, 0))
+        return probe.getsockname()[1]
+
+
+def spawn_server(port, *extra):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--host", HOST, "--port", str(port), "--workers", "4",
+         "--simulated-io-ms", str(SIM_IO_MS), *extra],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_server(proc, port):
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server on port {port} died at boot")
+        try:
+            ReproClient(HOST, port, read_timeout=5.0).connect().close()
+            return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError(f"server on port {port} never came up")
+
+
+def wait_for_catchup(port, token, probe_sql="SELECT * FROM t WHERE id = 0"):
+    """Poll the replica with the write token until it stops saying
+    REPLICA_STALE -- i.e. until it has applied everything we wrote."""
+    deadline = time.monotonic() + CATCHUP_TIMEOUT
+    with ReproClient(HOST, port, read_timeout=10.0) as client:
+        while time.monotonic() < deadline:
+            try:
+                client.execute(probe_sql, min_lsn=token)
+                return
+            except RemoteStatementError as exc:
+                if exc.code != protocol.REPLICA_STALE:
+                    raise
+                time.sleep(0.05)
+    raise RuntimeError(f"replica on port {port} never caught up to {token}")
+
+
+def run_reader(make_client, reader_id, latencies, failures):
+    """One closed-loop reader: a predicate seqscan per op, no think
+    time -- demand must exceed a single engine's capacity for replica
+    scaling to be visible."""
+    try:
+        client = make_client()
+        try:
+            for i in range(READS_PER_READER):
+                key = (reader_id * 37 + i * 13) % ROWS
+                start = time.perf_counter()
+                rows = client.execute(f"SELECT * FROM t WHERE id = {key}")
+                latencies.append(time.perf_counter() - start)
+                assert len(rows) == 1 and rows[0]["val"] == key * 3
+        finally:
+            client.close()
+    except Exception as exc:  # pragma: no cover
+        failures.append((reader_id, exc))
+
+
+def drive_readers(label, make_client, collect_stats=None):
+    latencies = []
+    failures = []
+    clients = []
+
+    def factory_with_stats():
+        client = make_client()
+        clients.append(client)
+        return client
+
+    threads = [
+        threading.Thread(
+            target=run_reader,
+            args=(factory_with_stats, reader, latencies, failures),
+        )
+        for reader in range(READERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    wall = time.perf_counter() - start
+    assert not any(t.is_alive() for t in threads), f"{label} run hung"
+    assert failures == [], f"{label} readers failed: {failures!r}"
+    if collect_stats is not None:
+        collect_stats(clients)
+    ordered = sorted(latencies)
+    ops = READERS * READS_PER_READER
+    return {
+        "ops": ops,
+        "wall_seconds": wall,
+        "throughput_reads_per_s": ops / wall,
+        "latency_p50_ms": 1000 * ordered[len(ordered) // 2],
+        "latency_p99_ms": 1000 * ordered[min(
+            len(ordered) - 1, int(len(ordered) * 0.99)
+        )],
+    }
+
+
+def verify_no_lost_updates(primary_port, replica_ports, token):
+    """Every (writer, seq) journal row landed exactly once -- on the
+    primary and, once caught up to the write token, on every replica."""
+    expected = {
+        (writer, seq)
+        for writer in range(WRITERS)
+        for seq in range(WRITES_PER_WRITER)
+    }
+    for port in [primary_port, *replica_ports]:
+        with ReproClient(HOST, port, read_timeout=10.0) as client:
+            rows = client.execute("SELECT * FROM journal", min_lsn=token)
+        multiplicity = Counter((row["k"], row["seq"]) for row in rows)
+        assert set(multiplicity) == expected, (
+            f"journal on port {port} disagrees with the writes issued"
+        )
+        dupes = {key: n for key, n in multiplicity.items() if n != 1}
+        assert not dupes, f"port {port} saw duplicated journal rows: {dupes}"
+
+
+def test_replication_read_scaling(write_artifact, append_bench):
+    primary_port = free_port()
+    primary = spawn_server(primary_port)
+    procs = [primary]
+    try:
+        wait_for_server(primary, primary_port)
+
+        # --- seed through the wire; the replicas replay all of it ---
+        with ReproClient(HOST, primary_port, read_timeout=10.0) as seed:
+            seed.execute("CREATE TABLE t (id INTEGER, val INTEGER)")
+            seed.execute("CREATE TABLE journal (k INTEGER, seq INTEGER)")
+            for i in range(ROWS):
+                seed.execute(f"INSERT INTO t VALUES ({i}, {i * 3})")
+            seed_token = seed.last_lsn
+        assert seed_token is not None, (
+            "the primary must stamp result frames with its WAL position"
+        )
+
+        replica_ports = []
+        for i in range(2):
+            port = free_port()
+            proc = spawn_server(
+                port,
+                "--replica-of", f"{HOST}:{primary_port}",
+                "--replica-name", f"bench-r{i}",
+            )
+            procs.append(proc)
+            replica_ports.append(port)
+        for port in replica_ports:
+            wait_for_server(procs[1 + replica_ports.index(port)], port)
+            wait_for_catchup(port, seed_token)
+
+        # --- phase 1: primary-only baseline -------------------------
+        baseline = drive_readers(
+            "primary-only",
+            lambda: ReproClient(HOST, primary_port, read_timeout=30.0)
+            .connect(),
+        )
+
+        # --- phase 2: routed across two replicas --------------------
+        routed_stats = Counter()
+
+        def collect(clients):
+            for client in clients:
+                routed_stats.update(client.stats)
+
+        routed = drive_readers(
+            "routed",
+            lambda: RoutedClient(
+                (HOST, primary_port),
+                [(HOST, port) for port in replica_ports],
+                read_timeout=30.0,
+            ).connect(),
+            collect_stats=collect,
+        )
+        total_reads = READERS * READS_PER_READER
+        assert routed_stats["replica_statements"] >= 0.9 * total_reads, (
+            "routed reads were not actually served by the replicas: "
+            f"{dict(routed_stats)}"
+        )
+
+        # --- phase 3: zero lost updates -----------------------------
+        write_failures = []
+
+        def run_writer(writer):
+            try:
+                with RoutedClient(
+                    (HOST, primary_port),
+                    [(HOST, port) for port in replica_ports],
+                    read_timeout=30.0,
+                ).connect() as client:
+                    for seq in range(WRITES_PER_WRITER):
+                        client.execute(
+                            f"INSERT INTO journal VALUES ({writer}, {seq})"
+                        )
+            except Exception as exc:  # pragma: no cover
+                write_failures.append((writer, exc))
+
+        writers = [
+            threading.Thread(target=run_writer, args=(w,))
+            for w in range(WRITERS)
+        ]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=300)
+        assert write_failures == [], f"writers failed: {write_failures!r}"
+        with ReproClient(HOST, primary_port, read_timeout=10.0) as check:
+            check.execute("SELECT * FROM journal")
+            journal_token = check.last_lsn
+        verify_no_lost_updates(primary_port, replica_ports, journal_token)
+
+        # --- phase 4: no stale read beyond the bound ----------------
+        ryw = RoutedClient(
+            (HOST, primary_port),
+            [(HOST, port) for port in replica_ports],
+            read_timeout=30.0,
+        ).connect()
+        try:
+            ryw.execute("CREATE TABLE marks (id INTEGER)")
+            for i in range(RYW_ROUNDS):
+                ryw.execute(f"INSERT INTO marks VALUES ({i})")
+                rows = ryw.execute("SELECT * FROM marks")
+                assert len(rows) == i + 1, (
+                    f"round {i}: a routed read missed its own committed "
+                    f"write -- {len(rows)} rows visible, wanted {i + 1}"
+                )
+            ryw_replica_reads = ryw.stats["replica_statements"]
+        finally:
+            ryw.close()
+
+        speedup = (
+            routed["throughput_reads_per_s"]
+            / baseline["throughput_reads_per_s"]
+        )
+        payload = {
+            "benchmark": "replication",
+            "rows": ROWS,
+            "simulated_io_ms": SIM_IO_MS,
+            "readers": READERS,
+            "reads_per_reader": READS_PER_READER,
+            "primary_only": baseline,
+            "routed_2_replicas": routed,
+            "speedup_routed_vs_primary": speedup,
+            "scaling_floor": SCALING_FLOOR,
+            "routed_client_stats": dict(routed_stats),
+            "lost_updates": 0,
+            "read_your_writes_rounds": RYW_ROUNDS,
+            "read_your_writes_replica_reads": ryw_replica_reads,
+        }
+        append_bench("BENCH_replication.json", payload)
+        lines = [
+            "Perf replication: routed read fan-out vs primary-only",
+            f"  primary only : "
+            f"{baseline['throughput_reads_per_s']:8.1f} reads/s   "
+            f"p50 {baseline['latency_p50_ms']:6.2f} ms   "
+            f"p99 {baseline['latency_p99_ms']:6.2f} ms",
+            f"  2 replicas   : "
+            f"{routed['throughput_reads_per_s']:8.1f} reads/s   "
+            f"p50 {routed['latency_p50_ms']:6.2f} ms   "
+            f"p99 {routed['latency_p99_ms']:6.2f} ms",
+            f"  speedup: {speedup:.2f}x (floor {SCALING_FLOOR}x)",
+            f"  lost updates: 0 of "
+            f"{WRITERS * WRITES_PER_WRITER} journal rows, on the primary "
+            f"and both replicas",
+            f"  stale reads beyond the bound: 0 in {RYW_ROUNDS} "
+            f"insert+read rounds ({ryw_replica_reads} served by replicas)",
+        ]
+        write_artifact("perf_replication.txt", "\n".join(lines) + "\n")
+        assert speedup >= SCALING_FLOOR, (
+            f"2-replica read scaling {speedup:.2f}x is below the "
+            f"{SCALING_FLOOR}x floor"
+        )
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=10)

@@ -396,7 +396,8 @@ def register_btree_blade(server, buffer_capacity: int = 64) -> BTreeDataBlade:
         f"CREATE TABLE {blade.METADATA_TABLE} "
         f"(indexname LVARCHAR, blobhandle LVARCHAR)"
     )
-    server.run_script(";\n".join(statements))
+    with server.provisioning():
+        server.run_script(";\n".join(statements))
 
     routines = server.catalog.routines
     routines.set_commutator("BT_GreaterThan", "BT_LessThanOrEqual")

@@ -420,10 +420,44 @@ def serve_main(argv: List[str], out=None) -> int:
     parser.add_argument(
         "--granularity", choices=["day", "month"], default="day"
     )
+    parser.add_argument(
+        "--simulated-io-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="simulated per-statement storage latency, slept under the "
+        "engine lock (benchmarking aid for in-memory deployments)",
+    )
+    parser.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        help="run as a read replica of the primary at HOST:PORT "
+        "(subscribes to its WAL stream; writes are rejected here)",
+    )
+    parser.add_argument(
+        "--replica-name",
+        metavar="NAME",
+        help="name this replica reports to the primary "
+        "(default: replica-<port>)",
+    )
+    parser.add_argument(
+        "--no-replication",
+        action="store_true",
+        help="do not enable WAL shipping on a primary (replicas "
+        "cannot subscribe; saves the logical-logging overhead)",
+    )
     options = parser.parse_args(argv)
     if out is None:
         out = sys.stdout
     shell = Shell(_granularity(options.granularity))
+    # A primary logs the full logical history from the first statement
+    # (replicas bootstrap by replaying it from LSN 0), so shipping goes
+    # on before any boot-time scripts run.  Replicas receive their state
+    # from the stream instead of logging their own.
+    if options.replica_of is None and not options.no_replication:
+        shell.server.enable_wal_shipping()
+    if options.simulated_io_ms:
+        shell.server.simulated_io_s = options.simulated_io_ms / 1000.0
     if options.event_log:
         shell.server.obs.events.path = options.event_log
     if options.slow_query_ms is not None:
@@ -432,7 +466,7 @@ def serve_main(argv: List[str], out=None) -> int:
         shell.server.create_sbspace(name)
     for blade in options.install:
         shell._install(blade, out)
-    if options.file:
+    if options.file and options.replica_of is None:
         shell.run_script(options.file)
     server = NetServer(
         shell.server,
@@ -442,15 +476,39 @@ def serve_main(argv: List[str], out=None) -> int:
         queue_depth=options.queue_depth,
         lock_timeout=options.lock_timeout,
     ).start()
-    print(
-        f"repro serving on {server.host}:{server.port} "
-        f"({server.workers} workers, queue {server.queue_depth}); "
-        f"Ctrl-C to stop",
-        file=out,
-    )
+    link = None
+    if options.replica_of:
+        from repro.repl import ReplicaLink
+
+        try:
+            primary_host, primary_port = options.replica_of.rsplit(":", 1)
+            primary_port = int(primary_port)
+        except ValueError:
+            print(f"error: --replica-of wants HOST:PORT, got "
+                  f"{options.replica_of!r}", file=out)
+            server.shutdown()
+            return 2
+        name = options.replica_name or f"replica-{server.port}"
+        link = ReplicaLink(
+            shell.server, primary_host, primary_port, name=name
+        ).start()
+        print(
+            f"repro replica {name} serving on {server.host}:{server.port}, "
+            f"streaming from {primary_host}:{primary_port}; Ctrl-C to stop",
+            file=out,
+        )
+    else:
+        print(
+            f"repro serving on {server.host}:{server.port} "
+            f"({server.workers} workers, queue {server.queue_depth}); "
+            f"Ctrl-C to stop",
+            file=out,
+        )
     try:
         server.serve_forever()
     finally:
+        if link is not None:
+            link.stop()
         server.shutdown()
         print("server stopped", file=out)
     return 0

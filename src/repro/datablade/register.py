@@ -61,8 +61,11 @@ def register_grtree_blade(
     server.library.register_module(GRTreeDataBlade.LIBRARY_PATH, exports)
 
     # Steps 2-4 plus the blade's metadata table, via the generated script.
+    # Provisioning scope: registration DDL is node-local (replicas install
+    # their own blades), so it is never logged for replication.
     script = bladesmith.generate_register_script(GRTreeDataBlade.LIBRARY_PATH)
-    server.run_script(script)
+    with server.provisioning():
+        server.run_script(script)
 
     # Informix's association hints (Section 5.2): commutators only --
     # there is no way to declare "not overlaps implies not equal".
@@ -85,5 +88,6 @@ def unregister_grtree_blade(server) -> None:
                 "drop it before unregistering the DataBlade"
             )
     script = bladesmith.generate_unregister_script()
-    server.run_script(script)
+    with server.provisioning():
+        server.run_script(script)
     server.types.unregister(TYPE_NAME)

@@ -40,6 +40,12 @@ Actions:
     Only meaningful at write failpoints: a few deterministically
     chosen bytes of the written data are bit-flipped.  At non-write
     failpoints it degrades to ``raise``.
+``drop`` / ``dup`` / ``reorder``
+    Frame-level actions for the replication stream (``repl.send``):
+    the WAL shipper silently drops the frame, sends it twice, or swaps
+    it with the next one.  The replica's apply loop must absorb all
+    three (idempotency by LSN, reorder buffering, gap resubscribe).
+    At failpoints that cannot act on frames they degrade to ``raise``.
 """
 
 from __future__ import annotations
@@ -69,7 +75,7 @@ class SimulatedCrash(BaseException):
         self.point = name
 
 
-ACTIONS = ("raise", "crash", "torn", "corrupt")
+ACTIONS = ("raise", "crash", "torn", "corrupt", "drop", "dup", "reorder")
 
 #: Every failpoint compiled into the engine, with the layer it lives in.
 #: ``set_fault`` validates names against this catalog so a typo in a
@@ -86,6 +92,9 @@ CATALOG: Dict[str, str] = {
     "lock.acquire": "storage: LockManager.acquire",
     "net.send": "net: server about to send a reply frame",
     "net.recv": "net: server received a request frame",
+    "repl.send": "repl: primary about to ship a WAL frame "
+    "(drop/dup/reorder/torn capable)",
+    "repl.apply": "repl: replica about to apply a committed transaction",
 }
 
 
@@ -277,12 +286,12 @@ class FaultRegistry:
             return new
         if action == "crash":
             raise SimulatedCrash(name)
-        if action == "raise":
-            raise FaultInjected(name)
-        point = self._points[name]
         if action == "torn":
             return self._tear(new, old)
-        return self._flip(point, new)
+        if action == "corrupt":
+            return self._flip(self._points[name], new)
+        # ``raise`` and frame-level actions (meaningless here) degrade.
+        raise FaultInjected(name)
 
     @staticmethod
     def _tear(new: bytes, old: bytes) -> bytes:
@@ -311,12 +320,12 @@ class FaultRegistry:
             return payload, False
         if action == "crash":
             raise SimulatedCrash(name)
-        if action == "raise":
-            return b"", True
         if action == "torn":
             return payload[: max(1, len(payload) // 2)], True
-        point = self._points[name]
-        return self._flip(point, payload), True
+        if action == "corrupt":
+            return self._flip(self._points[name], payload), True
+        # ``raise`` and frame-level actions degrade to a severed link.
+        return b"", True
 
     # ------------------------------------------------------------------
     # Observability

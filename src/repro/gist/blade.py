@@ -357,7 +357,8 @@ def register_gist_blade(server, buffer_capacity: int = 64) -> GistDataBlade:
         f"CREATE TABLE {blade.METADATA_TABLE} "
         f"(indexname LVARCHAR, blobhandle LVARCHAR)"
     )
-    server.run_script(";\n".join(statements))
+    with server.provisioning():
+        server.run_script(";\n".join(statements))
 
     blade.register_extension("gist_rect_ops", RectExtension())
     blade.register_extension("gist_interval_ops", IntervalExtension())

@@ -163,6 +163,10 @@ class ReproClient:
         self._sock: Optional[socket.socket] = None
         self.connection_id: Optional[int] = None
         self.in_transaction = False
+        #: The server's WAL position after our most recent statement --
+        #: the read-your-writes token replica routing passes as
+        #: ``min_lsn`` (see ``repro.repl.router``).
+        self.last_lsn: Optional[int] = None
         #: Driver-side telemetry, mostly for the tests and benchmarks.
         self.stats: Dict[str, int] = {
             "connects": 0,
@@ -247,7 +251,13 @@ class ReproClient:
         """A 128-bit hex trace id from the (injectable) driver rng."""
         return "%032x" % self._rng.getrandbits(128)
 
-    def execute(self, sql: str, *, explain_profile: bool = False) -> Any:
+    def execute(
+        self,
+        sql: str,
+        *,
+        explain_profile: bool = False,
+        min_lsn: Optional[int] = None,
+    ) -> Any:
         """Run one statement, retrying what is safe to retry.
 
         Returns the statement's value (rows come back as a list of
@@ -256,7 +266,9 @@ class ReproClient:
         call's retries) that the server stamps through its span tree;
         with ``explain_profile=True`` the return value is a
         :class:`Profiled` stitching the client span over the server's
-        tree for that trace.
+        tree for that trace.  ``min_lsn`` demands the server have
+        applied at least that WAL position first; a replica that cannot
+        answers ``REPLICA_STALE`` (routing retries elsewhere).
         """
         trace_id = parent_span_id = None
         if self.tracing or explain_profile:
@@ -268,6 +280,7 @@ class ReproClient:
             trace_id=trace_id,
             parent_span_id=parent_span_id,
             profile=explain_profile,
+            min_lsn=min_lsn,
         )
         attempt = 0
         while True:
@@ -300,6 +313,8 @@ class ReproClient:
             kind = reply.get("kind")
             if kind == "result":
                 self.stats["statements"] += 1
+                if reply.get("lsn") is not None:
+                    self.last_lsn = reply["lsn"]
                 if _is_begin(sql):
                     self.in_transaction = True
                 elif _is_end(sql):

@@ -11,20 +11,35 @@ discriminator::
 Client -> server kinds:
 
 ``hello``    ``{kind, protocol, client}`` -- opens the conversation
-``execute``  ``{kind, sql[, trace_id, parent_span_id, profile]}`` --
-             run one SQL statement; the optional trace fields propagate
-             the client's distributed-trace context, and ``profile``
-             asks for the statement's stitched span tree in the reply
+``execute``  ``{kind, sql[, trace_id, parent_span_id, profile,
+             min_lsn]}`` -- run one SQL statement; the optional trace
+             fields propagate the client's distributed-trace context,
+             ``profile`` asks for the statement's stitched span tree in
+             the reply, and ``min_lsn`` demands the server have applied
+             at least that LSN first (read-your-writes on a replica)
 ``ping``     ``{kind}``                   -- liveness probe
 ``metrics``  ``{kind}``                   -- Prometheus-text scrape
 ``quit``     ``{kind}``                   -- orderly goodbye
+``wal_subscribe`` ``{kind, from_lsn, replica}`` -- become a replication
+             subscriber: the connection switches to a one-way stream of
+             ``wal_frame`` messages starting at ``from_lsn``
+``wal_ack``  ``{kind, applied_lsn, replica}`` -- replica progress
+             report (feeds ``SHOW REPLICAS`` lag accounting)
 
 Server -> client kinds:
 
 ``welcome``  ``{kind, protocol, server, connection_id}``
-``result``   ``{kind, value, elapsed[, profile]}`` -- statement
+``result``   ``{kind, value, elapsed[, profile, lsn]}`` -- statement
              succeeded; ``profile`` is the server-side span tree when
-             the execute frame asked for it
+             the execute frame asked for it, and ``lsn`` is the
+             server's last WAL LSN after the statement (a read-your-
+             writes token for replica routing)
+``wal_frame`` ``{kind, records, last_lsn, now[, snapshot]}`` -- a batch
+             of ``LogRecord.to_dict()`` payloads; ``last_lsn`` is the
+             primary's newest LSN (an empty ``records`` list is a
+             heartbeat), ``now`` the primary's wall clock for seconds-
+             lag, and ``snapshot`` rides on the first frame after a
+             subscribe (bootstrap state the log does not carry)
 ``error``    ``{kind, code, message, retryable, error_type,
               aborted_transaction}``
 ``metrics_result`` ``{kind, text}``       -- the exposition text
@@ -42,6 +57,9 @@ Error *codes* are the retry contract (see ``docs/serving.md``):
   server has aborted it (``aborted_transaction`` is true) and the whole
   transaction should be retried;
 * ``SHUTTING_DOWN``   -- the server is draining; reconnect elsewhere;
+* ``REPLICA_STALE``   -- a replica could not satisfy the session's
+  staleness bound (or the execute frame's ``min_lsn``); the statement
+  is safe to retry on another endpoint -- typically the primary;
 * ``SQL_ERROR``       -- the statement itself is wrong; do not retry;
 * ``PROTOCOL_ERROR`` / ``INTERNAL_ERROR`` -- framing or server bugs.
 
@@ -73,8 +91,11 @@ SHUTTING_DOWN = "SHUTTING_DOWN"
 SQL_ERROR = "SQL_ERROR"
 PROTOCOL_ERROR = "PROTOCOL_ERROR"
 INTERNAL_ERROR = "INTERNAL_ERROR"
+REPLICA_STALE = "REPLICA_STALE"
 
-#: Codes a driver may retry at *statement* granularity.
+#: Codes a driver may retry at *statement* granularity.  REPLICA_STALE
+#: is deliberately absent: retrying the *same* replica is pointless;
+#: the routing layer retries on a different endpoint instead.
 STATEMENT_RETRYABLE = frozenset({SERVER_BUSY})
 #: Codes a driver may retry at *transaction* granularity.
 TRANSACTION_RETRYABLE = frozenset({SERVER_BUSY, LOCK_TIMEOUT})
@@ -177,6 +198,7 @@ def execute(
     trace_id: Optional[str] = None,
     parent_span_id: Optional[int] = None,
     profile: bool = False,
+    min_lsn: Optional[int] = None,
 ) -> Dict[str, Any]:
     message: Dict[str, Any] = {"kind": "execute", "sql": sql}
     if trace_id is not None:
@@ -185,11 +207,16 @@ def execute(
             message["parent_span_id"] = parent_span_id
     if profile:
         message["profile"] = True
+    if min_lsn is not None:
+        message["min_lsn"] = min_lsn
     return message
 
 
 def result(
-    value: Any, elapsed: float, profile: Optional[Dict[str, Any]] = None
+    value: Any,
+    elapsed: float,
+    profile: Optional[Dict[str, Any]] = None,
+    lsn: Optional[int] = None,
 ) -> Dict[str, Any]:
     message: Dict[str, Any] = {
         "kind": "result",
@@ -198,7 +225,34 @@ def result(
     }
     if profile is not None:
         message["profile"] = jsonable(profile)
+    if lsn is not None:
+        message["lsn"] = lsn
     return message
+
+
+def wal_subscribe(from_lsn: int, replica: str = "replica") -> Dict[str, Any]:
+    return {"kind": "wal_subscribe", "from_lsn": from_lsn, "replica": replica}
+
+
+def wal_frame(
+    records: list,
+    last_lsn: int,
+    now: float,
+    snapshot: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {
+        "kind": "wal_frame",
+        "records": records,
+        "last_lsn": last_lsn,
+        "now": now,
+    }
+    if snapshot is not None:
+        message["snapshot"] = snapshot
+    return message
+
+
+def wal_ack(applied_lsn: int, replica: str = "replica") -> Dict[str, Any]:
+    return {"kind": "wal_ack", "applied_lsn": applied_lsn, "replica": replica}
 
 
 def metrics() -> Dict[str, Any]:

@@ -40,6 +40,7 @@ from repro.faults import SimulatedCrash
 from repro.net import protocol
 from repro.obs.export import prometheus_text
 from repro.server import DatabaseServer, ServerError
+from repro.server.errors import ReplicaStaleError
 from repro.server.session import Session
 from repro.storage.locks import LockConflictError
 
@@ -54,6 +55,9 @@ class _Connection:
         self.conn_id = conn_id
         self.sock = sock
         self.session = session
+        #: Set when this connection subscribed as a replica; teardown
+        #: then also unsubscribes it from the WAL shipper.
+        self.replica_name: Optional[str] = None
         #: One frame writer at a time (reader replies + worker replies).
         self.write_lock = threading.Lock()
         #: One in-flight statement per connection: a pipelining client
@@ -123,6 +127,7 @@ class NetServer:
             "busy_rejections": 0,
             "lock_timeouts": 0,
             "aborted_on_disconnect": 0,
+            "stale_rejections": 0,
         }
 
     # ------------------------------------------------------------------
@@ -203,6 +208,9 @@ class NetServer:
                 pass
         if drain:
             self._wait_for_drain()
+        if self.db.repl_shipper is not None:
+            self.db.repl_shipper.stop()
+            self.db.repl_shipper = None
         # Abort transactions left open by now-idle connections.
         with self._conn_lock:
             connections = list(self._connections.values())
@@ -307,6 +315,15 @@ class NetServer:
                     break
                 elif kind == "execute":
                     self._admit(conn, message)
+                elif kind == "wal_subscribe":
+                    self._subscribe_replica(conn, message)
+                elif kind == "wal_ack":
+                    shipper = self.db.repl_shipper
+                    if shipper is not None:
+                        shipper.on_ack(
+                            str(message.get("replica", "replica")),
+                            int(message.get("applied_lsn", -1)),
+                        )
                 else:
                     self._send(
                         conn,
@@ -319,6 +336,38 @@ class NetServer:
             pass
         finally:
             self._drop_connection(conn)
+
+    def _subscribe_replica(self, conn: _Connection, message: Dict[str, object]) -> None:
+        """Turn this connection into a WAL-frame push stream.
+
+        After the subscribe, the reader thread keeps running -- it
+        consumes the replica's ``wal_ack`` progress reports -- while a
+        shipper-owned sender thread pushes ``wal_frame`` messages
+        through the connection's write lock.
+        """
+        if not self.db.wal.ship_rows:
+            self._send(
+                conn,
+                protocol.error(
+                    protocol.PROTOCOL_ERROR,
+                    "this server is not a replication primary "
+                    "(WAL shipping is not enabled)",
+                ),
+            )
+            return
+        shipper = self.db.ensure_wal_shipper()
+        name = str(message.get("replica") or f"replica-{conn.conn_id}")
+        from_lsn = int(message.get("from_lsn", 0))
+
+        def send_bytes(data: bytes) -> None:
+            with conn.write_lock:
+                conn.sock.sendall(data)
+
+        conn.replica_name = name
+        self.db.obs.inc("net.wal_subscribes")
+        shipper.subscribe(
+            name, from_lsn, send_bytes, close=lambda: self._drop_connection(conn)
+        )
 
     def _admit(self, conn: _Connection, message: Dict[str, object]) -> None:
         """Admission control: bounded queue, typed rejection when full."""
@@ -419,6 +468,18 @@ class NetServer:
     def _run_statement_locked(
         self, conn: _Connection, sql: str, message: Dict[str, object]
     ):
+        min_lsn = message.get("min_lsn")
+        if isinstance(min_lsn, int) and min_lsn >= 0:
+            if not self.db.repl_wait_for_lsn(min_lsn):
+                self._count("stale_rejections")
+                self.db.obs.inc("net.stale_rejections")
+                return protocol.error(
+                    protocol.REPLICA_STALE,
+                    f"replica has applied LSN "
+                    f"{self.db.repl_link.applied_lsn if self.db.repl_link else -1}"
+                    f", statement demands {min_lsn}",
+                    retryable=True,
+                )
         deadline = time.monotonic() + self.lock_timeout
         attempt = 0
         while True:
@@ -443,6 +504,15 @@ class NetServer:
                 delay = min(remaining, base * (0.5 + self._rng.random()))
                 time.sleep(max(delay, 0.0005))
                 continue
+            except ReplicaStaleError as exc:
+                self._count("stale_rejections")
+                self.db.obs.inc("net.stale_rejections")
+                return protocol.error(
+                    protocol.REPLICA_STALE,
+                    str(exc),
+                    retryable=True,
+                    error_type=type(exc).__name__,
+                )
             except ServerError as exc:
                 self._count("statement_errors")
                 return protocol.error(
@@ -465,7 +535,16 @@ class NetServer:
                 root = conn.session.last_root_span
                 if root is not None:
                     profile = root.to_dict()
-            return protocol.result(value, elapsed, profile)
+            # Replication-aware servers stamp their WAL position on the
+            # reply: the primary's last LSN is the read-your-writes
+            # token; a replica reports how far it has applied.  Plain
+            # servers keep their frames byte-identical.
+            lsn = None
+            if self.db.repl_link is not None:
+                lsn = self.db.repl_link.applied_lsn
+            elif self.db.wal.ship_rows:
+                lsn = self.db.wal.last_lsn()
+            return protocol.result(value, elapsed, profile, lsn=lsn)
 
     # ------------------------------------------------------------------
     # Connection teardown
@@ -521,6 +600,8 @@ class NetServer:
                 self._count("aborted_on_disconnect")
                 self.db.obs.inc("net.aborted_on_disconnect")
         self._close_socket(conn)
+        if conn.replica_name is not None and self.db.repl_shipper is not None:
+            self.db.repl_shipper.unsubscribe(conn.replica_name)
         with self._conn_lock:
             self._connections.pop(conn.conn_id, None)
 

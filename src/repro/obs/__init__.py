@@ -344,6 +344,7 @@ class Observability:
                     "spec.",
                     "net.",
                     "faults.",
+                    "repl.",
                 )
             )
         }
@@ -446,6 +447,21 @@ class Observability:
                 "  ".join(
                     f"{name[len('net.'):]} {value:g}"
                     for name, value in net_items
+                )
+            )
+
+        repl_items = sorted(
+            (name, value)
+            for name, value in snapshot.items()
+            if name.startswith("repl.")
+        )
+        if repl_items:
+            lines.append("")
+            section("replication")
+            lines.append(
+                "  ".join(
+                    f"{name[len('repl.'):]} {value:g}"
+                    for name, value in repl_items
                 )
             )
 

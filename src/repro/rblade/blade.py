@@ -447,5 +447,6 @@ def register_rtree_blade(server, buffer_capacity: int = 64) -> RTreeDataBlade:
         f"CREATE TABLE {blade.METADATA_TABLE} "
         f"(indexname LVARCHAR, blobhandle LVARCHAR)"
     )
-    server.run_script(";\n".join(statements))
+    with server.provisioning():
+        server.run_script(";\n".join(statements))
     return blade

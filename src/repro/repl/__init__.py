@@ -1,0 +1,26 @@
+"""repro.repl: WAL-shipping read replicas with staleness-bounded routing.
+
+The primary streams its logical WAL records to subscribed replicas over
+the ``repro.net`` wire protocol (``wal_subscribe`` / ``wal_frame`` /
+``wal_ack`` frames); each replica runs a continuous-redo, commit-gated
+apply loop and reports its applied LSN back.  Client-side,
+:class:`RoutedClient` sends writes to the primary and fans reads across
+replicas subject to a per-session staleness bound
+(``SET READ STALENESS <ms> | LSN <n> | OFF``), falling back to the
+primary when replicas lag or disappear.
+
+See ``docs/replication.md`` for the topology, the staleness contract,
+and the failure-mode matrix.
+"""
+
+from repro.repl.applier import ReplicationApplier
+from repro.repl.link import ReplicaLink
+from repro.repl.router import RoutedClient
+from repro.repl.shipper import WalShipper
+
+__all__ = [
+    "ReplicationApplier",
+    "ReplicaLink",
+    "RoutedClient",
+    "WalShipper",
+]

@@ -1,0 +1,229 @@
+"""The replica's link to its primary: connect, subscribe, apply, ack.
+
+A :class:`ReplicaLink` owns one background thread that keeps a replica's
+:class:`~repro.repl.applier.ReplicationApplier` fed:
+
+1. connect to the primary, ``hello``/``welcome`` handshake;
+2. ``wal_subscribe`` from ``received_lsn + 1`` (LSN 0 on a fresh
+   replica -- the full logical history is the bootstrap);
+3. read ``wal_frame`` messages, hand them to the applier, answer with
+   ``wal_ack``;
+4. on any break -- severed socket, undecodable (torn) frame, or an LSN
+   gap that does not fill within ``gap_timeout`` (a dropped frame) --
+   tear the socket down and go back to step 1, resubscribing from the
+   cursor.  Idempotent apply makes the overlap harmless.
+
+The first frame after a subscribe carries the primary's *snapshot*:
+granularity (asserted equal -- chronons do not translate), the chronon
+clock (the replica's engine time jumps forward to match; every later
+frame carries the clock too so query-time semantics track the primary),
+and the primary's sbspace names (created locally if missing, so replayed
+``CREATE INDEX ... IN <sbspace>`` statements land).
+
+A ``SimulatedCrash`` escaping the applier freezes the link: the thread
+stops, ``crashed`` records the failpoint, and the harness rebuilds the
+replica via relay-log replay -- exactly a process death.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.faults import SimulatedCrash
+from repro.net import protocol
+from repro.repl.applier import ReplicationApplier
+
+
+class ReplicaLink:
+    def __init__(
+        self,
+        db,
+        host: str,
+        port: int,
+        name: str = "replica",
+        gap_timeout: float = 0.5,
+        retry_interval: float = 0.05,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.name = name
+        self.gap_timeout = gap_timeout
+        self.retry_interval = retry_interval
+        self.applier = ReplicationApplier(db, name=name)
+        db.repl_link = self
+        db.obs.metrics.register_collector("repl", db.repl_stats)
+        self.connected = False
+        self.crashed: Optional[str] = None
+        self.reconnects = 0
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ReplicaLink":
+        self._thread = threading.Thread(
+            target=self._run, name=f"repl-link-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._close_socket()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _close_socket(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        first_attempt = True
+        while not self._stop.is_set():
+            if not first_attempt:
+                self.reconnects += 1
+                time.sleep(self.retry_interval)
+            first_attempt = False
+            try:
+                self._stream_once()
+            except SimulatedCrash as crash:
+                self.crashed = crash.point
+                break
+            except (OSError, protocol.ProtocolError):
+                # Severed/torn link: reconnect and resubscribe from the
+                # cursor; duplicates on the overlap are dropped by LSN.
+                continue
+            finally:
+                self.connected = False
+                self._close_socket()
+
+    def _stream_once(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.gap_timeout
+        )
+        self._sock = sock
+        protocol.write_frame(sock, protocol.hello(client=f"repl:{self.name}"))
+        reply = protocol.read_frame(sock)
+        if reply is None or reply.get("kind") != "welcome":
+            raise protocol.ProtocolError(f"expected welcome, got {reply!r}")
+        protocol.write_frame(
+            sock,
+            protocol.wal_subscribe(
+                from_lsn=self.applier.received_lsn + 1, replica=self.name
+            ),
+        )
+        self.connected = True
+        gap_since: Optional[float] = None
+        while not self._stop.is_set():
+            try:
+                frame = protocol.read_frame(sock)
+            except socket.timeout:
+                # No heartbeat inside the gap window: treat the link as
+                # dead rather than serving unboundedly stale reads.
+                raise OSError("replication link timed out")
+            if frame is None:
+                raise OSError("primary closed the replication link")
+            kind = frame.get("kind")
+            if kind == "error":
+                raise protocol.ProtocolError(
+                    f"primary refused subscription: {frame.get('message')}"
+                )
+            if kind != "wal_frame":
+                continue
+            snapshot = frame.get("snapshot")
+            if snapshot is not None:
+                self._bootstrap(snapshot)
+            if frame.get("clock") is not None:
+                self._sync_clock(frame["clock"])
+            gap = self.applier.ingest(
+                frame.get("records", []),
+                last_lsn=frame.get("last_lsn", -1),
+                now=frame.get("now"),
+            )
+            if gap:
+                if gap_since is None:
+                    gap_since = time.monotonic()
+                elif time.monotonic() - gap_since >= self.gap_timeout:
+                    # A dropped frame: the hole will never fill on this
+                    # stream.  Resubscribe from the cursor instead.
+                    self.applier.pending.clear()
+                    raise OSError("LSN gap in replication stream")
+            else:
+                gap_since = None
+            protocol.write_frame(
+                sock,
+                protocol.wal_ack(
+                    applied_lsn=self.applier.applied_lsn, replica=self.name
+                ),
+            )
+
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self, snapshot: dict) -> None:
+        db = self.db
+        granularity = snapshot.get("granularity")
+        if granularity is not None and granularity != db.clock.granularity.name:
+            raise protocol.ProtocolError(
+                f"granularity mismatch: primary {granularity}, "
+                f"replica {db.clock.granularity.name}"
+            )
+        for name in snapshot.get("sbspaces", []):
+            if name.lower() not in db.sbspaces:
+                db.create_sbspace(name)
+        if snapshot.get("clock") is not None:
+            self._sync_clock(snapshot["clock"])
+
+    def _sync_clock(self, chronon) -> None:
+        if chronon > self.db.clock.now:
+            self.db.clock.set(chronon)
+
+    # ------------------------------------------------------------------
+    # Surface for routing / SHOW REPLICAS on the replica itself
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_lsn(self) -> int:
+        return self.applier.applied_lsn
+
+    def lag_records(self) -> int:
+        return self.applier.lag_records()
+
+    def lag_seconds(self) -> float:
+        return self.applier.lag_seconds()
+
+    def wait_for_lsn(self, min_lsn: int, timeout: float = 0.25) -> bool:
+        return self.applier.wait_for_lsn(min_lsn, timeout)
+
+    def status_row(self) -> dict:
+        if self.crashed is not None:
+            state = "crashed"
+        elif self.connected:
+            state = "streaming"
+        else:
+            state = "connecting"
+        return {
+            "replica": self.name,
+            "state": state,
+            "primary": f"{self.host}:{self.port}",
+            "applied_lsn": self.applier.applied_lsn,
+            "lag_records": self.applier.lag_records(),
+            "lag_ms": round(self.applier.lag_seconds() * 1000.0, 1),
+            "reconnects": self.reconnects,
+        }
+
+    def stats(self) -> dict:
+        out = self.applier.stats()
+        out["reconnects"] = self.reconnects
+        out["connected"] = 1 if self.connected else 0
+        return out

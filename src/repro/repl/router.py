@@ -1,0 +1,220 @@
+"""Replica-aware statement routing for the client side.
+
+A :class:`RoutedClient` looks like one :class:`~repro.net.client.ReproClient`
+but fans statements across a topology:
+
+* writes, DDL, and everything inside an explicit transaction go to the
+  **primary** -- replicas are read-only and transactions pin server-side
+  session state;
+* plain reads (``SELECT`` / ``SHOW``) round-robin across the healthy
+  **replicas**, carrying ``min_lsn`` = the LSN of this client's latest
+  write so the session reads its own writes;
+* ``SET READ STALENESS`` is remembered and broadcast to every endpoint
+  (and replayed on reconnect), so the per-session bound follows the
+  statement wherever it is routed.
+
+Failure handling is the retry contract's routing half: a replica that
+answers ``REPLICA_STALE``, fails at the socket level, or exhausts its
+driver retries is *marked unhealthy for a cooldown* and the statement
+transparently falls back to the next replica, then the primary.  An
+error surfaces only when no endpoint at all can run the statement --
+connection loss to a replica is retryable-on-another-endpoint, not an
+application failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.net import protocol
+from repro.net.client import (
+    ReproClient,
+    ReproClientError,
+    RemoteStatementError,
+    ServerBusyError,
+    TransientNetworkError,
+)
+
+#: Statement heads safe to run on a read-only replica.
+_READ_HEADS = ("SELECT", "SHOW")
+
+
+def _is_read(sql: str) -> bool:
+    return sql.lstrip().upper().startswith(_READ_HEADS)
+
+
+class _Endpoint:
+    def __init__(self, client: ReproClient, role: str) -> None:
+        self.client = client
+        self.role = role
+        self.unhealthy_until = 0.0
+        self.staleness_sql: Optional[str] = None
+        #: ``client.stats["connects"]`` when the bound was last applied;
+        #: a reconnect makes a fresh server session that lost it.
+        self.staleness_conn = -1
+
+    @property
+    def healthy(self) -> bool:
+        return time.monotonic() >= self.unhealthy_until
+
+    def quarantine(self, cooldown: float) -> None:
+        self.unhealthy_until = time.monotonic() + cooldown
+
+
+class RoutedClient:
+    """One logical session over a primary plus N read replicas."""
+
+    def __init__(
+        self,
+        primary: tuple,
+        replicas: List[tuple] = (),
+        *,
+        cooldown: float = 1.0,
+        client_name: str = "repro-routed",
+        client_factory: Callable[..., ReproClient] = ReproClient,
+        **client_kwargs: Any,
+    ) -> None:
+        self.cooldown = cooldown
+        self._primary = _Endpoint(
+            client_factory(
+                *primary, client_name=f"{client_name}-primary", **client_kwargs
+            ),
+            role="primary",
+        )
+        self._replicas = [
+            _Endpoint(
+                client_factory(
+                    *address, client_name=f"{client_name}-r{i}", **client_kwargs
+                ),
+                role="replica",
+            )
+            for i, address in enumerate(replicas)
+        ]
+        self._rr = 0
+        #: The LSN of this session's newest write (read-your-writes).
+        self.last_write_lsn: Optional[int] = None
+        self._staleness_sql: Optional[str] = None
+        self.stats = {
+            "primary_statements": 0,
+            "replica_statements": 0,
+            "fallbacks": 0,
+            "stale_rejections": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self) -> ReproClient:
+        return self._primary.client
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._primary.client.in_transaction
+
+    def connect(self) -> "RoutedClient":
+        self._primary.client.connect()
+        return self
+
+    def close(self) -> None:
+        for endpoint in [self._primary, *self._replicas]:
+            try:
+                endpoint.client.close()
+            except ReproClientError:
+                pass
+
+    def __enter__(self) -> "RoutedClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, **kwargs: Any) -> Any:
+        if sql.lstrip().upper().startswith("SET READ STALENESS"):
+            return self._broadcast_staleness(sql)
+        if not _is_read(sql) or self.in_transaction or not self._replicas:
+            return self._run_on_primary(sql, **kwargs)
+        return self._run_read(sql, **kwargs)
+
+    def run_transaction(self, body, **kwargs: Any) -> Any:
+        return self._primary.client.run_transaction(body, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _run_on_primary(self, sql: str, **kwargs: Any) -> Any:
+        value = self._primary.client.execute(sql, **kwargs)
+        self.stats["primary_statements"] += 1
+        lsn = self._primary.client.last_lsn
+        if lsn is not None and not _is_read(sql):
+            self.last_write_lsn = lsn
+        return value
+
+    def _run_read(self, sql: str, **kwargs: Any) -> Any:
+        """Try each healthy replica once, then fall back to primary."""
+        order = self._replica_order()
+        last_error: Optional[Exception] = None
+        for endpoint in order:
+            try:
+                self._ensure_staleness(endpoint)
+                value = endpoint.client.execute(
+                    sql, min_lsn=self.last_write_lsn, **kwargs
+                )
+                self.stats["replica_statements"] += 1
+                return value
+            except RemoteStatementError as error:
+                if error.code == protocol.REPLICA_STALE:
+                    # This replica lags beyond the bound; another
+                    # endpoint (ultimately the primary) will not.
+                    self.stats["stale_rejections"] += 1
+                    endpoint.quarantine(self.cooldown / 4)
+                    last_error = error
+                    continue
+                raise  # A real statement error: no endpoint fixes SQL.
+            except (TransientNetworkError, ServerBusyError) as error:
+                # Connection loss to a replica is retryable on another
+                # endpoint while at least one remains healthy.
+                endpoint.quarantine(self.cooldown)
+                last_error = error
+                continue
+        self.stats["fallbacks"] += 1
+        del last_error
+        return self._run_on_primary(sql, **kwargs)
+
+    def _replica_order(self) -> List[_Endpoint]:
+        healthy = [e for e in self._replicas if e.healthy]
+        if not healthy:
+            return []
+        self._rr = (self._rr + 1) % len(healthy)
+        return healthy[self._rr :] + healthy[: self._rr]
+
+    # ------------------------------------------------------------------
+
+    def _broadcast_staleness(self, sql: str) -> Any:
+        """Remember the bound and push it to every reachable endpoint."""
+        self._staleness_sql = None if sql.strip().upper().endswith("OFF") else sql
+        value = None
+        for endpoint in [self._primary, *self._replicas]:
+            endpoint.staleness_sql = None
+            try:
+                value = endpoint.client.execute(sql)
+                endpoint.staleness_sql = self._staleness_sql
+                endpoint.staleness_conn = endpoint.client.stats["connects"]
+            except ReproClientError:
+                endpoint.quarantine(self.cooldown)
+        return value
+
+    def _ensure_staleness(self, endpoint: _Endpoint) -> None:
+        """Replay the session bound after a reconnect lost it."""
+        current = (
+            endpoint.staleness_sql == self._staleness_sql
+            and endpoint.staleness_conn == endpoint.client.stats["connects"]
+            and endpoint.client._sock is not None
+        )
+        if current:
+            return
+        if self._staleness_sql is not None:
+            endpoint.client.execute(self._staleness_sql)
+        endpoint.staleness_sql = self._staleness_sql
+        endpoint.staleness_conn = endpoint.client.stats["connects"]

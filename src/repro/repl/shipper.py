@@ -1,0 +1,294 @@
+"""The primary's WAL shipper: one sender thread per subscriber.
+
+The shipper listens for WAL appends and pushes ``wal_frame`` messages to
+every subscriber over whatever byte sink the serving layer hands it (a
+socket send, or a list in tests).  Each subscriber owns a cursor
+(``next_lsn``) into the primary's log; the log itself is the retention
+buffer, so a subscriber that reconnects simply resubscribes from where
+it left off and the shipper replays the suffix.
+
+Heartbeats -- empty frames carrying ``last_lsn``, the primary's wall
+clock, and its chronon clock -- flow on an interval even when the log is
+idle, so replicas can age their seconds-lag and keep engine time in
+step.
+
+The ``repl.send`` failpoint fires once per outgoing frame and gives the
+fault matrix its stream-level adversary:
+
+``drop``     the frame is never sent but the cursor advances -- the
+             replica sees an LSN gap and must resubscribe;
+``dup``      the frame is sent twice -- apply must be idempotent;
+``reorder``  the frame is held back and sent after the next one;
+``torn``     half the frame's bytes are sent and the link severed;
+``raise``    the link is severed cleanly;
+``crash``    the sender thread dies as if the primary lost the replica.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.faults import SimulatedCrash
+from repro.net import protocol
+
+
+class _Severed(Exception):
+    """Internal: a fault decided this subscriber's link is dead."""
+
+
+class _Subscriber:
+    def __init__(
+        self,
+        name: str,
+        next_lsn: int,
+        send_bytes: Callable[[bytes], None],
+        close: Callable[[], None],
+    ) -> None:
+        self.name = name
+        self.next_lsn = next_lsn
+        self.send_bytes = send_bytes
+        self.close = close
+        self.applied_lsn = -1
+        self.acked_at: Optional[float] = None
+        self.subscribed_at = time.time()
+        self.frames_sent = 0
+        self.records_sent = 0
+        self.connected = True
+        self.wake = threading.Event()
+        self.stop = False
+        #: A ``reorder`` fault parks the current frame here; it is
+        #: flushed after the next frame goes out (or at disconnect).
+        self.held_frame: Optional[bytes] = None
+        self.thread: Optional[threading.Thread] = None
+
+
+class WalShipper:
+    """Streams a primary's WAL to its subscribed replicas."""
+
+    def __init__(
+        self,
+        db,
+        batch_size: int = 256,
+        heartbeat_interval: float = 0.05,
+    ) -> None:
+        self.db = db
+        self.batch_size = batch_size
+        self.heartbeat_interval = heartbeat_interval
+        self._lock = threading.Lock()
+        self._subscribers: Dict[str, _Subscriber] = {}
+        db.wal.add_listener(self._on_append)
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        from_lsn: int,
+        send_bytes: Callable[[bytes], None],
+        close: Callable[[], None] = lambda: None,
+    ) -> _Subscriber:
+        """Register a replica and start streaming to it from *from_lsn*.
+
+        A resubscribe under an existing name replaces the old sender
+        (the reconnect path after a severed link).
+        """
+        sub = _Subscriber(name, max(0, from_lsn), send_bytes, close)
+        with self._lock:
+            old = self._subscribers.pop(name, None)
+            self._subscribers[name] = sub
+        if old is not None:
+            self._retire(old)
+        sub.thread = threading.Thread(
+            target=self._pump, args=(sub,), name=f"wal-ship-{name}", daemon=True
+        )
+        sub.thread.start()
+        return sub
+
+    def unsubscribe(self, name: str) -> None:
+        with self._lock:
+            sub = self._subscribers.pop(name, None)
+        if sub is not None:
+            self._retire(sub)
+
+    def stop(self) -> None:
+        with self._lock:
+            subs = list(self._subscribers.values())
+            self._subscribers.clear()
+        for sub in subs:
+            self._retire(sub)
+        self.db.wal.remove_listener(self._on_append)
+
+    @staticmethod
+    def _retire(sub: _Subscriber) -> None:
+        sub.stop = True
+        sub.wake.set()
+        if sub.thread is not None and sub.thread is not threading.current_thread():
+            sub.thread.join(timeout=1.0)
+
+    def _on_append(self, record) -> None:
+        with self._lock:
+            subs = list(self._subscribers.values())
+        for sub in subs:
+            sub.wake.set()
+
+    def on_ack(self, name: str, applied_lsn: int) -> None:
+        with self._lock:
+            sub = self._subscribers.get(name)
+        if sub is not None:
+            sub.applied_lsn = max(sub.applied_lsn, applied_lsn)
+            sub.acked_at = time.time()
+
+    # ------------------------------------------------------------------
+    # The sender loop
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Bootstrap state the log does not carry, sent on frame one."""
+        db = self.db
+        return {
+            "granularity": db.clock.granularity.name,
+            "clock": db.clock.now,
+            "sbspaces": sorted(db.sbspaces),
+            "last_lsn": db.wal.last_lsn(),
+        }
+
+    def _pump(self, sub: _Subscriber) -> None:
+        first = True
+        last_sent = 0.0
+        try:
+            while not sub.stop:
+                sent_any = self._ship_backlog(sub, first)
+                if sent_any:
+                    first = False
+                    last_sent = time.monotonic()
+                elif first or time.monotonic() - last_sent >= self.heartbeat_interval:
+                    self._send_frame(sub, [], snapshot=self.snapshot() if first else None)
+                    first = False
+                    last_sent = time.monotonic()
+                sub.wake.wait(self.heartbeat_interval)
+                sub.wake.clear()
+        except (_Severed, OSError):
+            pass
+        except SimulatedCrash:
+            pass
+        finally:
+            sub.connected = False
+            try:
+                self._flush_held(sub)
+            except Exception:
+                pass
+            sub.close()
+            with self._lock:
+                if self._subscribers.get(sub.name) is sub:
+                    del self._subscribers[sub.name]
+
+    def _ship_backlog(self, sub: _Subscriber, first: bool) -> bool:
+        """Send everything from the subscriber's cursor to the log tip."""
+        wal = self.db.wal
+        sent = False
+        while not sub.stop:
+            records = wal.records_from(sub.next_lsn)
+            if not records:
+                return sent
+            batch = records[: self.batch_size]
+            payload = [record.to_dict() for record in batch]
+            snapshot = self.snapshot() if first and not sent else None
+            self._send_frame(sub, payload, snapshot=snapshot)
+            sub.next_lsn = batch[-1].lsn + 1
+            sub.records_sent += len(batch)
+            sent = True
+        return sent
+
+    # ------------------------------------------------------------------
+    # Frame-level fault interpretation
+    # ------------------------------------------------------------------
+
+    def _send_frame(self, sub, records: List[dict], snapshot=None) -> None:
+        frame = protocol.wal_frame(
+            records,
+            last_lsn=self.db.wal.last_lsn(),
+            now=time.time(),
+            snapshot=snapshot,
+        )
+        frame["clock"] = self.db.clock.now
+        data = protocol.encode_frame(frame)
+        faults = self.db.faults
+        action = faults.fire_action("repl.send") if faults is not None else None
+        if action is None:
+            self._deliver(sub, data)
+        elif action == "drop":
+            # The bytes vanish but the cursor advanced: the replica
+            # sees an LSN gap and recovers by resubscribing.
+            pass
+        elif action == "dup":
+            self._deliver(sub, data)
+            self._deliver(sub, data)
+        elif action == "reorder":
+            if sub.held_frame is not None:
+                self._deliver(sub, sub.held_frame)
+            sub.held_frame = data
+        elif action == "torn":
+            sub.send_bytes(data[: max(1, len(data) // 2)])
+            raise _Severed(sub.name)
+        elif action == "crash":
+            raise SimulatedCrash("repl.send")
+        else:  # "raise", "corrupt": sever the link without sending.
+            raise _Severed(sub.name)
+        sub.frames_sent += 1
+
+    def _deliver(self, sub: _Subscriber, data: bytes) -> None:
+        sub.send_bytes(data)
+        if sub.held_frame is not None:
+            held, sub.held_frame = sub.held_frame, None
+            sub.send_bytes(held)
+
+    def _flush_held(self, sub: _Subscriber) -> None:
+        if sub.held_frame is not None:
+            held, sub.held_frame = sub.held_frame, None
+            sub.send_bytes(held)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def status_rows(self) -> List[dict]:
+        """One row per subscriber, for ``SHOW REPLICAS`` on the primary."""
+        last = self.db.wal.last_lsn()
+        now = time.time()
+        with self._lock:
+            subs = list(self._subscribers.values())
+        rows = []
+        for sub in subs:
+            rows.append(
+                {
+                    "replica": sub.name,
+                    "state": "streaming" if sub.connected else "gone",
+                    "shipped_lsn": sub.next_lsn - 1,
+                    "applied_lsn": sub.applied_lsn,
+                    "lag_records": max(0, last - sub.applied_lsn),
+                    "ack_age_ms": round(
+                        (now - sub.acked_at) * 1000.0, 1
+                    )
+                    if sub.acked_at is not None
+                    else None,
+                }
+            )
+        return rows
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters pulled by the observability collector."""
+        last = self.db.wal.last_lsn()
+        with self._lock:
+            subs = list(self._subscribers.values())
+        out: Dict[str, float] = {"subscribers": len(subs)}
+        for sub in subs:
+            prefix = f"sub.{sub.name}"
+            out[f"{prefix}.frames_sent"] = sub.frames_sent
+            out[f"{prefix}.records_sent"] = sub.records_sent
+            out[f"{prefix}.applied_lsn"] = sub.applied_lsn
+            out[f"{prefix}.lag_records"] = max(0, last - sub.applied_lsn)
+        return out

@@ -33,3 +33,14 @@ class ExecutionError(ServerError):
 
 class TransactionError(ServerError):
     """Transaction state violation (nested begin, commit w/o begin, ...)."""
+
+
+class ReadOnlyError(ServerError):
+    """A write statement reached a read-only replica."""
+
+
+class ReplicaStaleError(ServerError):
+    """A replica could not satisfy the session's staleness bound.
+
+    The serving layer maps this to the ``REPLICA_STALE`` wire code so
+    routing clients retry the statement on another endpoint."""

@@ -29,6 +29,8 @@ from repro.server.errors import (
     AccessMethodError,
     CatalogError,
     ExecutionError,
+    ReadOnlyError,
+    ReplicaStaleError,
     SqlError,
 )
 from repro.server.memory import Duration
@@ -49,14 +51,103 @@ class Executor:
     # Entry point
     # ------------------------------------------------------------------
 
+    #: Statements a read-only replica refuses from clients.  The apply
+    #: loop bypasses the check via ``server.repl_applying`` (it must
+    #: re-execute replicated DDL locally).
+    _WRITES = (
+        ast.CreateTable,
+        ast.DropTable,
+        ast.CreateFunction,
+        ast.DropFunction,
+        ast.CreateAccessMethod,
+        ast.DropAccessMethod,
+        ast.CreateOpclass,
+        ast.DropOpclass,
+        ast.CreateIndex,
+        ast.DropIndex,
+        ast.Insert,
+        ast.Delete,
+        ast.Update,
+        ast.Load,
+    )
+
     def execute(self, statement: ast.Statement, session) -> Any:
         handler = self._HANDLERS.get(type(statement))
         if handler is None:
             raise SqlError(f"unsupported statement: {statement!r}")
+        if (
+            self.server.read_only
+            and not self.server.repl_applying
+            and isinstance(statement, self._WRITES)
+        ):
+            raise ReadOnlyError(
+                "this server is a read-only replica; "
+                "send writes to the primary"
+            )
         try:
             return handler(self, statement, session)
         finally:
             self.server.memory.end_duration(Duration.PER_STATEMENT)
+
+    # ------------------------------------------------------------------
+    # Replication hooks
+    # ------------------------------------------------------------------
+
+    def _export_row(self, table: Table, row: Dict[str, Any]) -> Dict[str, str]:
+        """Render a heap row to wire text, one field per column (the
+        same support functions LOAD/UNLOAD use)."""
+        return {
+            column.name: column.data_type.export_text(row[column.name])
+            for column in table.columns
+        }
+
+    def _log_row(
+        self,
+        session,
+        kind: str,
+        table: Table,
+        rowid: int,
+        row: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append a logical row record for replication (no-op unless the
+        WAL is shipping).  Runs inside the statement's transaction, so a
+        later abort makes replicas discard the record."""
+        wal = self.server.wal
+        if not wal.ship_rows or self.server.repl_applying:
+            return
+        txn_id = session.transaction.txn_id
+        if kind == "insert":
+            wal.log_row_insert(
+                txn_id, table.name, rowid, self._export_row(table, row)
+            )
+        elif kind == "delete":
+            wal.log_row_delete(txn_id, table.name, rowid)
+        else:
+            wal.log_row_update(
+                txn_id, table.name, rowid, self._export_row(table, row)
+            )
+
+    def _check_staleness(self, session) -> None:
+        """Enforce the session's ``SET READ STALENESS`` bound (replicas)."""
+        bound = session.read_staleness
+        link = self.server.repl_link
+        if bound is None or link is None:
+            return
+        mode, value = bound
+        if mode == "lsn":
+            lag = link.lag_records()
+            if lag > value:
+                raise ReplicaStaleError(
+                    f"replica is {lag} records behind the primary "
+                    f"(bound: {value:g})"
+                )
+        else:
+            lag_ms = link.lag_seconds() * 1000.0
+            if lag_ms > value:
+                raise ReplicaStaleError(
+                    f"replica is {lag_ms:.0f} ms behind the primary "
+                    f"(bound: {value:g} ms)"
+                )
 
     # ------------------------------------------------------------------
     # Purpose-function plumbing
@@ -284,6 +375,7 @@ class Executor:
         with session.autocommit():
             rowid = table.insert_row(values)
             row = table.fetch(rowid)
+            self._log_row(session, "insert", table, rowid, row)
             for info in self.server.catalog.indices_on(table.name):
                 am = self.server.catalog.access_methods.get(info.am_name)
                 td = self._descriptor(info, session)
@@ -304,6 +396,7 @@ class Executor:
             if stmt.columns == ["*"]
             else [table.column(c).name for c in stmt.columns]
         )
+        self._check_staleness(session)
         with session.autocommit():
             rows = self._scan_rows(table, stmt.where, session)
             return [
@@ -375,6 +468,7 @@ class Executor:
             try:
                 for rowid, row in victims:
                     table.delete_row(rowid)
+                    self._log_row(session, "delete", table, rowid)
                     for info, am, td in indices:
                         self.call_purpose(
                             am,
@@ -407,6 +501,7 @@ class Executor:
             try:
                 for rowid, _ in victims:
                     old, new = table.update_row(rowid, changes)
+                    self._log_row(session, "update", table, rowid, new)
                     for info, am, td in indices:
                         old_key = self._indexed_row(info, old)
                         new_key = self._indexed_row(info, new)
@@ -446,6 +541,7 @@ class Executor:
                     }
                     rowid = table.insert_row(values)
                     row = table.fetch(rowid)
+                    self._log_row(session, "insert", table, rowid, row)
                     for info in self.server.catalog.indices_on(table.name):
                         am = self.server.catalog.access_methods.get(info.am_name)
                         td = self._descriptor(info, session)
@@ -629,6 +725,21 @@ class Executor:
             raise SqlError(str(exc)) from None
         return f"fault '{stmt.name}' armed: {point.describe()}"
 
+    def _show_replicas(self, stmt: ast.ShowReplicas, session) -> Any:
+        rows = self.server.replication_status()
+        if stmt.fmt == "json":
+            return json.dumps(rows, indent=2, sort_keys=True, default=str)
+        return rows
+
+    def _set_read_staleness(self, stmt: ast.SetReadStaleness, session) -> str:
+        if stmt.mode is None:
+            session.read_staleness = None
+            return "read staleness bound off"
+        session.read_staleness = (stmt.mode, stmt.value)
+        if stmt.mode == "lsn":
+            return f"read staleness bound set to {int(stmt.value)} records"
+        return f"read staleness bound set to {stmt.value:g} ms"
+
     # ------------------------------------------------------------------
     # Expression evaluation on rows (seqscan and residual filters)
     # ------------------------------------------------------------------
@@ -747,4 +858,6 @@ class Executor:
         ast.SetTraceClass: _set_trace_class,
         ast.SetFault: _set_fault,
         ast.SetSlowQueryThreshold: _set_slow_query_threshold,
+        ast.ShowReplicas: _show_replicas,
+        ast.SetReadStaleness: _set_read_staleness,
     }

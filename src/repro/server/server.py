@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
 from repro.faults import SimulatedCrash
@@ -103,6 +105,13 @@ class DatabaseServer:
         #: single-threaded.  Re-entrant: ``run_script`` and UDRs may call
         #: back into ``execute``.
         self._engine_lock = threading.RLock()
+        #: Simulated per-statement storage latency in seconds, slept
+        #: while the engine lock is held -- the stand-in for the disk
+        #: I/O a purely in-memory engine never waits on.  Benchmarks
+        #: (``bench_perf_replication``) use it so the per-engine
+        #: serialization, the resource read replicas multiply, is the
+        #: bottleneck rather than a single shared host CPU.
+        self.simulated_io_s = 0.0
         #: Guards the parsed-statement LRU (shared by worker threads).
         self._stmt_cache_lock = threading.Lock()
         #: The session internal work runs under (cost estimation etc.).
@@ -111,6 +120,95 @@ class DatabaseServer:
         self.last_plan = None
         #: Optimizer directive: always use an applicable virtual index.
         self.prefer_virtual_index = False
+        #: Replication role state (``repro.repl``).  A replica is
+        #: read-only for clients; the apply loop sets ``repl_applying``
+        #: around its own writes to pass the executor's enforcement.
+        self.read_only = False
+        self.repl_applying = False
+        #: Primary side: the WAL shipper, once a replica subscribes.
+        self.repl_shipper = None
+        #: Replica side: the link to the primary.
+        self.repl_link = None
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def provisioning(self):
+        """Run node-local installation DDL (blade registration scripts).
+
+        Statements in this scope are not logged for replication -- every
+        node installs its own blades, the way real extensions must exist
+        on every cluster member -- and they bypass a replica's read-only
+        enforcement so replicas can be provisioned through the same
+        scripts as primaries.
+        """
+        previous = self.repl_applying
+        self.repl_applying = True
+        try:
+            yield self
+        finally:
+            self.repl_applying = previous
+
+    def enable_wal_shipping(self) -> None:
+        """Make the WAL a complete logical history (served primaries).
+
+        Must run before any tables exist: replicas bootstrap by replaying
+        the log from LSN 0, so DDL and row images have to be there from
+        the first statement.
+        """
+        self.wal.ship_rows = True
+
+    def ensure_wal_shipper(self):
+        """Return the WAL shipper, creating it on the first subscriber.
+
+        Also registers the ``repl.*`` metrics collector so shipping
+        progress shows up in ``SHOW STATS`` and the Prometheus surface.
+        """
+        if self.repl_shipper is None:
+            from repro.repl.shipper import WalShipper
+
+            self.repl_shipper = WalShipper(self)
+            self.obs.metrics.register_collector("repl", self.repl_stats)
+        return self.repl_shipper
+
+    def repl_stats(self) -> Dict[str, float]:
+        """Flat ``repl.*`` counters for the observability collector."""
+        if self.repl_shipper is not None:
+            out = dict(self.repl_shipper.stats())
+            out["role"] = 1  # 1 = primary
+            return out
+        if self.repl_link is not None:
+            out = {
+                key: value
+                for key, value in self.repl_link.stats().items()
+                if isinstance(value, (int, float))
+            }
+            out["role"] = 2  # 2 = replica
+            return out
+        return {}
+
+    def repl_wait_for_lsn(self, min_lsn: int, timeout: float = 0.25) -> bool:
+        """Block until this server has applied *min_lsn* (replicas).
+
+        A primary trivially satisfies any token it issued.  On a replica
+        this gives the stream a short grace window before the statement
+        is bounced with ``REPLICA_STALE``.
+        """
+        link = self.repl_link
+        if link is None:
+            return True
+        return link.wait_for_lsn(min_lsn, timeout)
+
+    def replication_status(self) -> List[Dict[str, Any]]:
+        """Rows for ``SHOW REPLICAS``: downstream subscribers on a
+        primary, the upstream link on a replica, else empty."""
+        if self.repl_shipper is not None:
+            return self.repl_shipper.status_rows()
+        if self.repl_link is not None:
+            return [self.repl_link.status_row()]
+        return []
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -238,7 +336,38 @@ class DatabaseServer:
         ast.SetTraceClass,
         ast.SetFault,
         ast.SetSlowQueryThreshold,
+        ast.ShowReplicas,
+        ast.SetReadStaleness,
     )
+
+    #: Statements whose text is logged for replication after success.
+    _DDL_STATEMENTS = (
+        ast.CreateTable,
+        ast.DropTable,
+        ast.CreateIndex,
+        ast.DropIndex,
+        ast.CreateFunction,
+        ast.DropFunction,
+        ast.CreateAccessMethod,
+        ast.DropAccessMethod,
+        ast.CreateOpclass,
+        ast.DropOpclass,
+    )
+
+    def _maybe_log_ddl(self, statement: ast.Statement, sql_text: str) -> None:
+        """Replication: record successful DDL verbatim for replay.
+
+        Replicas cannot reconstruct catalog changes from physical page
+        records (heap tables and the catalog are not WAL-logged), so
+        they re-execute the statement text instead.  Skipped while this
+        server is itself applying a replicated statement: the record
+        already exists upstream."""
+        if (
+            self.wal.ship_rows
+            and not self.repl_applying
+            and isinstance(statement, self._DDL_STATEMENTS)
+        ):
+            self.wal.log_ddl(sql_text)
 
     def _parse(self, sql_text: str) -> ast.Statement:
         """Parse through the LRU statement cache, keyed by SQL text.
@@ -282,11 +411,16 @@ class DatabaseServer:
         if session is None:
             session = self.system_session
         with self._engine_lock:
+            if self.simulated_io_s:
+                time.sleep(self.simulated_io_s)
             if session.in_transaction:
                 self.bind_transaction(session, session.transaction.txn_id)
             obs = self.obs
             if not obs.enabled:
-                return self.executor.execute(self._parse(sql_text), session)
+                statement = self._parse(sql_text)
+                result = self.executor.execute(statement, session)
+                self._maybe_log_ddl(statement, sql_text)
+                return result
             parse_start = obs.metrics.timer()
             statement = self._parse(sql_text)
             parse_end = obs.metrics.timer()
@@ -328,6 +462,7 @@ class DatabaseServer:
                         root.attrs["fault"] = fault_point
                     self._record_statement(session, sql_text, root, None, exc)
                 raise
+            self._maybe_log_ddl(statement, sql_text)
             obs.metrics.observe("sql.statement_seconds", root.duration)
             self._record_statement(session, sql_text, root, result, None)
             return result

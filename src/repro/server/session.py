@@ -55,6 +55,9 @@ class Session:
         #: The root span of this session's most recent statement -- the
         #: serving layer reads it to build ``explain_profile`` replies.
         self.last_root_span = None
+        #: Replica staleness bound: ``("ms", n)``/``("lsn", n)`` set by
+        #: ``SET READ STALENESS``; ``None`` means any lag is acceptable.
+        self.read_staleness: Optional[tuple] = None
 
     # ------------------------------------------------------------------
 

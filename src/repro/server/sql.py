@@ -310,6 +310,24 @@ class SetFault:
     times: Optional[int] = 1
 
 
+@dataclass
+class SetReadStaleness:
+    """``SET READ STALENESS <ms>`` / ``... LSN <n>`` / ``... OFF`` --
+    the per-session bound on how far behind the primary a replica may
+    be while still serving this session's reads (``repro.repl``)."""
+
+    mode: Optional[str]  # 'ms' | 'lsn' | None (OFF)
+    value: Optional[float] = None
+
+
+@dataclass
+class ShowReplicas:
+    """``SHOW REPLICAS [JSON]`` -- replication topology and lag: the
+    subscribers on a primary, the upstream link on a replica."""
+
+    fmt: str = "text"
+
+
 Statement = Union[
     CreateTable, DropTable, CreateFunction, DropFunction, CreateAccessMethod,
     DropAccessMethod, CreateOpclass, DropOpclass, CreateIndex, DropIndex,
@@ -317,6 +335,7 @@ Statement = Union[
     SetIsolation, CheckIndex, UpdateStatistics, Load, Unload,
     ShowStats, ShowSpans, ShowTrace, ShowWorkload, ShowEvents,
     SetTraceClass, SetFault, SetSlowQueryThreshold,
+    SetReadStaleness, ShowReplicas,
 ]
 
 # ----------------------------------------------------------------------
@@ -461,6 +480,8 @@ class _Parser:
                 return self._set_fault()
             if self.at_keyword("SLOW"):
                 return self._set_slow_query_threshold()
+            if self.at_keyword("READ"):
+                return self._set_read_staleness()
             self.expect_keyword("ISOLATION")
             self.expect_keyword("TO")
             words = []
@@ -544,6 +565,24 @@ class _Parser:
             times=times,
         )
 
+    def _set_read_staleness(self) -> SetReadStaleness:
+        self.expect_keyword("READ")
+        self.expect_keyword("STALENESS")
+        if self.accept_keyword("OFF"):
+            self.done()
+            return SetReadStaleness(mode=None)
+        if self.accept_keyword("LSN"):
+            lsn = self._number("SET READ STALENESS LSN", integral=True)
+            if lsn < 0:
+                raise SqlError("SET READ STALENESS LSN needs a value >= 0")
+            self.done()
+            return SetReadStaleness(mode="lsn", value=lsn)
+        ms = self._number("SET READ STALENESS")
+        if ms < 0:
+            raise SqlError("SET READ STALENESS needs a value >= 0")
+        self.done()
+        return SetReadStaleness(mode="ms", value=ms)
+
     def _number(self, context: str, integral: bool = False):
         token = self.next()
         if token.kind != "number":
@@ -621,8 +660,13 @@ class _Parser:
                 limit = self._number("SHOW EVENTS LIMIT", integral=True)
             self.done()
             return ShowEvents(fmt, limit=limit)
+        if self.accept_keyword("REPLICAS"):
+            fmt = "json" if self.accept_keyword("JSON") else "text"
+            self.done()
+            return ShowReplicas(fmt)
         raise SqlError(
-            "SHOW supports STATS, SPANS, TRACE, WORKLOAD, and EVENTS"
+            "SHOW supports STATS, SPANS, TRACE, WORKLOAD, EVENTS, "
+            "and REPLICAS"
             + (
                 f", got {self.peek().value!r}"
                 if self.peek() is not None

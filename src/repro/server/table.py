@@ -90,6 +90,27 @@ class Table:
         self._live += 1
         return len(self._rows) - 1
 
+    def put_row(self, rowid: int, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Place a validated row at an exact *rowid* (replica apply path).
+
+        Replication ships the primary's rowids; the replica must land
+        each row at the same slot so later delete/update records resolve.
+        The slot array is padded with tombstones when the primary's heap
+        has holes the replica never saw (aborted inserts leave gaps in
+        the primary's rowid sequence).  Idempotent: re-applying over an
+        identical live row is a plain overwrite.
+        """
+        normalized = {
+            column.name: column.data_type.validate(values[column.name])
+            for column in self.columns
+        }
+        while len(self._rows) <= rowid:
+            self._rows.append(None)
+        if self._rows[rowid] is None:
+            self._live += 1
+        self._rows[rowid] = normalized
+        return normalized
+
     def fetch(self, rowid: int) -> Dict[str, Any]:
         if not 0 <= rowid < len(self._rows) or self._rows[rowid] is None:
             raise ExecutionError(f"no row {rowid} in table {self.name}")

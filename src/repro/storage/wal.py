@@ -7,13 +7,26 @@ lifecycle events are logged before they are applied, transactions can be
 rolled back from before-images at runtime, and :meth:`WriteAheadLog.recover`
 reconstructs the committed state after a simulated crash (redo from the
 log onto an emptied space).
+
+For replication (``repro.repl``) the log additionally carries *logical*
+records: DDL statement text and row-level insert/delete/update images.
+Logical records are only appended while :attr:`WriteAheadLog.ship_rows`
+is on (a served primary); an embedded engine pays nothing for them.
+Physical sbspace records and logical records share one LSN sequence, so
+a replica sees a gap-free stream and can detect drops by LSN alone.
 """
 
 from __future__ import annotations
 
+import base64
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
+
+#: Reserved transaction id for auto-committed records (DDL): statement
+#: text is logged only after the statement succeeded, so these records
+#: are committed by construction.  Real transaction ids start at 1.
+DDL_TXN = 0
 
 
 class RecordKind(enum.Enum):
@@ -25,6 +38,24 @@ class RecordKind(enum.Enum):
     PAGE_ALLOC = "page_alloc"
     PAGE_FREE = "page_free"
     PAGE_WRITE = "page_write"
+    # Logical replication records (never replayed into an sbspace).
+    ROW_INSERT = "row_insert"
+    ROW_DELETE = "row_delete"
+    ROW_UPDATE = "row_update"
+    DDL = "ddl"
+
+
+#: Kinds that :meth:`WriteAheadLog.recover` and ``Sbspace.rollback``
+#: replay/undo physically; everything else is logical shipping payload.
+SPACE_KINDS = frozenset(
+    {
+        RecordKind.CREATE_LO,
+        RecordKind.DROP_LO,
+        RecordKind.PAGE_ALLOC,
+        RecordKind.PAGE_FREE,
+        RecordKind.PAGE_WRITE,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -36,6 +67,67 @@ class LogRecord:
     page_id: Optional[int] = None
     before: Optional[bytes] = None
     after: Optional[bytes] = None
+    #: Logical fields (ROW_* / DDL records only).
+    table: Optional[str] = None
+    rowid: Optional[int] = None
+    #: Column values in wire-text form (each via ``data_type.export_text``).
+    row: Optional[dict] = None
+    sql: Optional[str] = None
+
+    # -- wire form ---------------------------------------------------------
+    #
+    # Replication ships records as JSON; bytes fields travel base64-coded.
+    # ``from_dict`` is strict about the kind: an unknown kind means the
+    # peer speaks a newer log format, and silently skipping records would
+    # corrupt the replica, so it must be an explicit error.
+
+    def to_dict(self) -> dict:
+        payload = {
+            "lsn": self.lsn,
+            "txn_id": self.txn_id,
+            "kind": self.kind.value,
+        }
+        if self.lo_handle is not None:
+            payload["lo_handle"] = self.lo_handle
+        if self.page_id is not None:
+            payload["page_id"] = self.page_id
+        if self.before is not None:
+            payload["before"] = base64.b64encode(self.before).decode("ascii")
+        if self.after is not None:
+            payload["after"] = base64.b64encode(self.after).decode("ascii")
+        if self.table is not None:
+            payload["table"] = self.table
+        if self.rowid is not None:
+            payload["rowid"] = self.rowid
+        if self.row is not None:
+            payload["row"] = dict(self.row)
+        if self.sql is not None:
+            payload["sql"] = self.sql
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogRecord":
+        try:
+            kind = RecordKind(payload["kind"])
+        except (KeyError, ValueError):
+            raise ValueError(
+                f"unknown log record kind: {payload.get('kind')!r}"
+            ) from None
+        before = payload.get("before")
+        after = payload.get("after")
+        return cls(
+            lsn=int(payload["lsn"]),
+            txn_id=int(payload["txn_id"]),
+            kind=kind,
+            lo_handle=payload.get("lo_handle"),
+            page_id=payload.get("page_id"),
+            before=None if before is None else base64.b64decode(before),
+            after=None if after is None else base64.b64decode(after),
+            table=payload.get("table"),
+            rowid=payload.get("rowid"),
+            row=payload.get("row"),
+            sql=payload.get("sql"),
+        )
 
 
 class WriteAheadLog:
@@ -46,19 +138,37 @@ class WriteAheadLog:
         self._active: set[int] = set()
         self._committed: set[int] = set()
         self._aborted: set[int] = set()
+        self._kind_counts: dict[str, int] = {}
         #: Optional :class:`repro.faults.FaultRegistry`; ``None`` keeps
         #: the append path free of any fault-injection cost.
         self.faults = faults
+        #: When on, the executor logs row images and the server logs DDL
+        #: text, making the log a complete logical history from LSN 0.
+        #: Served primaries turn this on at boot; embedded engines don't.
+        self.ship_rows = False
+        self._listeners: List[Callable[[LogRecord], None]] = []
 
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[LogRecord], None]) -> None:
+        """Call *listener* after every append (the shipper's wake-up)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[LogRecord], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def _append(self, txn_id: int, kind: RecordKind, **fields) -> LogRecord:
         if self.faults is not None:
             self.faults.hit("wal.append")
         record = LogRecord(lsn=len(self._records), txn_id=txn_id, kind=kind, **fields)
         self._records.append(record)
+        key = kind.value
+        self._kind_counts[key] = self._kind_counts.get(key, 0) + 1
+        for listener in self._listeners:
+            listener(record)
         return record
 
     def log_begin(self, txn_id: int) -> None:
@@ -123,6 +233,32 @@ class WriteAheadLog:
             after=after,
         )
 
+    # -- logical records (replication) ---------------------------------
+
+    def log_row_insert(
+        self, txn_id: int, table: str, rowid: int, row: dict
+    ) -> None:
+        self._require_active(txn_id)
+        self._append(
+            txn_id, RecordKind.ROW_INSERT, table=table, rowid=rowid, row=row
+        )
+
+    def log_row_delete(self, txn_id: int, table: str, rowid: int) -> None:
+        self._require_active(txn_id)
+        self._append(txn_id, RecordKind.ROW_DELETE, table=table, rowid=rowid)
+
+    def log_row_update(
+        self, txn_id: int, table: str, rowid: int, row: dict
+    ) -> None:
+        self._require_active(txn_id)
+        self._append(
+            txn_id, RecordKind.ROW_UPDATE, table=table, rowid=rowid, row=row
+        )
+
+    def log_ddl(self, sql: str) -> None:
+        """Log a successful DDL statement verbatim (auto-committed)."""
+        self._append(DDL_TXN, RecordKind.DDL, sql=sql)
+
     def _require_active(self, txn_id: int) -> None:
         if txn_id not in self._active:
             raise ValueError(f"transaction {txn_id} is not active")
@@ -134,11 +270,17 @@ class WriteAheadLog:
     def records(self) -> Iterable[LogRecord]:
         return iter(self._records)
 
+    def records_from(self, lsn: int) -> List[LogRecord]:
+        """Records with ``record.lsn >= lsn`` (the catch-up stream)."""
+        if lsn <= 0:
+            return list(self._records)
+        return self._records[lsn:]
+
     def records_for(self, txn_id: int) -> List[LogRecord]:
         return [r for r in self._records if r.txn_id == txn_id]
 
     def is_committed(self, txn_id: int) -> bool:
-        return txn_id in self._committed
+        return txn_id == DDL_TXN or txn_id in self._committed
 
     def is_active(self, txn_id: int) -> bool:
         return txn_id in self._active
@@ -151,17 +293,25 @@ class WriteAheadLog:
         held simply vanishes."""
         return frozenset(self._active)
 
+    def last_lsn(self) -> int:
+        """LSN of the newest record; ``-1`` for an empty log."""
+        return len(self._records) - 1
+
     def __len__(self) -> int:
         return len(self._records)
 
     def stats(self) -> dict:
         """Counters pulled by the observability metrics collectors."""
-        return {
+        stats = {
             "records": len(self._records),
             "commits": len(self._committed),
             "aborts": len(self._aborted),
             "active": len(self._active),
+            "last_lsn": len(self._records) - 1,
         }
+        for kind, count in self._kind_counts.items():
+            stats[f"kind.{kind}"] = count
+        return stats
 
     # ------------------------------------------------------------------
     # Recovery
@@ -172,12 +322,15 @@ class WriteAheadLog:
         to the committed state by redoing the log from the beginning.
 
         Transactions that were still active at the crash are treated as
-        aborted (their records are skipped).  Returns the number of
-        records replayed.
+        aborted (their records are skipped), and logical records are --
+        they carry no sbspace state.  Returns the number of records
+        replayed.
         """
         space._reset_for_recovery()
         replayed = 0
         for record in self._records:
+            if record.kind not in SPACE_KINDS:
+                continue
             if record.txn_id not in self._committed:
                 continue
             space._redo(record)

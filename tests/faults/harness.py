@@ -38,7 +38,10 @@ from typing import Iterable, List, Optional, Set
 from repro.datablade import register_grtree_blade
 from repro.faults import FaultRegistry, SimulatedCrash
 from repro.grtree import verify_tree
+from repro.net import protocol
+from repro.repl.applier import ReplicationApplier
 from repro.server import DatabaseServer
+from repro.storage.wal import RecordKind
 from repro.temporal.chronon import Clock, format_chronon
 
 
@@ -66,9 +69,16 @@ class CrashHarness:
     buffer pool churning so page-level failpoints are traversed often.
     """
 
-    def __init__(self, now: int = 100, specialize: bool = True) -> None:
+    def __init__(
+        self, now: int = 100, specialize: bool = True, ship: bool = False
+    ) -> None:
         self.registry = FaultRegistry()
         self.server = DatabaseServer(clock=Clock(now=now), faults=self.registry)
+        if ship:
+            # A replication primary: the WAL carries the full logical
+            # history (DDL + row images) from the very first statement,
+            # so a ReplicaCrashHarness can bootstrap from LSN 0.
+            self.server.enable_wal_shipping()
         self.space = self.server.create_sbspace("spc")
         register_grtree_blade(self.server)
         self.server.execute("CREATE TABLE t (name LVARCHAR, te GRT_TimeExtent_t)")
@@ -209,6 +219,226 @@ class CrashHarness:
         self.server.execute("CHECK INDEX gi", self.session)
         with self.open_tree() as tree:
             verify_tree(tree)
+
+
+# ----------------------------------------------------------------------
+# Replica crash consistency
+# ----------------------------------------------------------------------
+
+
+class ReplicaCrashHarness:
+    """A replica of a ``CrashHarness(ship=True)`` primary, socket-free.
+
+    The harness plays the wire role of the shipper *and* the link: it
+    chunks the primary's WAL into the exact frames ``wal_frame`` would
+    carry (``LogRecord.to_dict`` payloads, encode/decode fidelity
+    through ``protocol.encode_frame``) and feeds them to a real
+    :class:`ReplicationApplier`.  Tests mangle the frame stream --
+    drop, duplicate, reorder, tear -- and arm ``repl.apply`` crashes on
+    the replica's own registry, then assert the committed-prefix
+    contract with :meth:`verify`.
+    """
+
+    def __init__(self, primary: CrashHarness, frame_size: int = 8) -> None:
+        assert primary.server.wal.ship_rows, (
+            "the primary must be built with CrashHarness(ship=True)"
+        )
+        self.primary = primary
+        self.frame_size = frame_size
+        self.registry = FaultRegistry()
+        self.server = self._fresh_engine()
+        self.applier = ReplicationApplier(self.server)
+        self.crashed: Optional[str] = None
+
+    def _fresh_engine(self) -> DatabaseServer:
+        server = DatabaseServer(
+            clock=Clock(now=self.primary.server.clock.now),
+            faults=self.registry,
+        )
+        server.create_sbspace("spc")
+        register_grtree_blade(server)
+        server.prefer_virtual_index = True
+        return server
+
+    # ------------------------------------------------------------------
+    # The frame stream
+    # ------------------------------------------------------------------
+
+    def arm_apply(self, action: str = "crash", **conditions):
+        """Arm the replica-side ``repl.apply`` failpoint (fires once per
+        row of each committed transaction being applied)."""
+        return self.registry.set_fault("repl.apply", action, **conditions)
+
+    def outstanding_frames(self) -> List[List[dict]]:
+        """The primary's log past our cursor, chunked like the shipper."""
+        records = [
+            record.to_dict()
+            for record in self.primary.server.wal.records_from(
+                self.applier.received_lsn + 1
+            )
+        ]
+        return [
+            records[start : start + self.frame_size]
+            for start in range(0, len(records), self.frame_size)
+        ]
+
+    def deliver(self, frames: Iterable[List[dict]]) -> bool:
+        """Feed frames through a wire round-trip; False after a crash.
+
+        Every frame passes through ``encode_frame``/JSON decode, so what
+        the applier sees is byte-for-byte what a socket would deliver.
+        """
+        import json
+
+        last = self.primary.server.wal.last_lsn()
+        for frame in frames:
+            if self.crashed is not None:
+                return False
+            data = protocol.encode_frame(
+                protocol.wal_frame(frame, last_lsn=last, now=0.0)
+            )
+            message = json.loads(data[4:].decode("utf-8"))
+            try:
+                self.applier.ingest(
+                    message["records"], last_lsn=message["last_lsn"]
+                )
+            except SimulatedCrash as crash:
+                self.crashed = crash.point
+                return False
+        return True
+
+    def sync(self) -> bool:
+        """Ship the whole outstanding log faithfully."""
+        return self.deliver(self.outstanding_frames())
+
+    def torn_frame(self, frame: List[dict]) -> None:
+        """What a torn frame does: the truncated bytes fail to decode,
+        the link severs, and nothing reaches the applier.  The caller
+        then resubscribes via :meth:`sync`."""
+        data = protocol.encode_frame(
+            protocol.wal_frame(frame, last_lsn=0, now=0.0)
+        )
+        torn = data[: max(1, len(data) // 2)]
+        try:
+            body = torn[4:].decode("utf-8", errors="strict")
+            import json
+
+            json.loads(body)
+        except Exception:
+            return  # undecodable, as a torn frame must be
+        raise AssertionError("torn frame unexpectedly decoded")
+
+    # ------------------------------------------------------------------
+    # Crash and restart
+    # ------------------------------------------------------------------
+
+    def recover(self) -> None:
+        """Replica restart: fresh engine, replay the relay log from 0.
+
+        Commit-gated replay lands exactly on the committed prefix the
+        relay log records; the half-applied transaction a mid-apply
+        crash froze never becomes visible.
+        """
+        self.registry.clear_all()
+        relay = list(self.applier.relay)
+        self.server = self._fresh_engine()
+        self.applier = ReplicationApplier(self.server)
+        self.applier.replay_relay_log(relay)
+        self.crashed = None
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def prefix_oracle(self) -> Set[str]:
+        """Names visible after applying the committed prefix at our
+        applied LSN -- computed independently from the primary's log."""
+        limit = self.applier.applied_lsn
+        live: dict = {}
+        staged: dict = {}
+        for record in self.primary.server.wal.records_from(0):
+            if record.lsn > limit:
+                break
+            if record.kind is RecordKind.BEGIN:
+                staged[record.txn_id] = []
+            elif record.kind is RecordKind.ROW_INSERT:
+                staged.setdefault(record.txn_id, []).append(
+                    ("insert", record.rowid, record.row["name"])
+                )
+            elif record.kind is RecordKind.ROW_DELETE:
+                staged.setdefault(record.txn_id, []).append(
+                    ("delete", record.rowid, None)
+                )
+            elif record.kind is RecordKind.COMMIT:
+                for op, rowid, name in staged.pop(record.txn_id, []):
+                    if op == "insert":
+                        live[rowid] = name
+                    else:
+                        live.pop(rowid, None)
+            elif record.kind is RecordKind.ABORT:
+                staged.pop(record.txn_id, None)
+        return set(live.values())
+
+    def _has(self, kind: str, name: str) -> bool:
+        try:
+            getattr(self.server.catalog, f"get_{kind}")(name)
+            return True
+        except Exception:
+            return False
+
+    def query_names(self, tt: int = 100, vt: int = 80) -> Set[str]:
+        """Names reachable on the replica, through the index once it
+        exists.  A committed prefix may legitimately predate the
+        ``CREATE TABLE`` / ``CREATE INDEX`` statements."""
+        if not self._has("table", "t"):
+            return set()
+        rows = self.server.execute(QUERY.format(tt=day(tt), vt=day(vt)))
+        if self._has("index", "gi"):
+            plan = self.server.last_plan
+            assert getattr(plan, "index", None) is not None, (
+                f"expected an index scan, optimizer chose "
+                f"{type(plan).__name__}"
+            )
+        return {row["name"] for row in rows}
+
+    def verify(self) -> None:
+        """The replica contract: a committed prefix, structurally valid.
+
+        * everything visible is committed on the primary (no torn or
+          resurrected transactions);
+        * everything committed at or below our applied LSN is visible
+          (the prefix is complete, nothing was lost);
+        * the replica's own GR-tree passes CHECK INDEX and the full
+          structural verification.
+        """
+        names = self.query_names()
+        oracle = self.prefix_oracle()
+        torn = names - self.primary.committed
+        assert not torn, (
+            f"replica shows rows the primary never committed: {sorted(torn)}"
+        )
+        lost = oracle - names
+        assert not lost, (
+            f"rows committed within the applied prefix are missing: "
+            f"{sorted(lost)}"
+        )
+        extra = names - oracle
+        assert not extra, (
+            f"replica shows rows beyond its applied prefix: {sorted(extra)}"
+        )
+        if not self._has("index", "gi"):
+            return  # the prefix ends before the index was created
+        self.server.execute("CHECK INDEX gi")
+        info = self.server.catalog.get_index("gi")
+        am = self.server.catalog.access_methods.get(info.am_name)
+        session = self.server.system_session
+        td = self.server.executor._descriptor(info, session)
+        with session.autocommit():
+            self.server.executor.call_purpose(am, "am_open", td)
+            try:
+                verify_tree(td.user_data["tree"])
+            finally:
+                self.server.executor.call_purpose(am, "am_close", td)
 
 
 # ----------------------------------------------------------------------

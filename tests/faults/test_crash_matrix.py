@@ -29,9 +29,17 @@ STORAGE_POINTS = [
 
 #: Failpoints a sbspace-backed embedded engine never traverses: the
 #: OS-file store is exercised by tests/storage/test_wal_idempotency.py
-#: (checksummed reads are the *developer's* recovery story, Section 6)
-#: and the net points by tests/net/test_fault_injection.py.
-EXCLUDED = ["osfile.read", "osfile.write", "net.send", "net.recv"]
+#: (checksummed reads are the *developer's* recovery story, Section 6),
+#: the net points by tests/net/test_fault_injection.py, and the
+#: replication points by tests/faults/test_replica_crash.py.
+EXCLUDED = [
+    "osfile.read",
+    "osfile.write",
+    "net.send",
+    "net.recv",
+    "repl.send",
+    "repl.apply",
+]
 
 
 def test_matrix_covers_the_whole_catalog():

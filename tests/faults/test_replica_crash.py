@@ -1,0 +1,158 @@
+"""The replica fault matrix: every stream pathology, one contract.
+
+Dropped, torn, duplicated, and reordered WAL frames, plus crashes in
+the middle of applying a committed transaction: after the harness's
+recovery path runs, the replica must show a *committed prefix* of the
+primary's history -- nothing torn, nothing lost within the prefix,
+nothing beyond it -- and its GR-tree must pass the full structural
+verification.  This is the suite the ``repl.send`` / ``repl.apply``
+entries in the failpoint catalog point at.
+"""
+
+import pytest
+
+from tests.faults.harness import (
+    CRASHED,
+    CrashHarness,
+    ReplicaCrashHarness,
+    scripted_workload,
+)
+
+
+def make_pair(frame_size=8):
+    primary = CrashHarness(ship=True)
+    scripted_workload(primary)
+    return primary, ReplicaCrashHarness(primary, frame_size=frame_size)
+
+
+def test_faithful_stream_reaches_the_primary_state():
+    primary, replica = make_pair()
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_dropped_frame_leaves_a_gap_then_resubscribe_recovers():
+    primary, replica = make_pair()
+    frames = replica.outstanding_frames()
+    assert len(frames) > 3
+    survived = frames[:2] + frames[3:]  # frame 2 vanishes on the wire
+    replica.deliver(survived)
+    # The hole is visible; nothing past it was applied.
+    assert replica.applier.pending, "the gap must be detected"
+    assert replica.applier.received_lsn < primary.server.wal.last_lsn()
+    # The link's recovery: drop the reorder buffer, resubscribe.
+    replica.applier.pending.clear()
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_torn_frame_severs_then_resubscribe_recovers():
+    primary, replica = make_pair()
+    frames = replica.outstanding_frames()
+    replica.deliver(frames[:2])
+    # The torn frame never decodes -- the link severs instead.
+    replica.torn_frame(frames[2])
+    mid_names = replica.query_names()
+    replica.verify()  # even mid-stream, the state is a committed prefix
+    assert replica.sync()
+    assert replica.query_names() >= mid_names
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_duplicated_frames_are_idempotent():
+    primary, replica = make_pair()
+    frames = replica.outstanding_frames()
+    doubled = []
+    for frame in frames:
+        doubled.append(frame)
+        doubled.append(frame)  # every frame arrives twice
+    assert replica.deliver(doubled)
+    assert replica.applier.counters["duplicates"] > 0
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_reordered_frames_buffer_and_apply_in_order():
+    primary, replica = make_pair(frame_size=4)
+    frames = replica.outstanding_frames()
+    assert len(frames) >= 4
+    # Swap adjacent frames pairwise: 1,0,3,2,...
+    swapped = []
+    for i in range(0, len(frames) - 1, 2):
+        swapped.extend([frames[i + 1], frames[i]])
+    if len(frames) % 2:
+        swapped.append(frames[-1])
+    assert replica.deliver(swapped)
+    assert replica.applier.counters["reordered"] > 0
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+@pytest.mark.parametrize("hit", [1, 2, 5, 9])
+def test_mid_apply_crash_recovers_to_a_committed_prefix(hit):
+    """A crash after some rows of a committed transaction were applied
+    locally (but before the local commit) must disappear on recovery."""
+    primary, replica = make_pair()
+    replica.arm_apply("crash", hit=hit, times=1)
+    assert not replica.sync(), "the armed crash never fired"
+    assert replica.crashed == "repl.apply"
+    replica.recover()
+    replica.verify()  # relay replay: a committed prefix, nothing torn
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_repeated_crashes_then_catch_up():
+    """Crash during apply, recover, crash again deeper, recover: each
+    recovery output is itself a valid recovery input."""
+    primary, replica = make_pair()
+    for hit in (2, 6):
+        replica.arm_apply("crash", hit=hit, times=1)
+        replica.sync()
+        if replica.crashed is not None:
+            replica.recover()
+            replica.verify()
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_crash_while_primary_keeps_writing():
+    """New primary traffic lands after the replica crashed; recovery
+    plus resubscribe still converges."""
+    primary, replica = make_pair()
+    replica.arm_apply("crash", hit=3, times=1)
+    replica.sync()
+    assert replica.crashed == "repl.apply"
+    # The primary does not stop for a crashed replica.
+    assert primary.run_batch(["late0", "late1"]) == "committed"
+    primary.autocommit_insert("late2")
+    replica.recover()
+    replica.verify()
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()
+
+
+def test_primary_crash_recovery_then_replication_resumes():
+    """The two recovery stories compose: the primary crashes and
+    recovers from its WAL, then ships; the replica converges on the
+    recovered (committed-only) history."""
+    primary = CrashHarness(ship=True)
+    primary.run_batch(["pre0", "pre1", "pre2"])
+    primary.arm("sbspace.page_write", "crash", hit=5, times=1)
+    from tests.faults.harness import random_workload
+
+    outcomes = random_workload(primary, seed=7, steps=60)
+    assert outcomes[-1] == CRASHED
+    primary.recover()
+    primary.verify()
+    primary.run_batch(["post0", "post1"])
+    replica = ReplicaCrashHarness(primary)
+    assert replica.sync()
+    assert replica.query_names() == primary.committed
+    replica.verify()

@@ -1,0 +1,242 @@
+"""End-to-end replication over real sockets: link, routing, failover.
+
+A primary NetServer, replica engines streaming from it over
+``wal_subscribe``, replica NetServers serving reads, and a
+:class:`RoutedClient` on top -- the full deployment in-process.
+"""
+
+import time
+
+import pytest
+
+from repro.net import protocol
+from repro.net.client import RemoteStatementError, ReproClient
+from repro.net.server import NetServer
+from repro.repl import ReplicaLink, RoutedClient
+from repro.server import DatabaseServer
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class Cluster:
+    """A primary plus N serving replicas, torn down in one call."""
+
+    def __init__(self, replicas=2):
+        self.primary_db = DatabaseServer()
+        self.primary_db.enable_wal_shipping()
+        self.primary = NetServer(self.primary_db).start()
+        self.replica_dbs = []
+        self.links = []
+        self.replica_nets = []
+        for i in range(replicas):
+            db = DatabaseServer()
+            link = ReplicaLink(
+                db, self.primary.host, self.primary.port, name=f"r{i}"
+            ).start()
+            net = NetServer(db).start()
+            self.replica_dbs.append(db)
+            self.links.append(link)
+            self.replica_nets.append(net)
+
+    def client(self, **kwargs) -> RoutedClient:
+        return RoutedClient(
+            (self.primary.host, self.primary.port),
+            [(net.host, net.port) for net in self.replica_nets],
+            **kwargs,
+        ).connect()
+
+    def caught_up(self):
+        target = self.primary_db.wal.last_lsn()
+        return all(link.applied_lsn >= target for link in self.links)
+
+    def close(self):
+        for net in self.replica_nets:
+            net.shutdown()
+        for link in self.links:
+            link.stop()
+        self.primary.shutdown()
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster()
+    yield c
+    c.close()
+
+
+def test_replicas_catch_up_and_serve_reads(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER, val INTEGER)")
+    for i in range(10):
+        client.execute(f"INSERT INTO t VALUES ({i}, {i})")
+    assert wait_until(cluster.caught_up)
+    rows = client.execute("SELECT * FROM t")
+    assert len(rows) == 10
+    assert client.stats["replica_statements"] >= 1
+    assert client.stats["primary_statements"] == 11
+    client.close()
+
+
+def test_read_your_writes_through_min_lsn(cluster):
+    """Every read carries the session's write token: no read ever
+    misses this client's own committed writes, replica lag or not."""
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    for i in range(30):
+        client.execute(f"INSERT INTO t VALUES ({i})")
+        rows = client.execute("SELECT * FROM t")
+        assert len(rows) == i + 1, "a routed read missed its own write"
+    client.close()
+
+
+def test_writes_always_go_to_the_primary(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    client.execute("INSERT INTO t VALUES (1)")
+    assert cluster.primary_db.execute("SELECT * FROM t") == [{"id": 1}]
+    assert client.stats["primary_statements"] == 2
+    assert client.stats["replica_statements"] == 0
+    client.close()
+
+
+def test_transactions_pin_to_the_primary(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+
+    def body(c):
+        c.execute("INSERT INTO t VALUES (1)")
+        # A read inside the transaction must see the uncommitted row,
+        # which only the primary's session can.
+        assert len(c.execute("SELECT * FROM t")) == 1
+
+    client.run_transaction(body)
+    assert wait_until(cluster.caught_up)
+    client.close()
+
+
+def test_replica_death_falls_back_transparently(cluster):
+    """Connection loss to a replica is retryable-on-another-endpoint:
+    the statement succeeds as long as any endpoint remains healthy."""
+    client = cluster.client(cooldown=30.0)
+    client.execute("CREATE TABLE t (id INTEGER)")
+    client.execute("INSERT INTO t VALUES (1)")
+    assert wait_until(cluster.caught_up)
+    # Kill both replicas: reads must transparently fall back to the
+    # primary, with no error surfacing to the application.
+    for net in cluster.replica_nets:
+        net.shutdown()
+    for _ in range(5):
+        assert client.execute("SELECT * FROM t") == [{"id": 1}]
+    assert client.stats["fallbacks"] >= 1
+    client.close()
+
+
+def test_min_lsn_rejects_with_replica_stale(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    assert wait_until(cluster.caught_up)
+    # Freeze replica 0's apply loop, then demand an impossible LSN.
+    cluster.links[0].stop()
+    raw = ReproClient(
+        cluster.replica_nets[0].host, cluster.replica_nets[0].port
+    ).connect()
+    with pytest.raises(RemoteStatementError) as excinfo:
+        raw.execute(
+            "SELECT * FROM t",
+            min_lsn=cluster.primary_db.wal.last_lsn() + 100,
+        )
+    assert excinfo.value.code == protocol.REPLICA_STALE
+    assert excinfo.value.retryable
+    raw.close()
+    client.close()
+
+
+def test_set_read_staleness_round_trips_the_wire(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    assert wait_until(cluster.caught_up)
+    assert "staleness" in str(client.execute("SET READ STALENESS 5000")).lower()
+    assert client.execute("SELECT * FROM t") == []
+    assert "off" in str(client.execute("SET READ STALENESS OFF")).lower()
+    client.close()
+
+
+def test_show_replicas_over_the_wire(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    assert wait_until(cluster.caught_up)
+    rows = client.primary.execute("SHOW REPLICAS")
+    names = sorted(row["replica"] for row in rows)
+    assert names == ["r0", "r1"]
+    assert all(row["state"] == "streaming" for row in rows)
+    # The replica's own view names its upstream primary.
+    raw = ReproClient(
+        cluster.replica_nets[0].host, cluster.replica_nets[0].port
+    ).connect()
+    [row] = raw.execute("SHOW REPLICAS")
+    assert row["replica"] == "r0"
+    assert row["primary"].endswith(str(cluster.primary.port))
+    raw.close()
+    client.close()
+
+
+def test_replica_rejects_writes_over_the_wire(cluster):
+    raw = ReproClient(
+        cluster.replica_nets[0].host, cluster.replica_nets[0].port
+    ).connect()
+    with pytest.raises(RemoteStatementError) as excinfo:
+        raw.execute("CREATE TABLE boom (id INTEGER)")
+    assert excinfo.value.error_type == "ReadOnlyError"
+    raw.close()
+
+
+def test_subscribe_against_a_non_primary_is_refused():
+    db = DatabaseServer()  # shipping never enabled
+    net = NetServer(db).start()
+    try:
+        import socket
+
+        sock = socket.create_connection((net.host, net.port), timeout=2)
+        protocol.write_frame(sock, protocol.hello())
+        assert protocol.read_frame(sock)["kind"] == "welcome"
+        protocol.write_frame(sock, protocol.wal_subscribe(0, replica="x"))
+        reply = protocol.read_frame(sock)
+        assert reply["kind"] == "error"
+        assert "not a replication primary" in reply["message"]
+        sock.close()
+    finally:
+        net.shutdown()
+
+
+def test_replica_reconnects_after_a_severed_link(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    assert wait_until(cluster.caught_up)
+    # Sever replica 0's subscription socket server-side.
+    shipper = cluster.primary_db.repl_shipper
+    shipper.unsubscribe("r0")
+    client.execute("INSERT INTO t VALUES (1)")
+    # The link notices (dead socket / gap) and resubscribes.
+    assert wait_until(cluster.caught_up, timeout=8.0)
+    assert cluster.replica_dbs[0].execute("SELECT * FROM t") == [{"id": 1}]
+    client.close()
+
+
+def test_replication_section_in_show_stats(cluster):
+    client = cluster.client()
+    client.execute("CREATE TABLE t (id INTEGER)")
+    assert wait_until(cluster.caught_up)
+    report = cluster.primary_db.execute("SHOW STATS")
+    assert "== replication ==" in report
+    assert "sub.r0" in report
+    replica_report = cluster.replica_dbs[0].execute("SHOW STATS")
+    assert "== replication ==" in replica_report
+    assert "applied_lsn" in replica_report
+    client.close()
