@@ -1,0 +1,225 @@
+"""Perf hybrid: the head-to-head the hybrid AM exists to win.
+
+One 50k-key table per access path -- the hybrid's hash path, the same
+hybrid AM with its hash path disabled (the apples-to-apples B+-tree
+descent), the plain B+-tree blade, and the unindexed seqscan baseline --
+loaded from the same shuffled key file via LOAD.  Every path must return
+identical answers before anything is timed.
+
+Two measurements, two very different denominators:
+
+* **End to end (SQL)**: median per-statement latency of point SELECTs
+  through each path.  Parse/plan/span overhead is the same fixed cost
+  on every path, so these numbers show what a client sees, not what
+  the structures cost.  Reported, not gated (beyond the sanity floor
+  that any index beats the seqscan).
+* **Access-path layer**: the guarded hash probe (stamp, conflict
+  check, ``directory.lookup``, validate) against ``tree.search_equal``
+  on the very same open index.  This is the structural claim the
+  Griffin design makes, and it is the CI gate:
+  ``HASH_SPEEDUP_FLOOR``x or the suite fails.
+
+Timing is interleaved-round (every round times all variants back to
+back; the reported figure is the median of per-round ratios), the same
+methodology as ``bench_perf_read_path``.  Results append to
+``benchmarks/out/BENCH_hybrid.json``.
+"""
+
+import os
+import random
+import statistics
+import tempfile
+import time
+
+import pytest
+
+from repro.bblade import register_btree_blade
+from repro.hblade import register_hybrid_blade
+from repro.server import DatabaseServer
+
+N_KEYS = 50_000
+ROUNDS = 5
+SQL_PROBES = 120      # point SELECTs per round, indexed paths
+SEQ_PROBES = 10       # the seqscan walks 50k rows per probe; keep it short
+AM_PROBES = 400       # direct structure probes per round
+#: The CI gate: guarded hash probes vs B+-tree descent on the same index.
+HASH_SPEEDUP_FLOOR = 2.0
+
+#: label -> (table, index name or None)
+PATHS = {
+    "hash": ("th", "hi"),
+    "tree": ("tt", "ti"),      # hybrid AM, hash_path = off
+    "btree": ("tb", "bi"),     # the plain B+-tree blade
+    "seqscan": ("ts", None),
+}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    server = DatabaseServer()
+    server.create_sbspace("spc")
+    blade = register_hybrid_blade(server)
+    register_btree_blade(server)
+    for table, _ in PATHS.values():
+        server.execute(f"CREATE TABLE {table} (k INTEGER, v LVARCHAR)")
+    server.execute(
+        "CREATE INDEX hi ON th(k) USING hblade_am IN spc "
+        "WITH (buffer_capacity = 256)"
+    )
+    server.execute(
+        "CREATE INDEX ti ON tt(k) USING hblade_am IN spc "
+        "WITH (buffer_capacity = 256, hash_path = 'off')"
+    )
+    server.execute(
+        "CREATE INDEX bi ON tb(k) USING btree_am IN spc "
+        "WITH (buffer_capacity = 256)"
+    )
+    server.prefer_virtual_index = True
+
+    keys = list(range(N_KEYS))
+    random.Random(2026).shuffle(keys)
+    fd, path = tempfile.mkstemp(suffix=".unl")
+    with os.fdopen(fd, "w") as handle:
+        for key in keys:
+            handle.write(f"{key}|v{key}\n")
+    build_seconds = {}
+    try:
+        for label, (table, _) in PATHS.items():
+            start = time.perf_counter()
+            loaded = server.execute(f"LOAD FROM '{path}' INSERT INTO {table}")
+            build_seconds[label] = time.perf_counter() - start
+            assert loaded == N_KEYS
+    finally:
+        os.unlink(path)
+    return {"server": server, "blade": blade, "build_seconds": build_seconds}
+
+
+def probe_keys(count: int, salt: int = 0):
+    rng = random.Random(4242 + salt)
+    return [rng.randrange(N_KEYS) for _ in range(count)]
+
+
+def test_hybrid_answers_identical(setup):
+    """No timing without agreement: every path, same bags of rows."""
+    server = setup["server"]
+    for key in probe_keys(25):
+        bags = {}
+        for label, (table, _) in PATHS.items():
+            rows = server.execute(f"SELECT k, v FROM {table} WHERE k = {key}")
+            bags[label] = sorted((r["k"], r["v"]) for r in rows)
+            assert bags[label] == [(key, f"v{key}")]
+        assert len(set(map(tuple, bags.values()))) == 1
+    lo = N_KEYS // 2
+    hi = lo + 40
+    expected = None
+    for label, (table, _) in PATHS.items():
+        rows = server.execute(
+            f"SELECT k FROM {table} WHERE k >= {lo} AND k <= {hi}"
+        )
+        got = sorted(r["k"] for r in rows)
+        expected = got if expected is None else expected
+        assert got == expected == list(range(lo, hi + 1))
+    for index in ("hi", "ti", "bi"):
+        server.execute(f"CHECK INDEX {index}")
+
+
+def sql_batch(server, table, keys) -> float:
+    start = time.perf_counter()
+    for key in keys:
+        server.execute(f"SELECT v FROM {table} WHERE k = {key}")
+    return time.perf_counter() - start
+
+
+def test_hybrid_point_lookup_head_to_head(setup, append_bench, write_artifact):
+    server, blade = setup["server"], setup["blade"]
+
+    # -- end to end: per-statement latency through each path ----------
+    sql_seconds = {label: [] for label in PATHS}
+    for round_number in range(ROUNDS):
+        keys = probe_keys(SQL_PROBES, salt=round_number)
+        for label, (table, _) in PATHS.items():
+            batch = keys[:SEQ_PROBES] if label == "seqscan" else keys
+            sql_seconds[label].append(sql_batch(server, table, batch) / len(batch))
+    sql_ms = {
+        label: statistics.median(samples) * 1000.0
+        for label, samples in sql_seconds.items()
+    }
+
+    # -- access-path layer: the structures themselves -----------------
+    info = server.catalog.get_index("hi")
+    am = server.catalog.access_methods.get(info.am_name)
+    session = server.system_session
+    td = server.executor._descriptor(info, session)
+    integer = server.catalog.types.get("INTEGER")
+    ratios = []
+    hash_us = tree_us = None
+    with session.autocommit():
+        server.executor.call_purpose(am, "am_open", td)
+        try:
+            tree = td.user_data["tree"]
+            directory = td.user_data["directory"]
+            guard = blade._guard("hi")
+            encoded = [integer.send(key) for key in probe_keys(AM_PROBES, 99)]
+            for key in encoded[:20]:  # agreement before timing
+                assert sorted(directory.lookup(key)) == sorted(
+                    tree.search_equal(key)
+                )
+            hash_samples, tree_samples = [], []
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                for key in encoded:
+                    stamp = guard.read_stamp()
+                    if not guard.conflicts(key):
+                        directory.lookup(key)
+                        guard.validate(key, stamp)
+                hash_elapsed = time.perf_counter() - start
+                start = time.perf_counter()
+                for key in encoded:
+                    tree.search_equal(key)
+                tree_elapsed = time.perf_counter() - start
+                hash_samples.append(hash_elapsed / AM_PROBES)
+                tree_samples.append(tree_elapsed / AM_PROBES)
+                ratios.append(tree_elapsed / hash_elapsed)
+            hash_us = statistics.median(hash_samples) * 1e6
+            tree_us = statistics.median(tree_samples) * 1e6
+        finally:
+            server.executor.call_purpose(am, "am_close", td)
+    am_speedup = statistics.median(ratios)
+
+    stats = server.execute("UPDATE STATISTICS FOR INDEX hi")
+    payload = {
+        "benchmark": "hybrid_point_lookup",
+        "keys": N_KEYS,
+        "rounds": ROUNDS,
+        "build_seconds": {
+            label: round(seconds, 3)
+            for label, seconds in setup["build_seconds"].items()
+        },
+        "sql_point_ms": {k: round(v, 4) for k, v in sql_ms.items()},
+        "am_hash_probe_us": round(hash_us, 2),
+        "am_tree_probe_us": round(tree_us, 2),
+        "am_speedup": round(am_speedup, 2),
+        "gate_floor": HASH_SPEEDUP_FLOOR,
+        "index_stats": stats,
+    }
+    append_bench("BENCH_hybrid.json", payload)
+    write_artifact(
+        "perf_hybrid.txt",
+        f"Perf hybrid: {N_KEYS} keys, median of {ROUNDS} interleaved "
+        "rounds\n"
+        f"  SQL point lookup  hash path:   {sql_ms['hash']:.3f} ms\n"
+        f"  SQL point lookup  tree path:   {sql_ms['tree']:.3f} ms\n"
+        f"  SQL point lookup  btree blade: {sql_ms['btree']:.3f} ms\n"
+        f"  SQL point lookup  seqscan:     {sql_ms['seqscan']:.3f} ms\n"
+        f"  AM-layer guarded hash probe:   {hash_us:.1f} us\n"
+        f"  AM-layer tree descent:         {tree_us:.1f} us\n"
+        f"  AM-layer speedup:              {am_speedup:.2f}x "
+        f"(floor {HASH_SPEEDUP_FLOOR}x)\n",
+    )
+    assert am_speedup >= HASH_SPEEDUP_FLOOR, (
+        f"hash-path point lookups are only {am_speedup:.2f}x the tree "
+        f"path, below the {HASH_SPEEDUP_FLOOR}x floor"
+    )
+    # Sanity floor, not a race: any index beats walking 50k heap rows.
+    assert sql_ms["hash"] < sql_ms["seqscan"]
+    assert sql_ms["tree"] < sql_ms["seqscan"]

@@ -42,14 +42,30 @@ class BPlusTree:
     # Descent
     # ------------------------------------------------------------------
 
-    def _child_for(self, node: BTreeNode, key: bytes) -> int:
-        child = node.leftmost
-        for entry in node.entries:
-            if self.compare(entry.key, key) <= 0:
-                child = entry.child
+    def _bisect(
+        self, entries: List[BTreeEntry], key: bytes, right: bool
+    ) -> int:
+        """Binary search over a node's sorted entries.
+
+        ``right=True`` counts entries with ``entry.key <= key``
+        (bisect_right), ``right=False`` entries with ``entry.key < key``
+        (bisect_left).  Nodes hold hundreds of variable-length keys, so
+        descent cost is dominated by comparator calls -- each of which
+        re-resolves a support UDR -- making this log/linear distinction
+        the hot-path difference for bulk loads."""
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            cmp = self.compare(entries[mid].key, key)
+            if cmp < 0 or (right and cmp == 0):
+                lo = mid + 1
             else:
-                break
-        return child
+                hi = mid
+        return lo
+
+    def _child_for(self, node: BTreeNode, key: bytes) -> int:
+        index = self._bisect(node.entries, key, right=True)
+        return node.leftmost if index == 0 else node.entries[index - 1].child
 
     def _descend_to_leaf(self, key: bytes) -> List[BTreeNode]:
         path = [self.store.read(self.root_id)]
@@ -63,12 +79,10 @@ class BPlusTree:
         path = [self.store.read(self.root_id)]
         while not path[-1].leaf:
             node = path[-1]
-            child = node.leftmost
-            for entry in node.entries:
-                if self.compare(entry.key, key) < 0:
-                    child = entry.child
-                else:
-                    break
+            index = self._bisect(node.entries, key, right=False)
+            child = (
+                node.leftmost if index == 0 else node.entries[index - 1].child
+            )
             path.append(self.store.read(child))
         return path
 
@@ -87,11 +101,7 @@ class BPlusTree:
             raise ValueError("key too large for the configured page size")
         path = self._descend_to_leaf(key)
         leaf = path[-1]
-        index = 0
-        while index < len(leaf.entries) and self.compare(
-            leaf.entries[index].key, key
-        ) <= 0:
-            index += 1
+        index = self._bisect(leaf.entries, key, right=True)
         leaf.entries.insert(index, BTreeEntry(key, rowid=rowid, fragid=fragid))
         self.size += 1
         self._write_with_splits(path)
@@ -113,11 +123,7 @@ class BPlusTree:
                 self.height += 1
                 return
             parent = path[depth - 1]
-            index = 0
-            while index < len(parent.entries) and self.compare(
-                parent.entries[index].key, promoted_key
-            ) <= 0:
-                index += 1
+            index = self._bisect(parent.entries, promoted_key, right=True)
             parent.entries.insert(
                 index, BTreeEntry(promoted_key, child=sibling_id)
             )

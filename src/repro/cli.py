@@ -11,7 +11,7 @@ Usage::
 
 Besides SQL, the shell accepts backslash commands:
 
-``\\install grtree|rtree|btree|gist``  register a DataBlade
+``\\install grtree|rtree|btree|gist|hblade``  register a DataBlade
 ``\\sbspace NAME``                     create a smart-blob space (Step 5)
 ``\\clock``                            show the simulated current time
 ``\\clock +N`` / ``\\clock set TEXT``  advance / set the clock
@@ -226,8 +226,12 @@ class Shell:
             from repro.gist import register_gist_blade
 
             register_gist_blade(self.server)
+        elif blade == "hblade":
+            from repro.hblade import register_hybrid_blade
+
+            register_hybrid_blade(self.server)
         else:
-            print("blades: grtree, rtree, btree, gist", file=out)
+            print("blades: grtree, rtree, btree, gist, hblade", file=out)
             return
         self._installed.add(blade)
         print(f"DataBlade {blade} registered", file=out)
@@ -395,7 +399,7 @@ def serve_main(argv: List[str], out=None) -> int:
         "--install",
         action="append",
         default=[],
-        choices=["grtree", "rtree", "btree", "gist"],
+        choices=["grtree", "rtree", "btree", "gist", "hblade"],
         help="register a DataBlade at boot (repeatable)",
     )
     parser.add_argument(

@@ -95,6 +95,10 @@ CATALOG: Dict[str, str] = {
     "repl.send": "repl: primary about to ship a WAL frame "
     "(drop/dup/reorder/torn capable)",
     "repl.apply": "repl: replica about to apply a committed transaction",
+    "hblade.hash_write": "hblade: before the hash-directory half of a "
+    "hybrid-index mutation",
+    "hblade.tree_write": "hblade: between the hash and tree halves of a "
+    "hybrid-index mutation",
 }
 
 

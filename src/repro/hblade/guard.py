@@ -1,0 +1,85 @@
+"""Precision-locking-style consistency guard between the two index paths.
+
+The hybrid AM updates two structures per mutation (hash directory first,
+B+-tree second).  A point lookup that probes only the hash side while a
+writer sits *between* those two writes could observe a key the tree path
+would not yet (or no longer) return -- exactly the anomaly Griffin's
+precision-locking check exists to rule out.
+
+The guard is the in-memory half of that check: writers *publish* the key
+they are about to touch for the duration of the two-structure window,
+and hash-path readers *validate* that no publication overlapping their
+key existed while they probed.  A reader that fails validation falls
+back to the tree path (the authoritative order), so the hash path can
+never return a row the tree path would miss, and never misses a row the
+tree path would return.
+
+Publications are predicates over key bytes, not row locks -- like
+precision locks, conflict detection is a predicate-vs-object test
+(here: byte equality on canonical keys) with no shared lock table with
+the storage layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PrecisionGuard:
+    """Published in-flight writer keys + a validation epoch, per index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: key bytes -> number of writers currently inside the window.
+        self._in_flight: Dict[bytes, int] = {}
+        #: Bumped on every publish and retire; readers snapshot it before
+        #: probing and re-check after, so a window that opened *and*
+        #: closed entirely during the probe is still detected.
+        self.epoch = 0
+        #: Lifetime count of hash-path probes that had to fall back.
+        self.fallbacks = 0
+
+    @contextmanager
+    def publishing(self, key: bytes) -> Iterator[None]:
+        """Writer side: publish *key* around the two-structure update."""
+        with self._lock:
+            self._in_flight[key] = self._in_flight.get(key, 0) + 1
+            self.epoch += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                remaining = self._in_flight[key] - 1
+                if remaining:
+                    self._in_flight[key] = remaining
+                else:
+                    del self._in_flight[key]
+                self.epoch += 1
+
+    def read_stamp(self) -> int:
+        return self.epoch
+
+    def conflicts(self, key: bytes) -> bool:
+        """Is some writer currently inside the window for *key*?"""
+        with self._lock:
+            return key in self._in_flight
+
+    def validate(self, key: bytes, stamp: int) -> bool:
+        """Reader side: was the probe free of overlapping publications?
+
+        True only if no writer holds *key* now and no publication
+        activity happened at all since *stamp* was taken.  The epoch
+        check is deliberately coarse (any write activity invalidates):
+        falling back to the tree path is cheap and always correct,
+        missing a conflict never is.
+        """
+        with self._lock:
+            if key in self._in_flight:
+                return False
+            return self.epoch == stamp
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1

@@ -345,6 +345,7 @@ class Observability:
                     "net.",
                     "faults.",
                     "repl.",
+                    "hblade.",
                 )
             )
         }
@@ -447,6 +448,21 @@ class Observability:
                 "  ".join(
                     f"{name[len('net.'):]} {value:g}"
                     for name, value in net_items
+                )
+            )
+
+        hblade_items = sorted(
+            (name, value)
+            for name, value in snapshot.items()
+            if name.startswith("hblade.")
+        )
+        if hblade_items:
+            lines.append("")
+            section("hybrid")
+            lines.append(
+                "  ".join(
+                    f"{name[len('hblade.'):]} {value:g}"
+                    for name, value in hblade_items
                 )
             )
 

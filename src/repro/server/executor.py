@@ -520,40 +520,48 @@ class Executor:
 
     def _load(self, stmt: ast.Load, session) -> int:
         """Bulk-load rows from a delimited text file; each field goes
-        through its column type's *import* support function."""
+        through its column type's *import* support function.
+
+        Indexes are opened once per LOAD, not once per row (the same
+        batching ``_delete``/``_update`` use): am_open/am_close bracket
+        the statement, which is what makes LOAD the bulk path rather
+        than sugar over per-row INSERTs.
+        """
         table = self.server.catalog.get_table(stmt.table)
         loaded = 0
         with open(stmt.path, "r", encoding="utf-8") as handle:
             with session.autocommit():
-                for line_no, raw in enumerate(handle, start=1):
-                    line = raw.rstrip("\n")
-                    if not line:
-                        continue
-                    fields = line.split(stmt.delimiter)
-                    if len(fields) != len(table.columns):
-                        raise ExecutionError(
-                            f"{stmt.path}:{line_no}: expected "
-                            f"{len(table.columns)} fields, got {len(fields)}"
-                        )
-                    values = {
-                        column.name: column.data_type.import_text(field)
-                        for column, field in zip(table.columns, fields)
-                    }
-                    rowid = table.insert_row(values)
-                    row = table.fetch(rowid)
-                    self._log_row(session, "insert", table, rowid, row)
-                    for info in self.server.catalog.indices_on(table.name):
-                        am = self.server.catalog.access_methods.get(info.am_name)
-                        td = self._descriptor(info, session)
-                        self.call_purpose(am, "am_open", td)
-                        try:
+                indices = [
+                    (info, *self._open_index(info, session)[1:])
+                    for info in self.server.catalog.indices_on(table.name)
+                ]
+                try:
+                    for line_no, raw in enumerate(handle, start=1):
+                        line = raw.rstrip("\n")
+                        if not line:
+                            continue
+                        fields = line.split(stmt.delimiter)
+                        if len(fields) != len(table.columns):
+                            raise ExecutionError(
+                                f"{stmt.path}:{line_no}: expected "
+                                f"{len(table.columns)} fields, got {len(fields)}"
+                            )
+                        values = {
+                            column.name: column.data_type.import_text(field)
+                            for column, field in zip(table.columns, fields)
+                        }
+                        rowid = table.insert_row(values)
+                        row = table.fetch(rowid)
+                        self._log_row(session, "insert", table, rowid, row)
+                        for info, am, td in indices:
                             self.call_purpose(
                                 am, "am_insert", td,
                                 self._indexed_row(info, row), rowid,
                             )
-                        finally:
-                            self.call_purpose(am, "am_close", td)
-                    loaded += 1
+                        loaded += 1
+                finally:
+                    for info, am, td in indices:
+                        self.call_purpose(am, "am_close", td)
         return loaded
 
     def _unload(self, stmt: ast.Unload, session) -> int:

@@ -70,13 +70,17 @@ def _rebuild_conjunction(conjuncts: List[Expr]) -> Optional[Expr]:
 #: the server maps ``>`` onto the B+-tree's ``GreaterThan()`` strategy.
 #: Different blades register the same semantics under prefixed names.
 _OPERATOR_STRATEGY_NAMES = {
-    "=": {"equal", "bt_equal", "gs_numequal", "numequal"},
-    ">": {"greaterthan", "bt_greaterthan", "gs_greaterthan"},
+    "=": {"equal", "bt_equal", "hb_equal", "gs_numequal", "numequal"},
+    ">": {"greaterthan", "bt_greaterthan", "hb_greaterthan", "gs_greaterthan"},
     ">=": {
-        "greaterthanorequal", "bt_greaterthanorequal", "gs_greaterthanorequal",
+        "greaterthanorequal", "bt_greaterthanorequal",
+        "hb_greaterthanorequal", "gs_greaterthanorequal",
     },
-    "<": {"lessthan", "bt_lessthan", "gs_lessthan"},
-    "<=": {"lessthanorequal", "bt_lessthanorequal", "gs_lessthanorequal"},
+    "<": {"lessthan", "bt_lessthan", "hb_lessthan", "gs_lessthan"},
+    "<=": {
+        "lessthanorequal", "bt_lessthanorequal", "hb_lessthanorequal",
+        "gs_lessthanorequal",
+    },
 }
 
 

@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Set
 from repro.datablade import register_grtree_blade
 from repro.faults import FaultRegistry, SimulatedCrash
 from repro.grtree import verify_tree
+from repro.hblade import register_hybrid_blade, verify_hybrid
 from repro.net import protocol
 from repro.repl.applier import ReplicationApplier
 from repro.server import DatabaseServer
@@ -219,6 +220,217 @@ class CrashHarness:
         self.server.execute("CHECK INDEX gi", self.session)
         with self.open_tree() as tree:
             verify_tree(tree)
+
+
+# ----------------------------------------------------------------------
+# Hybrid-AM crash consistency
+# ----------------------------------------------------------------------
+
+
+class HybridCrashHarness:
+    """A :class:`CrashHarness` analogue over the hybrid hash + B+-tree AM.
+
+    The interesting new failure window is *between* the two structure
+    writes of one mutation (``hblade.hash_write`` fires before the hash
+    directory is touched, ``hblade.tree_write`` between the hash and
+    tree halves).  A crash there leaves the volatile pools disagreeing;
+    recovery must heal it because the enclosing transaction never
+    committed.  Verification therefore checks committed rows through
+    *both* paths -- a tree-side range scan and hash-side point probes --
+    plus the structural hash/tree agreement verifier.
+    """
+
+    def __init__(self) -> None:
+        self.registry = FaultRegistry()
+        self.server = DatabaseServer(faults=self.registry)
+        self.space = self.server.create_sbspace("spc")
+        register_hybrid_blade(self.server)
+        self.server.execute("CREATE TABLE h (k INTEGER, name LVARCHAR)")
+        self.server.execute(
+            "CREATE INDEX hi ON h(k) USING hblade_am IN spc "
+            "WITH (buffer_capacity = 8)"
+        )
+        self.server.prefer_virtual_index = True
+        self.session = self.server.create_session()
+        #: name -> key of rows whose transaction committed (the oracle).
+        self.committed: dict = {}
+        self.crashed: Optional[str] = None
+        self._next_key = 0
+
+    # -- arming --------------------------------------------------------
+
+    def arm(self, name: str, action: str = "crash", **conditions):
+        return self.registry.set_fault(name, action, **conditions)
+
+    def disarm_all(self) -> None:
+        self.registry.clear_all()
+
+    # -- workload steps ------------------------------------------------
+
+    def _fresh_key(self) -> int:
+        self._next_key += 1
+        return self._next_key
+
+    def autocommit_insert(self, name: str) -> str:
+        key = self._fresh_key()
+        try:
+            self.server.execute(
+                f"INSERT INTO h VALUES ({key}, '{name}')", self.session
+            )
+        except SimulatedCrash as crash:
+            self.crashed = crash.point
+            return CRASHED
+        except Exception:
+            return FAILED
+        self.committed[name] = key
+        return COMMITTED
+
+    def autocommit_delete(self, name: str) -> str:
+        """Delete a committed row by its key (both write paths again).
+
+        Only safe while no failpoint is armed: the heap model deletes
+        rows eagerly and neither rollback nor WAL replay restores them
+        (the same reason :func:`random_workload` is insert-only), so a
+        fault mid-delete would strand a recovered index entry over a
+        missing heap row.
+        """
+        key = self.committed[name]
+        try:
+            self.server.execute(
+                f"DELETE FROM h WHERE k = {key}", self.session
+            )
+        except SimulatedCrash as crash:
+            self.crashed = crash.point
+            return CRASHED
+        except Exception:
+            return FAILED
+        del self.committed[name]
+        return COMMITTED
+
+    def run_batch(self, names: Iterable[str], commit: bool = True) -> str:
+        names = list(names)
+        keys = {}
+        try:
+            self.server.execute("BEGIN WORK", self.session)
+            for name in names:
+                keys[name] = self._fresh_key()
+                self.server.execute(
+                    f"INSERT INTO h VALUES ({keys[name]}, '{name}')",
+                    self.session,
+                )
+            if not commit:
+                self.server.execute("ROLLBACK WORK", self.session)
+                return ROLLED_BACK
+            self.server.execute("COMMIT WORK", self.session)
+        except SimulatedCrash as crash:
+            self.crashed = crash.point
+            return CRASHED
+        except Exception:
+            if self.session.in_transaction:
+                self.server.execute("ROLLBACK WORK", self.session)
+            return FAILED
+        self.committed.update(keys)
+        return COMMITTED
+
+    # -- crash and restart ---------------------------------------------
+
+    def recover(self) -> None:
+        """Identical restart semantics to :meth:`CrashHarness.recover`."""
+        self.disarm_all()
+        for txn_id in self.server.wal.active_transactions():
+            self.server.locks.release_all(txn_id)
+        self.server.wal.recover(self.space)
+        self.space.set_transaction(None)
+        self.server.storage_epoch += 1
+        self.session = self.server.create_session()
+        self.crashed = None
+
+    # -- verification --------------------------------------------------
+
+    def tree_path_names(self) -> Set[str]:
+        """Every name, through the tree side (a range scan)."""
+        rows = self.server.execute(
+            "SELECT name FROM h WHERE k >= 0", self.session
+        )
+        plan = self.server.last_plan
+        assert getattr(plan, "index", None) is not None, (
+            f"expected an index scan, optimizer chose {type(plan).__name__}"
+        )
+        return {row["name"] for row in rows}
+
+    def hash_path_names(self) -> Set[str]:
+        """The committed names, through hash-side point probes."""
+        found: Set[str] = set()
+        for name, key in self.committed.items():
+            rows = self.server.execute(
+                f"SELECT name FROM h WHERE k = {key}", self.session
+            )
+            found.update(row["name"] for row in rows)
+        return found
+
+    @contextmanager
+    def open_hybrid(self, index_name: str = "hi"):
+        info = self.server.catalog.get_index(index_name)
+        am = self.server.catalog.access_methods.get(info.am_name)
+        session = self.server.system_session
+        td = self.server.executor._descriptor(info, session)
+        with session.autocommit():
+            self.server.executor.call_purpose(am, "am_open", td)
+            try:
+                yield td.user_data["tree"], td.user_data["directory"]
+            finally:
+                self.server.executor.call_purpose(am, "am_close", td)
+
+    def verify(self) -> None:
+        """Committed-rows oracle through both paths + structure checks."""
+        expected = set(self.committed)
+        tree_names = self.tree_path_names()
+        lost = expected - tree_names
+        resurrected = tree_names - expected
+        assert not lost, f"committed rows lost by recovery: {sorted(lost)}"
+        assert not resurrected, (
+            f"uncommitted rows resurrected by recovery: {sorted(resurrected)}"
+        )
+        hash_names = self.hash_path_names()
+        assert hash_names == expected, (
+            f"hash path disagrees with the oracle: "
+            f"missing {sorted(expected - hash_names)}, "
+            f"extra {sorted(hash_names - expected)}"
+        )
+        self.server.execute("CHECK INDEX hi", self.session)
+        with self.open_hybrid() as (tree, directory):
+            verify_hybrid(tree, directory)
+
+
+def hybrid_random_workload(
+    harness: HybridCrashHarness, seed: int, steps: int = 40
+) -> List[str]:
+    """Seeded random inserts and batches; stops at the first crash.
+
+    Insert-only while the failpoint is armed (see
+    :meth:`HybridCrashHarness.autocommit_delete` for why), but inserts
+    traverse both hybrid write paths, which is the window under test.
+    """
+    rng = random.Random(seed)
+    outcomes: List[str] = []
+    for step in range(steps):
+        kind = rng.random()
+        if kind < 0.45:
+            outcome = harness.autocommit_insert(f"s{seed}.{step}")
+        elif kind < 0.85:
+            size = rng.randint(1, 5)
+            outcome = harness.run_batch(
+                [f"s{seed}.{step}.{i}" for i in range(size)]
+            )
+        else:
+            size = rng.randint(1, 3)
+            outcome = harness.run_batch(
+                [f"s{seed}.{step}.{i}" for i in range(size)], commit=False
+            )
+        outcomes.append(outcome)
+        if outcome == CRASHED:
+            break
+    return outcomes
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,13 @@ fails the suite.
 import pytest
 
 from repro.faults import CATALOG
-from tests.faults.harness import CRASHED, CrashHarness, random_workload
+from tests.faults.harness import (
+    CRASHED,
+    CrashHarness,
+    HybridCrashHarness,
+    hybrid_random_workload,
+    random_workload,
+)
 
 #: Failpoints the sbspace-backed commit path traverses.
 STORAGE_POINTS = [
@@ -25,6 +31,15 @@ STORAGE_POINTS = [
     "sbspace.open",
     "buffer.flush",
     "lock.acquire",
+]
+
+#: Failpoints only the hybrid hash + B+-tree AM traverses: the window
+#: before the hash-directory half of a mutation and the window between
+#: the hash and tree halves (the classic "one structure updated, the
+#: other not yet" torn state).
+HYBRID_POINTS = [
+    "hblade.hash_write",
+    "hblade.tree_write",
 ]
 
 #: Failpoints a sbspace-backed embedded engine never traverses: the
@@ -43,7 +58,7 @@ EXCLUDED = [
 
 
 def test_matrix_covers_the_whole_catalog():
-    assert sorted(STORAGE_POINTS + EXCLUDED) == sorted(CATALOG)
+    assert sorted(STORAGE_POINTS + HYBRID_POINTS + EXCLUDED) == sorted(CATALOG)
 
 
 @pytest.mark.parametrize("hit", [1, 2, 5, 13])
@@ -61,6 +76,63 @@ def test_crash_recover_verify(point, hit):
     )
     assert harness.crashed == point
     harness.recover()
+    harness.verify()
+
+
+@pytest.mark.parametrize("hit", [1, 2, 7])
+@pytest.mark.parametrize("point", HYBRID_POINTS)
+def test_hybrid_crash_between_structure_writes(point, hit):
+    """Crash between the hash-directory and tree writes; recovery heals.
+
+    The mutation's transaction never committed, so after WAL replay
+    neither structure may show it -- checked through the tree-side
+    range scan, hash-side point probes, CHECK INDEX, and the direct
+    hash/tree agreement verifier.
+    """
+    harness = HybridCrashHarness()
+    harness.run_batch([f"pre{i}" for i in range(6)])
+    harness.arm(point, "crash", hit=hit, times=1)
+    outcomes = hybrid_random_workload(
+        harness, seed=hit * 53 + len(point), steps=80
+    )
+    assert outcomes[-1] == CRASHED, (
+        f"failpoint {point} (hit={hit}) never fired in "
+        f"{len(outcomes)} workload steps"
+    )
+    assert harness.crashed == point
+    harness.recover()
+    harness.verify()
+
+
+@pytest.mark.parametrize("point", HYBRID_POINTS)
+def test_hybrid_raise_rolls_back_both_structures(point):
+    """A non-crash failure at either write path rolls back cleanly:
+    the statement fails, both structures stay agreed, and the engine
+    keeps taking work with no recovery step at all."""
+    harness = HybridCrashHarness()
+    harness.run_batch([f"pre{i}" for i in range(4)])
+    harness.arm(point, "raise", times=1)
+    assert harness.autocommit_insert("doomed") == "failed"
+    harness.verify()
+    assert harness.autocommit_insert("after") == "committed"
+    harness.verify()
+
+
+def test_hybrid_repeated_crashes():
+    """Crash at the hash half, recover, crash at the tree half deeper:
+    recovery output must itself be a valid recovery input."""
+    harness = HybridCrashHarness()
+    for round_number, (point, hit) in enumerate(
+        (("hblade.hash_write", 3), ("hblade.tree_write", 11))
+    ):
+        harness.arm(point, "crash", hit=hit, times=1)
+        outcomes = hybrid_random_workload(
+            harness, seed=200 + round_number, steps=80
+        )
+        assert outcomes[-1] == CRASHED
+        harness.recover()
+        harness.verify()
+    assert harness.run_batch(["final0", "final1"]) == "committed"
     harness.verify()
 
 
