@@ -1,0 +1,40 @@
+"""Perf floor for the invariant linter.
+
+The lint job sits in front of every CI run, so it must stay fast: a
+full-tree ``repro lint --strict src/`` has to finish well under 10
+seconds or it stops being a pre-commit-sized check.  The measured run
+is appended to ``BENCH_lint.json`` so the cost trends across PRs.
+"""
+
+import pathlib
+import time
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+LINT_BUDGET_S = 10.0
+
+
+def test_full_tree_lint_under_budget(append_bench):
+    from repro.analysis import lint_paths
+
+    start = time.perf_counter()
+    report = lint_paths([str(SRC)], strict=True)
+    elapsed = time.perf_counter() - start
+
+    # The floor is meaningless if the run was degenerate.
+    assert report.files_scanned > 50
+    assert report.active == [], "\n" + report.to_text()
+
+    append_bench(
+        "BENCH_lint.json",
+        {
+            "files_scanned": report.files_scanned,
+            "findings_total": len(report.findings),
+            "findings_suppressed": report.suppressed_count,
+            "lint_seconds": round(elapsed, 3),
+            "budget_seconds": LINT_BUDGET_S,
+        },
+    )
+    assert elapsed < LINT_BUDGET_S, (
+        f"full-tree lint took {elapsed:.2f}s (budget {LINT_BUDGET_S}s)"
+    )

@@ -1,0 +1,28 @@
+"""Static and dynamic conformance checking for the repro engine.
+
+The engine's cross-cutting contracts -- ``SimulatedCrash`` must
+propagate, failpoints stay behind ``faults is not None`` guards and use
+names from :data:`repro.faults.registry.CATALOG`, nothing blocks under
+the engine lock, metric names follow the ``component.snake_name``
+grammar, threaded modules keep no unlocked module-level mutable state --
+existed only as review conventions.  This package makes them executable:
+
+* :mod:`repro.analysis.linter` -- AST rule framework (suppressions,
+  reporters, exit codes) and the rule catalog in
+  :mod:`repro.analysis.rules`.
+* :mod:`repro.analysis.lockgraph` -- dynamic lock-order detector that
+  wraps ``threading.Lock``/``RLock`` and reports acquisition-order
+  cycles with both stacks.
+* ``repro lint`` CLI (:mod:`repro.analysis.cli`).
+
+Everything here is stdlib-only so the no-numpy CI job can run it.
+"""
+
+from repro.analysis.linter import (  # noqa: F401
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = ["Finding", "LintReport", "lint_paths", "lint_source"]

@@ -1,0 +1,73 @@
+"""``repro lint`` -- run the invariant linter from the command line.
+
+Exit codes: 0 clean, 1 active (unsuppressed) findings, 2 usage error.
+The ``--json`` report follows the schema documented in
+``docs/static_analysis.md`` (and validated by
+:func:`repro.analysis.reporting.validate_report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST invariant linter for the repro engine contracts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally fail on unused suppressions",
+    )
+    try:
+        opts = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    from repro.analysis.linter import lint_paths
+
+    try:
+        report = lint_paths(opts.paths, strict=opts.strict)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if opts.json_out:
+        try:
+            with open(opts.json_out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro lint: cannot write {opts.json_out}: {exc}", file=sys.stderr)
+            return 2
+
+    if opts.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(lint_main())

@@ -1,0 +1,475 @@
+"""AST invariant linter framework.
+
+A *rule* inspects one parsed module at a time and yields
+:class:`Finding` objects; rules that need whole-tree knowledge (the
+CATALOG reverse-completeness check) additionally implement ``finish``
+and are handed the accumulated :class:`Project` state after every file
+has been scanned.
+
+Suppressions
+------------
+Findings are silenced with comments carrying a **mandatory** reason::
+
+    risky_line()  # repro: allow(rule-id): why this is safe here
+
+A standalone comment line suppresses the next line, so multi-line
+statements stay readable::
+
+    # repro: allow(blocking-under-engine-lock): simulated latency knob
+    time.sleep(self.simulated_io_s)
+
+``# repro: allow-file(rule-id): reason`` anywhere in a file suppresses
+the rule for the whole file.  A suppression without a reason is itself
+reported (``bad-suppression``) and a suppression that silences nothing
+is reported under ``--strict`` (``unused-suppression``); neither of
+those meta-findings can be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "Suppression",
+    "lint_paths",
+    "lint_source",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*(allow|allow-file)\(([a-z0-9][a-z0-9-]*)\)\s*(?::\s*(\S.*?))?\s*$"
+)
+
+# Meta rule ids emitted by the framework itself; never suppressible.
+BAD_SUPPRESSION = "bad-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
+_META_RULES = frozenset({BAD_SUPPRESSION, UNUSED_SUPPRESSION})
+
+
+@dataclass
+class Finding:
+    """One rule violation at a specific source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: allow(...)`` comment."""
+
+    rule: str
+    line: int  # line the suppression *targets* (not necessarily the comment line)
+    comment_line: int
+    reason: Optional[str]
+    file_wide: bool
+    used: bool = False
+
+
+class Project:
+    """Cross-file state accumulated over a lint run."""
+
+    def __init__(self) -> None:
+        # rule-owned scratch space, keyed by rule id
+        self.state: Dict[str, object] = {}
+        self.files: List[str] = []
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, project: Project):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.project = project
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- path helpers -------------------------------------------------
+
+    @property
+    def repro_parts(self) -> Tuple[str, ...]:
+        """Path components after the last ``repro`` directory, or ()."""
+        parts = Path(self.path).parts
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                return parts[i + 1 :]
+        return ()
+
+    @property
+    def package(self) -> Optional[str]:
+        """Top-level package under ``repro`` owning this module."""
+        parts = self.repro_parts
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return Path(parts[0]).stem
+        return parts[0]
+
+    # -- tree helpers -------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def walk(self, node: Optional[ast.AST] = None) -> Iterator[ast.AST]:
+        return ast.walk(node if node is not None else self.tree)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``summary`` and implement check."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        """Called once after all modules are scanned."""
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+
+
+def parse_suppressions(source: str, path: str) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract suppression comments; malformed ones become findings."""
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            if "repro:" in tok.string and "allow" in tok.string:
+                findings.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        path=path,
+                        line=tok.start[0],
+                        message=(
+                            "malformed suppression comment; expected "
+                            "'# repro: allow(rule-id): reason'"
+                        ),
+                    )
+                )
+            continue
+        kind, rule_id, reason = match.group(1), match.group(2), match.group(3)
+        comment_line = tok.start[0]
+        if reason is None or not reason.strip():
+            findings.append(
+                Finding(
+                    rule=BAD_SUPPRESSION,
+                    path=path,
+                    line=comment_line,
+                    message=(
+                        f"suppression for '{rule_id}' is missing its reason; "
+                        "every allow() must say why the violation is safe"
+                    ),
+                )
+            )
+            continue
+        if rule_id in _META_RULES:
+            findings.append(
+                Finding(
+                    rule=BAD_SUPPRESSION,
+                    path=path,
+                    line=comment_line,
+                    message=f"'{rule_id}' findings cannot be suppressed",
+                )
+            )
+            continue
+        target = comment_line
+        if kind == "allow":
+            before = lines[comment_line - 1][: tok.start[1]] if comment_line <= len(lines) else ""
+            if not before.strip():
+                # Standalone comment: applies to the first code line below,
+                # skipping the rest of the comment block and blank lines.
+                target = comment_line + 1
+                while target <= len(lines):
+                    stripped = lines[target - 1].strip()
+                    if stripped and not stripped.startswith("#"):
+                        break
+                    target += 1
+        suppressions.append(
+            Suppression(
+                rule=rule_id,
+                line=target,
+                comment_line=comment_line,
+                reason=reason.strip(),
+                file_wide=(kind == "allow-file"),
+            )
+        )
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression]
+) -> None:
+    """Mark findings covered by a suppression (mutates in place)."""
+    by_line: Dict[Tuple[str, int], Suppression] = {}
+    file_wide: Dict[str, Suppression] = {}
+    for sup in suppressions:
+        if sup.file_wide:
+            file_wide.setdefault(sup.rule, sup)
+        else:
+            by_line.setdefault((sup.rule, sup.line), sup)
+    for finding in findings:
+        if finding.rule in _META_RULES:
+            continue
+        sup = by_line.get((finding.rule, finding.line)) or file_wide.get(finding.rule)
+        if sup is not None:
+            finding.suppressed = True
+            finding.suppress_reason = sup.reason
+            sup.used = True
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    paths: List[str] = field(default_factory=list)
+    strict: bool = False
+    rules: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def active_count(self) -> int:
+        return len(self.active)
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "tool": "repro-lint",
+            "strict": self.strict,
+            "paths": list(self.paths),
+            "files_scanned": self.files_scanned,
+            "rules": [{"id": rid, "summary": summary} for rid, summary in self.rules],
+            "findings": [f.to_dict() for f in sorted(self.findings, key=Finding.sort_key)],
+            "counts": {
+                "total": len(self.findings),
+                "suppressed": self.suppressed_count,
+                "active": self.active_count,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_text(self) -> str:
+        out: List[str] = []
+        for finding in sorted(self.findings, key=Finding.sort_key):
+            status = "suppressed" if finding.suppressed else "error"
+            out.append(
+                f"{finding.path}:{finding.line}: [{finding.rule}] "
+                f"{finding.message} ({status})"
+            )
+        out.append(
+            f"{self.files_scanned} file(s) scanned: "
+            f"{self.active_count} active finding(s), "
+            f"{self.suppressed_count} suppressed"
+        )
+        return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+def default_rules() -> List[Rule]:
+    from repro.analysis import rules as rules_mod
+
+    return rules_mod.all_rules()
+
+
+def _collect_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                files.append(p)
+        elif p.is_dir():
+            files.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+            )
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+    return files
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    strict: bool = False,
+    project: Optional[Project] = None,
+    run_finish: bool = True,
+) -> LintReport:
+    """Lint a single in-memory module (fixture/test entry point)."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    project = project if project is not None else Project()
+    report = LintReport(strict=strict, paths=[path], rules=[(r.id, r.summary) for r in active_rules])
+    findings, suppressions = _lint_one(source, path, active_rules, project)
+    if run_finish:
+        for rule in active_rules:
+            findings.extend(rule.finish(project))
+    apply_suppressions(findings, suppressions)
+    findings.extend(_unused(suppressions, path, strict))
+    report.findings = findings
+    report.files_scanned = 1
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    strict: bool = False,
+) -> LintReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    files = _collect_files(paths)
+    project = Project()
+    report = LintReport(
+        strict=strict,
+        paths=[str(p) for p in paths],
+        rules=[(r.id, r.summary) for r in active_rules],
+    )
+    all_findings: List[Finding] = []
+    all_suppressions: List[Tuple[str, List[Suppression]]] = []
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            all_findings.append(
+                Finding(
+                    rule=BAD_SUPPRESSION,
+                    path=str(file_path),
+                    line=1,
+                    message=f"could not read file: {exc}",
+                )
+            )
+            continue
+        findings, suppressions = _lint_one(source, str(file_path), active_rules, project)
+        all_findings.extend(findings)
+        all_suppressions.append((str(file_path), suppressions))
+    for rule in active_rules:
+        all_findings.extend(rule.finish(project))
+    flat_sups = [s for _, sups in all_suppressions for s in sups]
+    apply_suppressions(all_findings, flat_sups)
+    for file_path_str, sups in all_suppressions:
+        all_findings.extend(_unused(sups, file_path_str, strict))
+    report.findings = all_findings
+    report.files_scanned = len(files)
+    return report
+
+
+def _lint_one(
+    source: str, path: str, rules: Sequence[Rule], project: Project
+) -> Tuple[List[Finding], List[Suppression]]:
+    findings: List[Finding] = []
+    suppressions, sup_findings = parse_suppressions(source, path)
+    findings.extend(sup_findings)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                rule=BAD_SUPPRESSION,
+                path=path,
+                line=exc.lineno or 1,
+                message=f"syntax error prevents linting: {exc.msg}",
+            )
+        )
+        return findings, suppressions
+    ctx = ModuleContext(path, source, tree, project)
+    project.files.append(path)
+    for rule in rules:
+        findings.extend(rule.check_module(ctx))
+    return findings, suppressions
+
+
+def _unused(
+    suppressions: Sequence[Suppression], path: str, strict: bool
+) -> List[Finding]:
+    if not strict:
+        return []
+    return [
+        Finding(
+            rule=UNUSED_SUPPRESSION,
+            path=path,
+            line=sup.comment_line,
+            message=(
+                f"suppression for '{sup.rule}' silences nothing; "
+                "delete it or fix the target line reference"
+            ),
+        )
+        for sup in suppressions
+        if not sup.used
+    ]

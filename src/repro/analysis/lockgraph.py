@@ -1,0 +1,375 @@
+"""Dynamic lock-order (deadlock-potential) detector.
+
+:class:`LockGraph` monkeypatches ``threading.Lock``/``threading.RLock``
+so every lock created while it is installed is wrapped in a
+:class:`TrackedLock`.  Each acquisition records, per thread, the set of
+locks already held; every (held -> acquired) pair becomes an edge in a
+directed acquisition-order graph.  A cycle in that graph is a potential
+deadlock, reported with the stack of the first acquisition that created
+each edge -- the lockdep idea, scaled down to the test suite.
+
+Gate-lock exclusion
+-------------------
+The engine serialises statements under a global RLock, so two inner
+locks taken in opposite orders *under the engine lock* can never
+actually deadlock.  Each edge therefore remembers the intersection of
+"other locks held at the time" across all its observations (its
+*gates*); a cycle is only reported when its edges share **no** common
+gate lock.
+
+Usage (the ``lock_audit`` pytest fixture wraps this)::
+
+    with lockgraph.watching() as graph:
+        ...  # create locks, run threads
+    graph.assert_no_cycles()
+
+Only locks created *while installed* are tracked, so install the graph
+before building the structures under audit.  The wrappers implement
+``_is_owned`` / ``_release_save`` / ``_acquire_restore`` so
+``threading.Condition`` (and therefore ``Event`` and ``queue.Queue``)
+keep working on top of them, and they degrade to pure delegation after
+:meth:`LockGraph.uninstall`, so daemon threads that outlive a test are
+safe.
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["LockGraph", "LockOrderViolation", "TrackedLock", "watching"]
+
+# How many inner frames (this module + threading) to trim off edge stacks.
+_STACK_LIMIT = 18
+
+
+class LockOrderViolation(AssertionError):
+    """Raised by :meth:`LockGraph.assert_no_cycles` when a cycle survives
+    gate-lock exclusion."""
+
+
+class TrackedLock:
+    """Wrapper around a real Lock/RLock that reports to a LockGraph."""
+
+    def __init__(self, graph: "LockGraph", inner, name: str) -> None:
+        self._graph = graph
+        self._inner = inner
+        self.name = name
+
+    # -- core lock protocol -------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._graph._note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._graph._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return probe()
+        return self._is_owned()
+
+    # -- Condition support --------------------------------------------
+
+    def _is_owned(self) -> bool:
+        inner_owned = getattr(self._inner, "_is_owned", None)
+        if inner_owned is not None:
+            return inner_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        save = getattr(self._inner, "_release_save", None)
+        if save is not None:
+            state = save()
+        else:
+            state = None
+            self._inner.release()
+        depth = self._graph._note_release_all(self)
+        return (state, depth)
+
+    def _acquire_restore(self, saved) -> None:
+        state, depth = saved
+        restore = getattr(self._inner, "_acquire_restore", None)
+        if restore is not None:
+            restore(state)
+        else:
+            self._inner.acquire()
+        self._graph._note_restore(self, depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TrackedLock {self.name} wrapping {self._inner!r}>"
+
+
+class _ThreadState(threading.local):
+    """Per-thread held-lock bookkeeping."""
+
+    def __init__(self) -> None:
+        self.order: List[int] = []  # lock ids, outermost first
+        self.depth: Dict[int, int] = {}
+
+
+class LockGraph:
+    """Acquisition-order graph over every lock created while installed."""
+
+    _install_mutex = threading.Lock()
+    _installed: Optional["LockGraph"] = None
+
+    def __init__(self) -> None:
+        # Raw C lock: the graph must never route through threading.Lock
+        # while the factories are patched to point back at us.
+        self._mutex = _thread.allocate_lock()
+        self._tls = _ThreadState()
+        self._active = False
+        self._serial = 0
+        # Strong refs keep lock ids stable for the life of the audit.
+        self._locks: Dict[int, TrackedLock] = {}
+        # (src_id, dst_id) -> {"gates": set, "stack": str, "count": int}
+        self._edges: Dict[Tuple[int, int], Dict[str, object]] = {}
+        self._orig_lock = None
+        self._orig_rlock = None
+
+    # ------------------------------------------------------------------
+    # Install / uninstall
+    # ------------------------------------------------------------------
+
+    def install(self) -> "LockGraph":
+        with LockGraph._install_mutex:
+            if LockGraph._installed is not None:
+                raise RuntimeError("another LockGraph is already installed")
+            LockGraph._installed = self
+            self._orig_lock = threading.Lock
+            self._orig_rlock = threading.RLock
+            self._active = True
+
+            def make_lock():
+                return self._wrap(self._orig_lock(), kind="Lock")
+
+            def make_rlock():
+                return self._wrap(self._orig_rlock(), kind="RLock")
+
+            threading.Lock = make_lock  # type: ignore[assignment]
+            threading.RLock = make_rlock  # type: ignore[assignment]
+        return self
+
+    def uninstall(self) -> None:
+        with LockGraph._install_mutex:
+            if LockGraph._installed is not self:
+                return
+            threading.Lock = self._orig_lock  # type: ignore[assignment]
+            threading.RLock = self._orig_rlock  # type: ignore[assignment]
+            LockGraph._installed = None
+            self._active = False
+
+    def _wrap(self, inner, kind: str) -> TrackedLock:
+        site = self._creation_site()
+        with self._mutex:
+            self._serial += 1
+            name = f"{kind}#{self._serial}@{site}"
+        lock = TrackedLock(self, inner, name)
+        with self._mutex:
+            self._locks[id(lock)] = lock
+        return lock
+
+    @staticmethod
+    def _creation_site() -> str:
+        for frame in reversed(traceback.extract_stack(limit=12)):
+            filename = frame.filename.replace("\\", "/")
+            if "/analysis/lockgraph" in filename or filename.endswith("threading.py"):
+                continue
+            parts = filename.rsplit("/", 2)
+            short = "/".join(parts[-2:])
+            return f"{short}:{frame.lineno}"
+        return "<unknown>"
+
+    # ------------------------------------------------------------------
+    # Acquisition bookkeeping (called from TrackedLock)
+    # ------------------------------------------------------------------
+
+    def _note_acquire(self, lock: TrackedLock) -> None:
+        if not self._active:
+            return
+        tls = self._tls
+        lock_id = id(lock)
+        if tls.depth.get(lock_id, 0) > 0:
+            tls.depth[lock_id] += 1  # re-entrant re-acquire: no new edge
+            return
+        if tls.order:
+            held = set(tls.order)
+            src = tls.order[-1]
+            # Edge only from the *innermost* held lock: transitive edges
+            # (outer -> new) add no cycles the chain does not already
+            # imply, and skipping them keeps the graph small.
+            self._record_edge(src, lock_id, gates=held - {src})
+        tls.order.append(lock_id)
+        tls.depth[lock_id] = 1
+
+    def _note_release(self, lock: TrackedLock) -> None:
+        tls = self._tls
+        lock_id = id(lock)
+        depth = tls.depth.get(lock_id, 0)
+        if depth == 0:
+            return  # acquired before install or after uninstall
+        if depth > 1:
+            tls.depth[lock_id] = depth - 1
+            return
+        del tls.depth[lock_id]
+        try:
+            tls.order.remove(lock_id)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _note_release_all(self, lock: TrackedLock) -> int:
+        """Condition.wait: the lock is fully released regardless of depth."""
+        tls = self._tls
+        lock_id = id(lock)
+        depth = tls.depth.pop(lock_id, 0)
+        try:
+            tls.order.remove(lock_id)
+        except ValueError:
+            pass
+        return depth
+
+    def _note_restore(self, lock: TrackedLock, depth: int) -> None:
+        """Condition.wait returned: the lock is held again at `depth`."""
+        if depth == 0:
+            depth = 1
+        tls = self._tls
+        lock_id = id(lock)
+        if self._active and tls.order:
+            held = set(tls.order)
+            src = tls.order[-1]
+            self._record_edge(src, lock_id, gates=held - {src})
+        tls.order.append(lock_id)
+        tls.depth[lock_id] = depth
+
+    def _record_edge(self, src: int, dst: int, gates: Set[int]) -> None:
+        with self._mutex:
+            edge = self._edges.get((src, dst))
+            if edge is None:
+                stack = "".join(traceback.format_stack(limit=_STACK_LIMIT)[:-2])
+                self._edges[(src, dst)] = {
+                    "gates": set(gates),
+                    "stack": stack,
+                    "count": 1,
+                }
+            else:
+                edge["gates"] &= gates  # type: ignore[operator]
+                edge["count"] = edge["count"] + 1  # type: ignore[operator]
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def edge_count(self) -> int:
+        with self._mutex:
+            return len(self._edges)
+
+    def cycles(self, max_len: int = 6) -> List[Dict[str, object]]:
+        """Acquisition-order cycles that survive gate-lock exclusion."""
+        with self._mutex:
+            edges = {
+                pair: {"gates": set(info["gates"]), "stack": info["stack"]}
+                for pair, info in self._edges.items()
+            }
+            names = {lid: lock.name for lid, lock in self._locks.items()}
+        adjacency: Dict[int, List[int]] = {}
+        for (src, dst) in edges:
+            adjacency.setdefault(src, []).append(dst)
+
+        reports: List[Dict[str, object]] = []
+        seen_cycles: Set[Tuple[int, ...]] = set()
+
+        def dfs(start: int, node: int, path: List[int]) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt == start and len(path) >= 2:
+                    cycle = tuple(path)
+                    canonical = tuple(sorted(cycle))
+                    if canonical in seen_cycles:
+                        continue
+                    seen_cycles.add(canonical)
+                    report = self._judge_cycle(cycle, edges, names)
+                    if report is not None:
+                        reports.append(report)
+                elif nxt > start and nxt not in path and len(path) < max_len:
+                    path.append(nxt)
+                    dfs(start, nxt, path)
+                    path.pop()
+
+        for start in sorted(adjacency):
+            dfs(start, start, [start])
+        return reports
+
+    @staticmethod
+    def _judge_cycle(
+        cycle: Tuple[int, ...],
+        edges: Dict[Tuple[int, int], Dict[str, object]],
+        names: Dict[int, str],
+    ) -> Optional[Dict[str, object]]:
+        cycle_edges = [
+            (cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+        ]
+        common_gates: Optional[Set[int]] = None
+        for pair in cycle_edges:
+            gates = set(edges[pair]["gates"]) - set(cycle)  # type: ignore[arg-type]
+            common_gates = gates if common_gates is None else (common_gates & gates)
+        if common_gates:
+            return None  # always taken under a shared outer lock: benign
+        return {
+            "locks": [names.get(lid, f"<lock {lid}>") for lid in cycle],
+            "edges": [
+                {
+                    "from": names.get(src, f"<lock {src}>"),
+                    "to": names.get(dst, f"<lock {dst}>"),
+                    "stack": edges[(src, dst)]["stack"],
+                }
+                for src, dst in cycle_edges
+            ],
+        }
+
+    def assert_no_cycles(self, max_len: int = 6) -> None:
+        reports = self.cycles(max_len=max_len)
+        if not reports:
+            return
+        lines: List[str] = [
+            f"lock-order audit found {len(reports)} potential deadlock cycle(s):"
+        ]
+        for i, report in enumerate(reports, 1):
+            chain = " -> ".join(report["locks"] + [report["locks"][0]])  # type: ignore[index]
+            lines.append(f"\ncycle {i}: {chain}")
+            for edge in report["edges"]:  # type: ignore[union-attr]
+                lines.append(
+                    f"  edge {edge['from']} -> {edge['to']} first acquired at:"
+                )
+                lines.append(
+                    "    " + str(edge["stack"]).rstrip().replace("\n", "\n    ")
+                )
+        raise LockOrderViolation("\n".join(lines))
+
+
+@contextmanager
+def watching() -> Iterator[LockGraph]:
+    """Install a LockGraph for the duration of the block."""
+    graph = LockGraph()
+    graph.install()
+    try:
+        yield graph
+    finally:
+        graph.uninstall()

@@ -1,0 +1,162 @@
+"""The documented JSON report schema for ``repro lint --json``.
+
+The schema is expressed as a plain dict (JSON-Schema-shaped, but
+validated by :func:`validate_report` with stdlib code -- the container
+does not carry a jsonschema dependency).  CI uploads the report as an
+artifact; consumers should treat unknown keys as forward-compatible
+additions and key off ``version``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["REPORT_SCHEMA", "validate_report"]
+
+REPORT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro-lint report",
+    "type": "object",
+    "required": [
+        "version",
+        "tool",
+        "strict",
+        "paths",
+        "files_scanned",
+        "rules",
+        "findings",
+        "counts",
+    ],
+    "properties": {
+        "version": {"type": "integer", "const": 1},
+        "tool": {"type": "string", "const": "repro-lint"},
+        "strict": {"type": "boolean"},
+        "paths": {"type": "array", "items": {"type": "string"}},
+        "files_scanned": {"type": "integer", "minimum": 0},
+        "rules": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["id", "summary"],
+                "properties": {
+                    "id": {"type": "string"},
+                    "summary": {"type": "string"},
+                },
+            },
+        },
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "rule",
+                    "path",
+                    "line",
+                    "message",
+                    "suppressed",
+                    "suppress_reason",
+                ],
+                "properties": {
+                    "rule": {"type": "string"},
+                    "path": {"type": "string"},
+                    "line": {"type": "integer", "minimum": 1},
+                    "message": {"type": "string"},
+                    "suppressed": {"type": "boolean"},
+                    "suppress_reason": {"type": ["string", "null"]},
+                },
+            },
+        },
+        "counts": {
+            "type": "object",
+            "required": ["total", "suppressed", "active"],
+            "properties": {
+                "total": {"type": "integer", "minimum": 0},
+                "suppressed": {"type": "integer", "minimum": 0},
+                "active": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+
+def validate_report(report: Any) -> List[str]:
+    """Return a list of schema violations (empty when valid)."""
+    errors: List[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    if not expect(isinstance(report, dict), "report must be an object"):
+        return errors
+    expect(report.get("version") == 1, "version must be 1")
+    expect(report.get("tool") == "repro-lint", "tool must be 'repro-lint'")
+    expect(isinstance(report.get("strict"), bool), "strict must be a boolean")
+    paths = report.get("paths")
+    expect(
+        isinstance(paths, list) and all(isinstance(p, str) for p in paths),
+        "paths must be a list of strings",
+    )
+    expect(
+        isinstance(report.get("files_scanned"), int)
+        and report.get("files_scanned", -1) >= 0,
+        "files_scanned must be a non-negative integer",
+    )
+    rules = report.get("rules")
+    if expect(isinstance(rules, list), "rules must be a list"):
+        for i, rule in enumerate(rules):
+            expect(
+                isinstance(rule, dict)
+                and isinstance(rule.get("id"), str)
+                and isinstance(rule.get("summary"), str),
+                f"rules[{i}] must have string 'id' and 'summary'",
+            )
+    findings = report.get("findings")
+    if expect(isinstance(findings, list), "findings must be a list"):
+        for i, finding in enumerate(findings):
+            if not expect(isinstance(finding, dict), f"findings[{i}] must be an object"):
+                continue
+            expect(isinstance(finding.get("rule"), str), f"findings[{i}].rule must be a string")
+            expect(isinstance(finding.get("path"), str), f"findings[{i}].path must be a string")
+            expect(
+                isinstance(finding.get("line"), int) and finding.get("line", 0) >= 1,
+                f"findings[{i}].line must be a positive integer",
+            )
+            expect(
+                isinstance(finding.get("message"), str),
+                f"findings[{i}].message must be a string",
+            )
+            expect(
+                isinstance(finding.get("suppressed"), bool),
+                f"findings[{i}].suppressed must be a boolean",
+            )
+            reason = finding.get("suppress_reason")
+            expect(
+                reason is None or isinstance(reason, str),
+                f"findings[{i}].suppress_reason must be a string or null",
+            )
+            if finding.get("suppressed") is True:
+                expect(
+                    isinstance(reason, str) and bool(reason.strip()),
+                    f"findings[{i}] is suppressed but carries no reason",
+                )
+    counts = report.get("counts")
+    if expect(isinstance(counts, dict), "counts must be an object"):
+        for key in ("total", "suppressed", "active"):
+            expect(
+                isinstance(counts.get(key), int) and counts.get(key, -1) >= 0,
+                f"counts.{key} must be a non-negative integer",
+            )
+        if not errors and isinstance(findings, list):
+            expect(counts["total"] == len(findings), "counts.total must match findings length")
+            suppressed = sum(1 for f in findings if f.get("suppressed"))
+            expect(
+                counts["suppressed"] == suppressed,
+                "counts.suppressed must match suppressed findings",
+            )
+            expect(
+                counts["active"] == len(findings) - suppressed,
+                "counts.active must match unsuppressed findings",
+            )
+    return errors

@@ -1,0 +1,572 @@
+"""Repo-specific invariant rules for the repro linter.
+
+Each rule enforces one of the engine's cross-cutting contracts; the
+rationale for every rule lives in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.linter import Finding, ModuleContext, Project, Rule
+
+__all__ = ["all_rules"]
+
+# Fault-registry API methods that take a failpoint name as first argument.
+_FAULT_NAME_APIS = frozenset(
+    {"hit", "fire_action", "on_write", "torn_payload", "set_fault", "clear_fault"}
+)
+# The subset that *fires* failpoints and therefore needs the
+# ``faults is not None`` zero-cost guard at call sites.
+_FAULT_FIRE_APIS = frozenset({"hit", "fire_action", "on_write", "torn_payload"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+_METRIC_ATTRS = frozenset(
+    {"inc", "observe", "span", "add_completed_child", "_inc"}
+)
+_METRIC_RECEIVERS = frozenset({"obs", "metrics", "spans"})
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+_METRIC_SEGMENT_RE = re.compile(r"^[a-z0-9_]+$")
+
+# Which metric component prefixes each repro package may own.  Packages
+# not listed get the grammar check only.  ``obs`` is the metrics
+# framework itself and is exempt entirely (names flow through it as
+# variables).
+_COMPONENTS_BY_PACKAGE: Dict[str, Set[str]] = {
+    "server": {"sql", "am", "plan", "session"},
+    "net": {"net"},
+    "repl": {"repl"},
+    "grtree": {"grtree", "spec"},
+    "hblade": {"hblade"},
+    "storage": {"storage", "buffer", "wal", "lock", "locks", "sbspace", "osfile"},
+    "datablade": {"datablade", "grtree", "spec", "index"},
+    "bblade": {"bblade", "btree"},
+    "rblade": {"rblade", "rtree"},
+    "faults": {"faults"},
+}
+
+_BLOCKING_ATTRS = frozenset(
+    {
+        "sleep",
+        "fsync",
+        "send",
+        "sendall",
+        "sendto",
+        "recv",
+        "recvfrom",
+        "recv_into",
+        "connect",
+        "accept",
+        "read_frame",
+        "write_frame",
+        "send_frame",
+    }
+)
+_BLOCKING_NAMES = frozenset({"sleep", "fsync", "read_frame", "write_frame"})
+
+_IMMUTABLE_FACTORIES = frozenset(
+    {"MappingProxyType", "frozenset", "tuple", "namedtuple"}
+)
+_SHARED_STATE_EXEMPT_NAMES = frozenset({"__all__", "__path__"})
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return ""
+
+
+def _attr_chain_tail(node: ast.AST) -> str:
+    """Last dotted segment of an expression ('self.db.obs' -> 'obs')."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class BareExceptSwallowsCrash(Rule):
+    """``SimulatedCrash`` subclasses BaseException precisely so rollback
+    paths cannot intercept a simulated process death; any handler broad
+    enough to catch it must re-raise."""
+
+    id = "bare-except-swallows-crash"
+    summary = (
+        "bare except / except BaseException / except SimulatedCrash "
+        "without re-raising the crash"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._catches_crash(node.type):
+                continue
+            if self._reraises(node):
+                continue
+            caught = _unparse(node.type) if node.type is not None else "<bare>"
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                message=(
+                    f"handler for {caught} can swallow SimulatedCrash; "
+                    "re-raise it or narrow the exception type"
+                ),
+            )
+
+    @staticmethod
+    def _catches_crash(type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True
+        names: List[str] = []
+        if isinstance(type_node, ast.Tuple):
+            names = [_attr_chain_tail(elt) for elt in type_node.elts]
+        else:
+            names = [_attr_chain_tail(type_node)]
+        return any(name in ("BaseException", "SimulatedCrash") for name in names)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, _FUNCTION_NODES):
+                continue
+            if isinstance(node, ast.Raise):
+                if node.exc is None:
+                    return True
+                if isinstance(node.exc, ast.Name) and node.exc.id == handler.name:
+                    return True
+                tail = _attr_chain_tail(
+                    node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+                )
+                if tail == "SimulatedCrash":
+                    return True
+        return False
+
+
+class UnguardedFailpoint(Rule):
+    """Failpoint hits must sit behind ``<registry> is not None`` so that
+    production paths pay a single attribute load when faults are off."""
+
+    id = "unguarded-failpoint"
+    summary = "faults.hit/fire_action/... call not behind an 'is not None' guard"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.package == "faults":
+            return  # the registry's own methods run on a live self
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _FAULT_FIRE_APIS:
+                continue
+            receiver = _unparse(func.value)
+            tail = _attr_chain_tail(func.value)
+            if "faults" not in receiver and tail != "registry":
+                continue
+            if receiver in ("self", "cls"):
+                continue
+            if self._guarded(ctx, node, receiver):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                message=(
+                    f"'{receiver}.{func.attr}(...)' is not behind an "
+                    f"'{receiver} is not None' guard"
+                ),
+            )
+
+    @staticmethod
+    def _is_guard_expr(expr: ast.expr, receiver: str) -> bool:
+        return (
+            isinstance(expr, ast.Compare)
+            and len(expr.ops) == 1
+            and isinstance(expr.ops[0], ast.IsNot)
+            and isinstance(expr.comparators[0], ast.Constant)
+            and expr.comparators[0].value is None
+            and _unparse(expr.left) == receiver
+        )
+
+    @classmethod
+    def _test_guards(cls, test: ast.expr, receiver: str) -> bool:
+        return any(
+            cls._is_guard_expr(sub, receiver)
+            for sub in ast.walk(test)
+            if isinstance(sub, ast.Compare)
+        )
+
+    @classmethod
+    def _guarded(cls, ctx: ModuleContext, call: ast.Call, receiver: str) -> bool:
+        child: ast.AST = call
+        for anc in ctx.ancestors(call):
+            if isinstance(anc, ast.BoolOp) and isinstance(anc.op, ast.And):
+                for value in anc.values:
+                    if value is child or any(n is child for n in ast.walk(value)):
+                        break
+                    if cls._is_guard_expr(value, receiver):
+                        return True
+            elif isinstance(anc, ast.IfExp):
+                in_body = anc.body is child or any(n is child for n in ast.walk(anc.body))
+                if in_body and cls._test_guards(anc.test, receiver):
+                    return True
+            elif isinstance(anc, (ast.If, ast.While)):
+                in_body = any(
+                    stmt is child or any(n is child for n in ast.walk(stmt))
+                    for stmt in anc.body
+                )
+                if in_body and cls._test_guards(anc.test, receiver):
+                    return True
+            elif isinstance(anc, ast.Assert):
+                if cls._test_guards(anc.test, receiver):
+                    return True
+            elif isinstance(anc, _FUNCTION_NODES + (ast.Module, ast.ClassDef)):
+                break
+            child = anc
+        return False
+
+
+class UnknownFailpointName(Rule):
+    """String literals handed to fault APIs must exist in CATALOG, and
+    (reverse) every CATALOG entry must be referenced by some call site."""
+
+    id = "unknown-failpoint-name"
+    summary = "failpoint name literal not present in faults.registry.CATALOG"
+
+    def __init__(self) -> None:
+        from repro.faults.registry import CATALOG
+
+        self._catalog = dict(CATALOG)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        state = ctx.project.state.setdefault(
+            self.id, {"referenced": set(), "registry_file": None, "catalog_line": 1}
+        )
+        if ctx.repro_parts[-2:] == ("faults", "registry.py"):
+            state["registry_file"] = ctx.path
+            for node in ctx.walk():
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "CATALOG":
+                        state["catalog_line"] = node.lineno
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _FAULT_NAME_APIS:
+                continue
+            receiver = _unparse(func.value)
+            tail = _attr_chain_tail(func.value)
+            if "faults" not in receiver and tail != "registry" and receiver not in (
+                "self",
+                "cls",
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            state["referenced"].add(name)
+            if name not in self._catalog:
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    message=(
+                        f"failpoint name '{name}' is not in faults.registry.CATALOG"
+                    ),
+                )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        state = project.state.get(self.id)
+        # The reverse check only makes sense when the scan covered the
+        # registry module itself (i.e. a whole-tree lint, not a fixture).
+        if not state or state["registry_file"] is None:
+            return
+        missing = sorted(set(self._catalog) - state["referenced"])
+        for name in missing:
+            yield Finding(
+                rule=self.id,
+                path=state["registry_file"],
+                line=state["catalog_line"],
+                message=(
+                    f"CATALOG entry '{name}' has no call site in the scanned "
+                    "tree; dead failpoints hide coverage gaps"
+                ),
+            )
+
+
+class BlockingUnderEngineLock(Rule):
+    """The engine lock serialises every statement; sleeping or doing
+    socket/disk I/O while holding it turns one slow client into a
+    whole-server stall."""
+
+    id = "blocking-under-engine-lock"
+    summary = "time.sleep/socket/fsync/wire-protocol call inside 'with *_engine_lock:'"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.With):
+                continue
+            if not any(
+                _unparse(item.context_expr).rstrip(")").endswith("_engine_lock")
+                for item in node.items
+            ):
+                continue
+            for finding in self._scan_body(ctx, node):
+                yield finding
+
+    def _scan_body(self, ctx: ModuleContext, with_node: ast.With) -> Iterable[Finding]:
+        stack: List[ast.AST] = list(with_node.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue  # deferred execution escapes the lock scope
+            if isinstance(node, ast.Call):
+                blocked = self._blocking_name(node.func)
+                if blocked is not None:
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.path,
+                        line=node.lineno,
+                        message=(
+                            f"'{blocked}' blocks while holding the engine lock "
+                            f"(entered at line {with_node.lineno})"
+                        ),
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _blocking_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            return f"{_unparse(func)}"
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+            return func.id
+        return None
+
+
+class MetricNameGrammar(Rule):
+    """Metric/span names are the observability API surface: they must be
+    ``component.snake_name`` and the component must belong to the
+    emitting package so dashboards can attribute cost."""
+
+    id = "metric-name-grammar"
+    summary = "metric/span name literal violates component.snake_name grammar"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.package == "obs":
+            return  # the framework itself passes names through variables
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_ATTRS:
+                continue
+            tail = _attr_chain_tail(func.value)
+            if func.attr != "_inc" and tail not in _METRIC_RECEIVERS:
+                continue
+            if not node.args:
+                continue
+            for literal, exact in self._name_literals(node.args[0]):
+                for finding in self._check_name(ctx, node, literal, exact):
+                    yield finding
+
+    @staticmethod
+    def _name_literals(arg: ast.expr) -> List[Tuple[str, bool]]:
+        """Extract (text, is_exact) candidates from a name argument."""
+        if isinstance(arg, ast.Constant):
+            if isinstance(arg.value, str):
+                return [(arg.value, True)]
+            return []
+        if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Add):
+            left = arg.left
+            if isinstance(left, ast.Constant) and isinstance(left.value, str):
+                return [(left.value, False)]
+            return []
+        if isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                return [(head.value, False)]
+            return []
+        if isinstance(arg, ast.IfExp):
+            out: List[Tuple[str, bool]] = []
+            out.extend(MetricNameGrammar._name_literals(arg.body))
+            out.extend(MetricNameGrammar._name_literals(arg.orelse))
+            return out
+        return []
+
+    def _check_name(
+        self, ctx: ModuleContext, node: ast.Call, text: str, exact: bool
+    ) -> Iterable[Finding]:
+        if exact:
+            grammar_ok = bool(_METRIC_NAME_RE.match(text))
+        else:
+            # A prefix like "am." or "sql.statements.": every segment seen
+            # so far must be a valid snake segment, starting lowercase.
+            segments = text.rstrip(".").split(".") if text.rstrip(".") else []
+            grammar_ok = (
+                bool(segments)
+                and bool(re.match(r"^[a-z][a-z0-9_]*$", segments[0]))
+                and all(_METRIC_SEGMENT_RE.match(seg) for seg in segments[1:])
+            )
+        if not grammar_ok:
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                message=(
+                    f"metric/span name '{text}' does not match the "
+                    "'component.snake_name' grammar"
+                ),
+            )
+            return
+        component = text.split(".", 1)[0]
+        allowed = _COMPONENTS_BY_PACKAGE.get(ctx.package or "")
+        if allowed is not None and component not in allowed:
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                message=(
+                    f"metric component '{component}' is not owned by package "
+                    f"'{ctx.package}' (allowed: {', '.join(sorted(allowed))})"
+                ),
+            )
+
+
+class MutableDefaultOrSharedState(Rule):
+    """Mutable argument defaults leak state across calls; module-level
+    mutable containers in modules that spawn/coordinate threads are data
+    races waiting for the de-GIL refactor."""
+
+    id = "mutable-default-or-shared-state"
+    summary = (
+        "mutable default argument, or unlocked module-level mutable state "
+        "in a threaded module"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]:
+                    if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                        yield Finding(
+                            rule=self.id,
+                            path=ctx.path,
+                            line=default.lineno,
+                            message=(
+                                f"mutable default argument in '{node.name}'; "
+                                "use None and construct inside the function"
+                            ),
+                        )
+        if not self._imports_threading(ctx):
+            return
+        lock_names = self._module_lock_names(ctx)
+        for stmt in ctx.tree.body:
+            name, value = self._module_assignment(stmt)
+            if name is None or value is None:
+                continue
+            if name in _SHARED_STATE_EXEMPT_NAMES:
+                continue
+            if not self._is_mutable_container(value):
+                continue
+            if self._has_companion_lock(name, lock_names):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=stmt.lineno,
+                message=(
+                    f"module-level mutable '{name}' in a threaded module has no "
+                    "companion lock; freeze it (MappingProxyType/tuple/frozenset) "
+                    "or add one"
+                ),
+            )
+
+    @staticmethod
+    def _imports_threading(ctx: ModuleContext) -> bool:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Import):
+                if any(alias.name in ("threading", "_thread") for alias in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("threading", "_thread"):
+                    return True
+        return False
+
+    @staticmethod
+    def _module_assignment(
+        stmt: ast.stmt,
+    ) -> Tuple[Optional[str], Optional[ast.expr]]:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            return stmt.target.id, stmt.value
+        return None, None
+
+    @staticmethod
+    def _is_mutable_container(value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            tail = _attr_chain_tail(value.func)
+            if tail in _IMMUTABLE_FACTORIES:
+                return False
+            if tail in ("dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"):
+                return True
+        return False
+
+    @staticmethod
+    def _module_lock_names(ctx: ModuleContext) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Call):
+                    tail = _attr_chain_tail(stmt.value.func)
+                    if tail in ("Lock", "RLock", "Condition", "Semaphore"):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _has_companion_lock(name: str, lock_names: Set[str]) -> bool:
+        if not lock_names:
+            return False
+        lowered = name.lower().strip("_")
+        candidates = {
+            f"{name}_lock",
+            f"_{name}_lock",
+            f"{lowered}_lock",
+            f"_{lowered}_lock",
+            "_lock",
+            "_LOCK",
+        }
+        return bool(candidates & lock_names) or any(
+            lowered in lock.lower() for lock in lock_names
+        )
+
+
+def all_rules() -> List[Rule]:
+    return [
+        BareExceptSwallowsCrash(),
+        UnguardedFailpoint(),
+        UnknownFailpointName(),
+        BlockingUnderEngineLock(),
+        MetricNameGrammar(),
+        MutableDefaultOrSharedState(),
+    ]

@@ -8,6 +8,8 @@ Usage::
                                                # observability data (JSON)
     python -m repro.cli serve --port 7478      # serve concurrent clients
     python -m repro.cli connect --port 7478    # remote shell over TCP
+    python -m repro.cli lint --strict src      # invariant linter
+                                               # (docs/static_analysis.md)
 
 Besides SQL, the shell accepts backslash commands:
 
@@ -605,6 +607,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "connect":
         return connect_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro SQL shell")
     parser.add_argument("-f", "--file", help="run a SQL script and exit")
     parser.add_argument(

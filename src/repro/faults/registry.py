@@ -52,7 +52,8 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Dict, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
 
 
 class FaultInjected(RuntimeError):
@@ -79,8 +80,9 @@ ACTIONS = ("raise", "crash", "torn", "corrupt", "drop", "dup", "reorder")
 
 #: Every failpoint compiled into the engine, with the layer it lives in.
 #: ``set_fault`` validates names against this catalog so a typo in a
-#: test arms an error instead of a no-op.
-CATALOG: Dict[str, str] = {
+#: test arms an error instead of a no-op.  Frozen: the catalog is shared
+#: read-only across every engine thread, so it must not be mutable.
+CATALOG: Mapping[str, str] = MappingProxyType({
     "wal.append": "storage: before any record is appended to the log",
     "wal.fsync": "storage: at commit, before the COMMIT record is durable",
     "sbspace.page_read": "storage: SmartBlob.read_page",
@@ -99,7 +101,7 @@ CATALOG: Dict[str, str] = {
     "hybrid-index mutation",
     "hblade.tree_write": "hblade: between the hash and tree halves of a "
     "hybrid-index mutation",
-}
+})
 
 
 class FaultPoint:

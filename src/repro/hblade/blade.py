@@ -284,6 +284,8 @@ class HybridDataBlade:
         try:
             entry["hash_blob"].open(td.session, OpenMode.READ)
         except BaseException:
+            # Cleanup-then-reraise: BaseException so a SimulatedCrash
+            # still releases the half-opened tree blob, then propagates.
             entry["tree_blob"].close()
             raise
         td.user_data.update(entry)
@@ -308,6 +310,8 @@ class HybridDataBlade:
         try:
             hash_blob.open(td.session, OpenMode.READ)
         except BaseException:
+            # Cleanup-then-reraise: BaseException so a SimulatedCrash
+            # still releases the half-opened tree blob, then propagates.
             tree_blob.close()
             raise
         tree_pool = self._new_pool(tree_blob, td)

@@ -422,6 +422,8 @@ class NetServer:
                 with conn.exec_lock:
                     reply = self._run_statement(conn, message)
                 self._send(conn, reply)
+            # repro: allow(bare-except-swallows-crash): over the wire a crash
+            # is an instant restart-and-recover, documented below.
             except SimulatedCrash:
                 # A crash failpoint fired inside the engine.  A shared
                 # server cannot stay wedged for its other clients, so
@@ -559,6 +561,11 @@ class NetServer:
                 payload = protocol.encode_frame(message)
                 try:
                     payload, severed = faults.torn_payload("net.send", payload)
+                # repro: allow(bare-except-swallows-crash): a crash armed on
+                # net.send means the server died before the reply left the
+                # kernel -- mapped to "send nothing, sever the link" so the
+                # client observes exactly what a real process death looks
+                # like from the other end of the socket.
                 except SimulatedCrash:
                     payload, severed = b"", True
                 if severed:

@@ -184,7 +184,10 @@ class ReplicationApplier:
                     self._apply_row(record, session)
                 session.commit()
             except BaseException as exc:
-                # A SimulatedCrash freezes state (recovery replays the
+                # Catches BaseException on purpose, and always re-raises
+                # (the bare `raise` below) -- the lint contract
+                # bare-except-swallows-crash holds.  A SimulatedCrash
+                # freezes state without rollback (recovery replays the
                 # relay log); any other failure rolls the local
                 # transaction back so a retry can re-apply it.
                 from repro.faults import SimulatedCrash

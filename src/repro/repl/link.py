@@ -97,6 +97,11 @@ class ReplicaLink:
             first_attempt = False
             try:
                 self._stream_once()
+            # repro: allow(bare-except-swallows-crash): this link thread is
+            # the simulated crash victim (replica process death).  The crash
+            # is recorded in `self.crashed` for the harness, the loop exits,
+            # and the link stays frozen until the test restarts the replica;
+            # propagating would only kill a daemon thread invisibly.
             except SimulatedCrash as crash:
                 self.crashed = crash.point
                 break

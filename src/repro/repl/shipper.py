@@ -173,8 +173,14 @@ class WalShipper:
                 sub.wake.clear()
         except (_Severed, OSError):
             pass
+        # repro: allow(bare-except-swallows-crash): the sender thread IS the
+        # simulated crash victim -- dying here models the primary's shipper
+        # process ending, and the crash must not escape into the thread
+        # runner.  A dead sender sends nothing: discard any reorder-held
+        # frame so the finally-flush cannot deliver it posthumously (the
+        # replica recovers via LSN-gap resubscribe, same as a drop).
         except SimulatedCrash:
-            pass
+            sub.held_frame = None
         finally:
             sub.connected = False
             try:

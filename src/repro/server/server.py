@@ -412,6 +412,10 @@ class DatabaseServer:
             session = self.system_session
         with self._engine_lock:
             if self.simulated_io_s:
+                # repro: allow(blocking-under-engine-lock): simulated_io_s is
+                # the benchmark knob that deliberately models statement cost
+                # under the global lock (docs/serving.md); it is zero in
+                # production configurations.
                 time.sleep(self.simulated_io_s)
             if session.in_transaction:
                 self.bind_transaction(session, session.transaction.txn_id)

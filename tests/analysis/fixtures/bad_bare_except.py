@@ -1,0 +1,23 @@
+"""Fixture: handlers broad enough to swallow SimulatedCrash."""
+
+
+def swallow_everything(op):
+    try:
+        op()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_base(op, log):
+    try:
+        op()
+    except BaseException as exc:
+        log.append(exc)
+        return None
+
+
+def swallow_crash(op):
+    try:
+        op()
+    except SimulatedCrash:  # noqa: F821
+        return None

@@ -1,0 +1,10 @@
+"""Fixture: blocking calls lexically inside the engine lock."""
+import os
+import time
+
+
+def stall_everyone(self, sock, fd, frame):
+    with self._engine_lock:
+        time.sleep(0.5)
+        sock.sendall(frame)
+        os.fsync(fd)

@@ -1,0 +1,6 @@
+"""Fixture: grammatically valid name whose component belongs to another
+package (linted under a synthetic repro/grtree/... path)."""
+
+
+def emit(obs):
+    obs.inc("net.frames_total")

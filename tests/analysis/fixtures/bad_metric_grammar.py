@@ -1,0 +1,7 @@
+"""Fixture: metric names violating the component.snake_name grammar."""
+
+
+def emit(obs, value):
+    obs.inc("BadName.count")
+    obs.inc("nodots")
+    obs.metrics.observe("net.Bad-Segment", value)

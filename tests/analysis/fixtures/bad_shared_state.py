@@ -1,0 +1,14 @@
+"""Fixture: unlocked module-level mutable state in a threaded module,
+plus a mutable default argument."""
+import threading
+
+HANDLERS = {}
+
+
+def worker():
+    return threading.current_thread()
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket

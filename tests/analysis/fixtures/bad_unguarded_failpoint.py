@@ -1,0 +1,11 @@
+"""Fixture: failpoint hits without the faults-is-None guard."""
+
+
+def write_page(self, data):
+    self.faults.hit("osfile.write")
+    return data
+
+
+def send(faults, payload):
+    action = faults.fire_action("net.send")
+    return action, payload

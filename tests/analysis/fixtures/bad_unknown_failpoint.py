@@ -1,0 +1,6 @@
+"""Fixture: a failpoint name that is not in faults.registry.CATALOG."""
+
+
+def misspelled(faults):
+    if faults is not None:
+        faults.hit("wal.appendd")

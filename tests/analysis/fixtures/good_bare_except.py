@@ -1,0 +1,24 @@
+"""Fixture: broad handlers that correctly re-raise, or narrow ones."""
+
+
+def cleanup_then_reraise(op, resource):
+    try:
+        op()
+    except BaseException:
+        resource.close()
+        raise
+
+
+def reraise_bound_name(op):
+    try:
+        op()
+    except BaseException as exc:
+        print(exc)
+        raise exc
+
+
+def narrow_is_fine(op):
+    try:
+        op()
+    except Exception:
+        return None

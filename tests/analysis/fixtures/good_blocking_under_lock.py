@@ -1,0 +1,12 @@
+"""Fixture: blocking happens outside the engine lock."""
+import time
+
+
+def compute_then_wait(self, sock, frame):
+    with self._engine_lock:
+        result = self.compute(frame)
+    time.sleep(0.01)
+    sock.sendall(result)
+    with self._cache_lock:
+        time.sleep(0)  # an unrelated lock is not the engine lock
+    return result

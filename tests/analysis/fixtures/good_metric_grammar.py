@@ -1,0 +1,9 @@
+"""Fixture: well-formed metric/span names, including prefix forms."""
+
+
+def emit(obs, spans, kind, value):
+    obs.inc("net.frames_total")
+    obs.metrics.observe("net.queue_wait_seconds", value)
+    with spans.span("sql." + kind):
+        pass
+    obs.inc("plan.seqscan" if value else "plan.indexscan")

@@ -1,0 +1,16 @@
+"""Fixture: threaded module whose shared state is frozen or locked."""
+import threading
+from types import MappingProxyType
+
+CATALOG = MappingProxyType({"wal.append": "storage"})
+KINDS = ("insert", "delete")
+
+REGISTRY = {}
+_registry_lock = threading.Lock()
+
+
+def accumulate(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,18 @@
+"""Fixture: the three accepted faults-is-None guard idioms."""
+
+
+def if_body_guard(self, data):
+    if self.faults is not None:
+        self.faults.hit("osfile.write")
+    return data
+
+
+def boolop_guard(faults):
+    if faults is not None and faults.fire_action("net.recv"):
+        return True
+    return False
+
+
+def ifexp_guard(faults):
+    action = faults.fire_action("repl.send") if faults is not None else None
+    return action

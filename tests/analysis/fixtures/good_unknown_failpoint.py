@@ -1,0 +1,7 @@
+"""Fixture: failpoint names straight out of the catalog."""
+
+
+def correct(faults):
+    if faults is not None:
+        faults.hit("wal.append")
+        faults.fire_action("net.send")

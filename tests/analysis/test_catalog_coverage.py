@@ -1,0 +1,51 @@
+"""Reverse completeness: every faults.CATALOG entry is actually wired
+into the engine (a dead failpoint hides a coverage gap).
+
+Pure stdlib + AST, so the no-numpy CI job runs it too.
+"""
+
+from pathlib import Path
+
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import UnknownFailpointName
+from repro.faults import CATALOG
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_every_catalog_entry_has_a_call_site_in_src():
+    """The linter's cross-check over the real tree: no unknown names at
+    call sites, and no CATALOG entry without a call site."""
+    report = lint_paths([str(SRC)], rules=[UnknownFailpointName()])
+    assert report.active == [], "\n" + report.to_text()
+
+
+def test_catalog_names_appear_literally_outside_the_registry():
+    """Belt and braces for the AST check: each name occurs as a quoted
+    literal in some non-registry source file."""
+    sources = {
+        path: path.read_text(encoding="utf-8")
+        for path in SRC.rglob("*.py")
+        if path.name != "registry.py" or path.parent.name != "faults"
+    }
+    missing = [
+        name
+        for name in CATALOG
+        if not any(
+            f'"{name}"' in text or f"'{name}'" in text
+            for text in sources.values()
+        )
+    ]
+    assert missing == [], f"CATALOG entries with no call site: {missing}"
+
+
+def test_catalog_is_frozen():
+    """The catalog is shared read-only across threads; it must reject
+    mutation (the shared-state lint contract, enforced at runtime)."""
+    try:
+        CATALOG["sneaky.new"] = "nope"  # type: ignore[index]
+    except TypeError:
+        pass
+    else:
+        raise AssertionError("CATALOG accepted a mutation")
+    assert "sneaky.new" not in CATALOG

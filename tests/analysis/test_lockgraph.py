@@ -1,0 +1,203 @@
+"""The dynamic lock-order detector: planted deadlocks must bite, benign
+patterns must not."""
+
+import queue
+import threading
+
+import pytest
+
+from repro.analysis import lockgraph
+
+
+def run_in_thread(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    t.join(timeout=10)
+    assert not t.is_alive()
+
+
+def test_planted_ab_ba_deadlock_bites_with_both_stacks():
+    """The satellite acceptance test: an A->B/B->A inversion is reported
+    and the report names the stack of *both* conflicting acquisitions."""
+    with lockgraph.watching() as graph:
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def locker_one():
+            with a:
+                with b:
+                    pass
+
+        def locker_two():
+            with b:
+                with a:
+                    pass
+
+        run_in_thread(locker_one)
+        run_in_thread(locker_two)
+
+    with pytest.raises(lockgraph.LockOrderViolation) as info:
+        graph.assert_no_cycles()
+    message = str(info.value)
+    assert "locker_one" in message, "report must carry the A->B stack"
+    assert "locker_two" in message, "report must carry the B->A stack"
+    assert "potential deadlock" in message
+
+
+def test_without_the_detector_the_inversion_is_silent():
+    """Negative control: the same plant passes a plain run -- only the
+    audit makes it fail loudly."""
+    a = threading.Lock()
+    b = threading.Lock()
+
+    def locker_one():
+        with a:
+            with b:
+                pass
+
+    def locker_two():
+        with b:
+            with a:
+                pass
+
+    run_in_thread(locker_one)
+    run_in_thread(locker_two)  # sequential: never actually deadlocks
+
+
+def test_gate_lock_exclusion_suppresses_serialized_inversions():
+    """Opposite inner-lock orders always taken under one outer lock (the
+    engine-lock pattern) cannot deadlock and are not reported."""
+    with lockgraph.watching() as graph:
+        gate = threading.RLock()
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def one():
+            with gate:
+                with a:
+                    with b:
+                        pass
+
+        def two():
+            with gate:
+                with b:
+                    with a:
+                        pass
+
+        run_in_thread(one)
+        run_in_thread(two)
+
+    graph.assert_no_cycles()  # must not raise
+    assert graph.edge_count() >= 4
+
+
+def test_ungated_observation_defeats_the_gate():
+    """If even one observation of the inversion happens outside the
+    gate, the cycle is real again."""
+    with lockgraph.watching() as graph:
+        gate = threading.RLock()
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def gated():
+            with gate:
+                with a:
+                    with b:
+                        pass
+
+        def ungated():
+            with b:
+                with a:
+                    pass
+
+        run_in_thread(gated)
+        run_in_thread(ungated)
+
+    with pytest.raises(lockgraph.LockOrderViolation):
+        graph.assert_no_cycles()
+
+
+def test_rlock_reentrancy_records_no_self_cycle():
+    with lockgraph.watching() as graph:
+        r = threading.RLock()
+        with r:
+            with r:
+                pass
+    graph.assert_no_cycles()
+
+
+def test_condition_event_queue_still_work_under_audit():
+    """The wrappers must stay Condition-compatible (threading.Condition,
+    Event and queue.Queue are built on the patched factories)."""
+    with lockgraph.watching() as graph:
+        cond = threading.Condition()
+        ev = threading.Event()
+        q = queue.Queue()
+        seen = []
+
+        def consumer():
+            with cond:
+                cond.wait(timeout=5)
+            ev.wait(timeout=5)
+            seen.append(q.get(timeout=5))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        with cond:
+            cond.notify_all()
+        ev.set()
+        q.put("payload")
+        t.join(timeout=10)
+        assert not t.is_alive()
+    graph.assert_no_cycles()
+    assert seen == ["payload"]
+
+
+def test_uninstall_restores_factories_and_wrappers_degrade():
+    orig_lock = threading.Lock
+    orig_rlock = threading.RLock
+    with lockgraph.watching() as graph:
+        assert threading.Lock is not orig_lock
+        inside = threading.Lock()
+    assert threading.Lock is orig_lock
+    assert threading.RLock is orig_rlock
+    # A lock created during the audit keeps working after uninstall and
+    # records nothing new.
+    edges_before = graph.edge_count()
+    with inside:
+        pass
+    assert graph.edge_count() == edges_before
+
+
+def test_only_one_graph_at_a_time():
+    with lockgraph.watching():
+        with pytest.raises(RuntimeError):
+            lockgraph.LockGraph().install()
+
+
+def test_three_lock_cycle_detected():
+    with lockgraph.watching() as graph:
+        a = threading.Lock()
+        b = threading.Lock()
+        c = threading.Lock()
+
+        def t1():
+            with a:
+                with b:
+                    pass
+
+        def t2():
+            with b:
+                with c:
+                    pass
+
+        def t3():
+            with c:
+                with a:
+                    pass
+
+        for fn in (t1, t2, t3):
+            run_in_thread(fn)
+    with pytest.raises(lockgraph.LockOrderViolation) as info:
+        graph.assert_no_cycles()
+    assert str(info.value).count("edge ") == 3

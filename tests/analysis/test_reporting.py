@@ -1,0 +1,88 @@
+"""The --json report: schema round-trip, validation, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import lint_main
+from repro.analysis.linter import lint_source
+from repro.analysis.reporting import REPORT_SCHEMA, validate_report
+from repro.analysis.rules import BareExceptSwallowsCrash, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_report_round_trips_through_schema():
+    source = (FIXTURES / "bad_bare_except.py").read_text()
+    report = lint_source(source, rules=[BareExceptSwallowsCrash()])
+    decoded = json.loads(report.to_json())
+    assert validate_report(decoded) == []
+    assert decoded["counts"]["active"] == 3
+    assert decoded["version"] == 1
+
+
+def test_schema_constants_match_producer():
+    assert REPORT_SCHEMA["properties"]["version"]["const"] == 1
+    assert REPORT_SCHEMA["properties"]["tool"]["const"] == "repro-lint"
+    required = set(REPORT_SCHEMA["required"])
+    report = lint_source("x = 1\n", rules=all_rules())
+    assert required <= set(report.to_dict())
+
+
+def test_validator_rejects_corrupted_reports():
+    report = lint_source("x = 1\n", rules=[]).to_dict()
+    assert validate_report(report) == []
+    broken = dict(report, version=2)
+    assert validate_report(broken)
+    broken = dict(report)
+    broken["counts"] = dict(report["counts"], total=99)
+    assert validate_report(broken)
+    assert validate_report("not an object")
+
+
+def test_suppressed_findings_must_carry_reasons():
+    source = (
+        "def f(op):\n"
+        "    try:\n"
+        "        op()\n"
+        "    except BaseException:  "
+        "# repro: allow(bare-except-swallows-crash): fixture\n"
+        "        pass\n"
+    )
+    report = lint_source(source, rules=[BareExceptSwallowsCrash()])
+    decoded = json.loads(report.to_json())
+    assert validate_report(decoded) == []
+    (finding,) = decoded["findings"]
+    assert finding["suppressed"] is True
+    assert finding["suppress_reason"] == "fixture"
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target)]) == 0
+        assert "0 active finding(s)" in capsys.readouterr().out
+
+    def test_bad_file_exits_one_and_json_validates(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text((FIXTURES / "bad_bare_except.py").read_text())
+        out_file = tmp_path / "report.json"
+        code = lint_main([str(target), "--json", "--json-out", str(out_file)])
+        assert code == 1
+        stdout = capsys.readouterr().out
+        assert validate_report(json.loads(stdout)) == []
+        assert validate_report(json.loads(out_file.read_text())) == []
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["/nonexistent/nowhere"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_strict_flag_reaches_report(self, tmp_path, capsys):
+        target = tmp_path / "stale.py"
+        target.write_text(
+            "x = 1  # repro: allow(bare-except-swallows-crash): stale\n"
+        )
+        assert lint_main([str(target)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(target), "--strict"]) == 1
+        assert "unused-suppression" in capsys.readouterr().out

@@ -1,0 +1,215 @@
+"""One test per lint rule: fires on the bad fixture, stays quiet on the
+good one, and honors suppressions."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linter import Project, lint_paths, lint_source
+from repro.analysis.rules import (
+    BareExceptSwallowsCrash,
+    BlockingUnderEngineLock,
+    MetricNameGrammar,
+    MutableDefaultOrSharedState,
+    UnguardedFailpoint,
+    UnknownFailpointName,
+    all_rules,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_rule(rule, fixture, path=None):
+    source = (FIXTURES / fixture).read_text()
+    report = lint_source(source, path=path or str(FIXTURES / fixture), rules=[rule])
+    return report
+
+
+class TestBareExceptSwallowsCrash:
+    def test_fires_on_bad(self):
+        report = run_rule(BareExceptSwallowsCrash(), "bad_bare_except.py")
+        lines = sorted(f.line for f in report.active)
+        assert len(lines) == 3  # bare, BaseException, SimulatedCrash
+
+    def test_quiet_on_good(self):
+        report = run_rule(BareExceptSwallowsCrash(), "good_bare_except.py")
+        assert report.active == []
+
+
+class TestUnguardedFailpoint:
+    def test_fires_on_bad(self):
+        report = run_rule(UnguardedFailpoint(), "bad_unguarded_failpoint.py")
+        assert len(report.active) == 2
+
+    def test_quiet_on_good_guard_idioms(self):
+        report = run_rule(UnguardedFailpoint(), "good_unguarded_failpoint.py")
+        assert report.active == []
+
+    def test_faults_package_itself_is_exempt(self):
+        source = "def hit(self, name):\n    self.faults.hit(name)\n"
+        report = lint_source(
+            source,
+            path="src/repro/faults/registry.py",
+            rules=[UnguardedFailpoint()],
+        )
+        assert report.active == []
+
+
+class TestUnknownFailpointName:
+    def test_fires_on_bad(self):
+        report = run_rule(UnknownFailpointName(), "bad_unknown_failpoint.py")
+        assert len(report.active) == 1
+        assert "wal.appendd" in report.active[0].message
+
+    def test_quiet_on_good(self):
+        report = run_rule(UnknownFailpointName(), "good_unknown_failpoint.py")
+        assert report.active == []
+
+    def test_reverse_completeness_reports_dead_catalog_entries(self, tmp_path):
+        """When the scan covers the registry module, every CATALOG entry
+        must be referenced somewhere in the scanned tree."""
+        tree = tmp_path / "repro" / "faults"
+        tree.mkdir(parents=True)
+        (tree / "registry.py").write_text("CATALOG = {}\n")
+        caller = tmp_path / "repro" / "caller.py"
+        caller.write_text(
+            "def f(faults):\n"
+            "    if faults is not None:\n"
+            "        faults.hit('wal.append')\n"
+        )
+        report = lint_paths([str(tmp_path)], rules=[UnknownFailpointName()])
+        messages = [f.message for f in report.active]
+        assert any("'wal.fsync'" in m for m in messages)
+        assert not any("'wal.append'" in m and "no call site" in m for m in messages)
+
+    def test_reverse_check_off_for_fixture_scans(self):
+        # A scan that does not include the registry module must not
+        # complain about unreferenced CATALOG entries.
+        report = run_rule(UnknownFailpointName(), "good_unknown_failpoint.py")
+        assert report.active == []
+
+
+class TestBlockingUnderEngineLock:
+    def test_fires_on_bad(self):
+        report = run_rule(BlockingUnderEngineLock(), "bad_blocking_under_lock.py")
+        assert len(report.active) == 3  # sleep, sendall, fsync
+
+    def test_quiet_on_good(self):
+        report = run_rule(BlockingUnderEngineLock(), "good_blocking_under_lock.py")
+        assert report.active == []
+
+
+class TestMetricNameGrammar:
+    def test_fires_on_bad_grammar(self):
+        report = run_rule(MetricNameGrammar(), "bad_metric_grammar.py")
+        assert len(report.active) == 3
+
+    def test_quiet_on_good(self):
+        report = run_rule(MetricNameGrammar(), "good_metric_grammar.py")
+        assert report.active == []
+
+    def test_component_must_match_owning_package(self):
+        source = (FIXTURES / "bad_metric_component.py").read_text()
+        report = lint_source(
+            source,
+            path="src/repro/grtree/emitter.py",
+            rules=[MetricNameGrammar()],
+        )
+        assert len(report.active) == 1
+        assert "not owned by package 'grtree'" in report.active[0].message
+        # Same source under its rightful package is clean.
+        report = lint_source(
+            source,
+            path="src/repro/net/emitter.py",
+            rules=[MetricNameGrammar()],
+        )
+        assert report.active == []
+
+
+class TestMutableDefaultOrSharedState:
+    def test_fires_on_bad(self):
+        report = run_rule(MutableDefaultOrSharedState(), "bad_shared_state.py")
+        messages = [f.message for f in report.active]
+        assert len(messages) == 2
+        assert any("HANDLERS" in m for m in messages)
+        assert any("mutable default" in m for m in messages)
+
+    def test_quiet_on_good(self):
+        report = run_rule(MutableDefaultOrSharedState(), "good_shared_state.py")
+        assert report.active == []
+
+    def test_unthreaded_module_state_is_fine(self):
+        report = lint_source(
+            "HANDLERS = {}\n", rules=[MutableDefaultOrSharedState()]
+        )
+        assert report.active == []
+
+
+class TestSuppressions:
+    BAD = (
+        "def f(op):\n"
+        "    try:\n"
+        "        op()\n"
+        "    except BaseException:  "
+        "# repro: allow(bare-except-swallows-crash): test double\n"
+        "        pass\n"
+    )
+
+    def test_trailing_suppression_silences(self):
+        report = lint_source(self.BAD, rules=[BareExceptSwallowsCrash()])
+        assert report.active == []
+        assert report.suppressed_count == 1
+        assert report.findings[0].suppress_reason == "test double"
+
+    def test_standalone_comment_covers_next_code_line(self):
+        source = (
+            "def f(op):\n"
+            "    try:\n"
+            "        op()\n"
+            "    # repro: allow(bare-except-swallows-crash): reason spans\n"
+            "    # several comment lines before the handler\n"
+            "    except BaseException:\n"
+            "        pass\n"
+        )
+        report = lint_source(source, rules=[BareExceptSwallowsCrash()])
+        assert report.active == []
+
+    def test_file_wide_suppression(self):
+        source = (
+            "# repro: allow-file(bare-except-swallows-crash): fixture file\n"
+            + self.BAD.replace(
+                "  # repro: allow(bare-except-swallows-crash): test double", ""
+            )
+        )
+        report = lint_source(source, rules=[BareExceptSwallowsCrash()])
+        assert report.active == []
+
+    def test_reason_is_mandatory(self):
+        source = self.BAD.replace(": test double", "")
+        report = lint_source(source, rules=[BareExceptSwallowsCrash()])
+        rules_hit = {f.rule for f in report.active}
+        # The finding stays active AND the reasonless comment is flagged.
+        assert "bare-except-swallows-crash" in rules_hit
+        assert "bad-suppression" in rules_hit
+
+    def test_unused_suppression_flagged_under_strict(self):
+        source = "x = 1  # repro: allow(bare-except-swallows-crash): stale\n"
+        lax = lint_source(source, rules=[BareExceptSwallowsCrash()])
+        assert lax.active == []
+        strict = lint_source(
+            source, rules=[BareExceptSwallowsCrash()], strict=True
+        )
+        assert [f.rule for f in strict.active] == ["unused-suppression"]
+
+    def test_meta_rules_cannot_be_suppressed(self):
+        source = "x = 1  # repro: allow(unused-suppression): nope\n"
+        report = lint_source(source, rules=[])
+        assert [f.rule for f in report.active] == ["bad-suppression"]
+
+
+def test_all_rules_have_ids_and_summaries():
+    rules = all_rules()
+    assert len(rules) >= 6
+    ids = [r.id for r in rules]
+    assert len(set(ids)) == len(ids)
+    assert all(r.id and r.summary for r in rules)

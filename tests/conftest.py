@@ -1,0 +1,23 @@
+"""Shared fixtures for the whole test tree."""
+
+import pytest
+
+from repro.analysis import lockgraph
+
+
+@pytest.fixture
+def lock_audit():
+    """Audit lock acquisition order for the duration of a test.
+
+    Every ``threading.Lock``/``RLock`` created inside the test (engine
+    lock, LockManager mutex, buffer-pool and node-store latches, net
+    server locks, ...) is wrapped by :mod:`repro.analysis.lockgraph`;
+    at teardown the acquisition-order graph is checked and the test
+    fails with both stacks if a potential deadlock cycle was observed.
+
+    Depend on this fixture *before* any fixture that builds the server
+    so the wrapper is installed when the locks are created.
+    """
+    with lockgraph.watching() as graph:
+        yield graph
+    graph.assert_no_cycles()

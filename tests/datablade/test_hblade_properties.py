@@ -137,10 +137,12 @@ class TestHybridDifferential:
         compare_everywhere(server, "k >= -1.0 AND k <= 1.0")
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_hammering_from_eight_threads(self, seed):
+    def test_hammering_from_eight_threads(self, seed, lock_audit):
         """Eight sessions hammer one hybrid index on disjoint key
         stripes; every thread's point probes must match its own oracle
-        mid-flight, and the final state must match the union."""
+        mid-flight, and the final state must match the union.  The
+        ``lock_audit`` fixture additionally fails the test if the run
+        observes any lock-order cycle."""
         server = make_server()
         errors = []
         oracles = [dict() for _ in range(8)]

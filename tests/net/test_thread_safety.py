@@ -3,6 +3,10 @@
 Each test throws 8 threads at one structure and then checks exact
 invariants: lost updates, corrupted LRU bookkeeping, or leaked locks all
 show up as hard assertion failures, not flakes.
+
+Every test also runs under the ``lock_audit`` fixture
+(:mod:`repro.analysis.lockgraph`): any lock-order cycle observed during
+the hammer fails the test with both acquisition stacks.
 """
 
 import random
@@ -49,7 +53,7 @@ def hammer(worker, threads=THREADS):
 
 
 class TestMetricsRegistry:
-    def test_concurrent_increments_lose_nothing(self):
+    def test_concurrent_increments_lose_nothing(self, lock_audit):
         registry = MetricsRegistry()
         rounds = 2000
 
@@ -68,7 +72,7 @@ class TestMetricsRegistry:
         # bucket.
         assert sum(histogram.bucket_counts) == histogram.count
 
-    def test_snapshots_during_mutation_stay_consistent(self):
+    def test_snapshots_during_mutation_stay_consistent(self, lock_audit):
         registry = MetricsRegistry()
         registry.register_collector("pull", lambda: {"constant": 42})
         stop = threading.Event()
@@ -100,7 +104,7 @@ class TestMetricsRegistry:
 
 
 class TestStatementCache:
-    def test_parse_cache_stays_bounded_and_consistent(self):
+    def test_parse_cache_stays_bounded_and_consistent(self, lock_audit):
         db = DatabaseServer(statement_cache_size=8)
         texts = [f"SELECT * FROM relation_{i}" for i in range(32)]
 
@@ -145,7 +149,7 @@ class TestNodeCacheStore:
             page_ids.append(node.page_id)
         return store, page_ids
 
-    def test_concurrent_reads_return_correct_nodes(self):
+    def test_concurrent_reads_return_correct_nodes(self, lock_audit):
         store, page_ids = self.build_store()
         reads_per_thread = 600
 
@@ -162,7 +166,7 @@ class TestNodeCacheStore:
         stats = store.cache_stats
         assert stats.hits + stats.misses == THREADS * reads_per_thread
 
-    def test_concurrent_read_write_mix_never_corrupts(self):
+    def test_concurrent_read_write_mix_never_corrupts(self, lock_audit):
         store, page_ids = self.build_store()
 
         def worker(index):
@@ -186,7 +190,7 @@ class TestNodeCacheStore:
 
 
 class TestLockManager:
-    def test_blocking_acquire_wakes_on_release(self):
+    def test_blocking_acquire_wakes_on_release(self, lock_audit):
         locks = LockManager()
         locks.acquire(1, "res", LockMode.EXCLUSIVE)
         granted_after = []
@@ -206,7 +210,7 @@ class TestLockManager:
         locks.release_all(2)
         assert locks.locked_resources == 0
 
-    def test_blocking_acquire_times_out_and_counts(self):
+    def test_blocking_acquire_times_out_and_counts(self, lock_audit):
         locks = LockManager()
         locks.acquire(1, "res", LockMode.EXCLUSIVE)
         with pytest.raises(LockTimeoutError) as info:
@@ -217,7 +221,7 @@ class TestLockManager:
         locks.release_all(1)
         assert locks.locked_resources == 0
 
-    def test_contended_mutual_exclusion_no_lost_updates(self):
+    def test_contended_mutual_exclusion_no_lost_updates(self, lock_audit):
         locks = LockManager()
         rounds = 150
         state = {"value": 0}
@@ -241,7 +245,7 @@ class TestLockManager:
         assert state["value"] == THREADS * rounds
         assert locks.locked_resources == 0
 
-    def test_shared_readers_interleave_with_writers(self):
+    def test_shared_readers_interleave_with_writers(self, lock_audit):
         locks = LockManager()
 
         def worker(index):

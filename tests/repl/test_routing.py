@@ -65,7 +65,10 @@ class Cluster:
 
 
 @pytest.fixture
-def cluster():
+def cluster(lock_audit):
+    # Depends on lock_audit so every lock in the whole deployment
+    # (engine locks, shipper, links, net servers) is order-audited;
+    # a cycle observed during any routing test fails it at teardown.
     c = Cluster()
     yield c
     c.close()
